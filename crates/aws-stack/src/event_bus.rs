@@ -1,0 +1,274 @@
+//! The EventBridge-like event bus.
+//!
+//! Spot interruption notices arrive as bus events (paper §4: "signaled by
+//! Amazon EventBridge"); rules route them to handler functions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use sim_kernel::SimTime;
+
+/// A bus event, in EventBridge's source/detail-type/detail shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusEvent {
+    /// Origin service, e.g. `"aws.ec2"`.
+    pub source: String,
+    /// Event class, e.g. `"EC2 Spot Instance Interruption Warning"`.
+    pub detail_type: String,
+    /// Free-form payload.
+    pub detail: String,
+    /// When the event was published.
+    pub at: SimTime,
+}
+
+impl BusEvent {
+    /// Convenience constructor.
+    pub fn new(
+        source: impl Into<String>,
+        detail_type: impl Into<String>,
+        detail: impl Into<String>,
+        at: SimTime,
+    ) -> Self {
+        BusEvent {
+            source: source.into(),
+            detail_type: detail_type.into(),
+            detail: detail.into(),
+            at,
+        }
+    }
+}
+
+/// A routing rule: match by source prefix and (optionally) exact detail
+/// type, deliver to a named target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    name: String,
+    source_prefix: String,
+    detail_type: Option<String>,
+    target: String,
+    enabled: bool,
+}
+
+impl Rule {
+    /// Creates an enabled rule.
+    pub fn new(
+        name: impl Into<String>,
+        source_prefix: impl Into<String>,
+        detail_type: Option<String>,
+        target: impl Into<String>,
+    ) -> Self {
+        Rule {
+            name: name.into(),
+            source_prefix: source_prefix.into(),
+            detail_type,
+            target: target.into(),
+            enabled: true,
+        }
+    }
+
+    /// The rule name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The delivery target.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Whether the rule matches an event.
+    pub fn matches(&self, event: &BusEvent) -> bool {
+        self.enabled
+            && event.source.starts_with(&self.source_prefix)
+            && self
+                .detail_type
+                .as_ref()
+                .is_none_or(|dt| dt == &event.detail_type)
+    }
+}
+
+/// Event-bus errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventBusError {
+    /// A rule with that name already exists.
+    RuleExists(String),
+    /// No rule with that name.
+    NoSuchRule(String),
+}
+
+impl fmt::Display for EventBusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventBusError::RuleExists(n) => write!(f, "rule `{n}` already exists"),
+            EventBusError::NoSuchRule(n) => write!(f, "no such rule `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for EventBusError {}
+
+/// The bus: rules plus a delivery log.
+///
+/// # Examples
+///
+/// ```
+/// use aws_stack::{BusEvent, EventBus, Rule};
+/// use sim_kernel::SimTime;
+///
+/// let mut bus = EventBus::new();
+/// bus.put_rule(Rule::new(
+///     "on-interruption",
+///     "aws.ec2",
+///     Some("EC2 Spot Instance Interruption Warning".into()),
+///     "interruption-handler",
+/// ))?;
+/// let targets = bus.publish(BusEvent::new(
+///     "aws.ec2",
+///     "EC2 Spot Instance Interruption Warning",
+///     "i-00000001",
+///     SimTime::ZERO,
+/// ));
+/// assert_eq!(targets, vec!["interruption-handler".to_string()]);
+/// # Ok::<(), aws_stack::EventBusError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct EventBus {
+    rules: Vec<Rule>,
+    published: u64,
+    delivered: u64,
+}
+
+impl EventBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        EventBus::default()
+    }
+
+    /// Installs a rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventBusError::RuleExists`] on duplicate names.
+    pub fn put_rule(&mut self, rule: Rule) -> Result<(), EventBusError> {
+        if self.rules.iter().any(|r| r.name == rule.name) {
+            return Err(EventBusError::RuleExists(rule.name));
+        }
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Disables a rule (it stops matching but remains installed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventBusError::NoSuchRule`] for unknown names.
+    pub fn disable_rule(&mut self, name: &str) -> Result<(), EventBusError> {
+        let rule = self
+            .rules
+            .iter_mut()
+            .find(|r| r.name == name)
+            .ok_or_else(|| EventBusError::NoSuchRule(name.to_owned()))?;
+        rule.enabled = false;
+        Ok(())
+    }
+
+    /// Publishes an event, returning the targets it was routed to, in rule
+    /// installation order.
+    pub fn publish(&mut self, event: BusEvent) -> Vec<String> {
+        self.published += 1;
+        let targets: Vec<String> = self
+            .rules
+            .iter()
+            .filter(|r| r.matches(&event))
+            .map(|r| r.target.clone())
+            .collect();
+        self.delivered += targets.len() as u64;
+        targets
+    }
+
+    /// Installed rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Total events published.
+    pub fn published_count(&self) -> u64 {
+        self.published
+    }
+
+    /// Total deliveries (event × matching rule).
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interruption_event() -> BusEvent {
+        BusEvent::new(
+            "aws.ec2",
+            "EC2 Spot Instance Interruption Warning",
+            "i-1",
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn routes_by_source_and_detail_type() {
+        let mut bus = EventBus::new();
+        bus.put_rule(Rule::new(
+            "r1",
+            "aws.ec2",
+            Some("EC2 Spot Instance Interruption Warning".into()),
+            "handler",
+        ))
+        .unwrap();
+        bus.put_rule(Rule::new("r2", "aws.s3", None, "other")).unwrap();
+        assert_eq!(bus.publish(interruption_event()), vec!["handler".to_string()]);
+        assert_eq!(bus.published_count(), 1);
+        assert_eq!(bus.delivered_count(), 1);
+    }
+
+    #[test]
+    fn source_prefix_matching() {
+        let mut bus = EventBus::new();
+        bus.put_rule(Rule::new("r", "aws.", None, "t")).unwrap();
+        assert_eq!(bus.publish(interruption_event()).len(), 1);
+        assert!(bus
+            .publish(BusEvent::new("galaxy", "job-done", "", SimTime::ZERO))
+            .is_empty());
+    }
+
+    #[test]
+    fn multiple_rules_all_deliver() {
+        let mut bus = EventBus::new();
+        bus.put_rule(Rule::new("a", "aws.ec2", None, "t1")).unwrap();
+        bus.put_rule(Rule::new("b", "aws.ec2", None, "t2")).unwrap();
+        assert_eq!(bus.publish(interruption_event()), vec!["t1".to_string(), "t2".to_string()]);
+    }
+
+    #[test]
+    fn disabled_rules_stop_matching() {
+        let mut bus = EventBus::new();
+        bus.put_rule(Rule::new("a", "aws.ec2", None, "t")).unwrap();
+        bus.disable_rule("a").unwrap();
+        assert!(bus.publish(interruption_event()).is_empty());
+        assert_eq!(bus.rules().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_rule_errors() {
+        let mut bus = EventBus::new();
+        bus.put_rule(Rule::new("a", "x", None, "t")).unwrap();
+        assert!(matches!(
+            bus.put_rule(Rule::new("a", "y", None, "t2")),
+            Err(EventBusError::RuleExists(_))
+        ));
+        assert!(matches!(
+            bus.disable_rule("ghost"),
+            Err(EventBusError::NoSuchRule(_))
+        ));
+    }
+}

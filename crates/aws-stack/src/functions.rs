@@ -1,0 +1,362 @@
+//! The Lambda-like function runtime with Step-Functions-like retry
+//! policies.
+//!
+//! SpotVerse's control logic runs as serverless functions (paper §4): a
+//! metrics-collector on a schedule, an interruption handler on
+//! EventBridge events — wrapped in Step Functions so failed or delayed spot
+//! requests are retried with backoff. The runtime here accounts invocation
+//! duration and memory for billing, executes the caller's closure, and
+//! applies the retry policy deterministically in sim time.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use sim_kernel::{SimDuration, SimTime};
+
+use cloud_compute::{BillingLedger, ServiceKind};
+use cloud_market::{Region, Usd};
+
+/// Configuration of a registered function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FunctionConfig {
+    /// Allocated memory in MiB (the paper allocates 128 MB).
+    pub memory_mib: u32,
+    /// Execution timeout (the paper uses 15 minutes).
+    pub timeout: SimDuration,
+    /// Modelled execution duration per invocation.
+    pub exec_duration: SimDuration,
+}
+
+impl Default for FunctionConfig {
+    fn default() -> Self {
+        FunctionConfig {
+            memory_mib: 128,
+            timeout: SimDuration::from_mins(15),
+            exec_duration: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// A Step-Functions-like retry policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum attempts (≥ 1).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub initial_backoff: SimDuration,
+    /// Backoff multiplier between retries.
+    pub backoff_rate: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: SimDuration::from_secs(30),
+            backoff_rate: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (1-based).
+    pub fn backoff_before(&self, retry: u32) -> SimDuration {
+        let factor = self.backoff_rate.powi(retry.saturating_sub(1) as i32);
+        SimDuration::from_secs(
+            (self.initial_backoff.as_secs() as f64 * factor).round() as u64
+        )
+    }
+}
+
+/// Function-runtime errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FunctionError {
+    /// The function name is not registered.
+    UnknownFunction(String),
+    /// Every attempt failed; carries the last failure message.
+    RetriesExhausted {
+        /// Function name.
+        name: String,
+        /// Attempts made.
+        attempts: u32,
+        /// The last error message.
+        last_error: String,
+    },
+}
+
+impl fmt::Display for FunctionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FunctionError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            FunctionError::RetriesExhausted {
+                name,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "function `{name}` failed after {attempts} attempts: {last_error}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FunctionError {}
+
+/// A completed invocation's accounting record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvocationRecord {
+    /// Function name.
+    pub name: String,
+    /// Region it executed in.
+    pub region: Region,
+    /// Start time.
+    pub started_at: SimTime,
+    /// Attempts used (1 when the first attempt succeeded).
+    pub attempts: u32,
+    /// Whether it ultimately succeeded.
+    pub succeeded: bool,
+}
+
+/// The outcome of a successful (possibly retried) invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvocationOutcome<T> {
+    /// The closure's value.
+    pub value: T,
+    /// When the final attempt finished (includes backoff delays).
+    pub finished_at: SimTime,
+    /// Attempts used.
+    pub attempts: u32,
+}
+
+/// Per GiB-second compute price.
+const GB_SECOND_PRICE: f64 = 1.66667e-5;
+/// Per-request price.
+const REQUEST_PRICE: f64 = 2.0e-7;
+
+/// The function runtime.
+///
+/// # Examples
+///
+/// ```
+/// use aws_stack::{FunctionConfig, FunctionRuntime, RetryPolicy};
+/// use cloud_compute::BillingLedger;
+/// use cloud_market::Region;
+/// use sim_kernel::SimTime;
+///
+/// let mut runtime = FunctionRuntime::new();
+/// let mut ledger = BillingLedger::new();
+/// runtime.register("metrics-collector", Region::UsEast1, FunctionConfig::default());
+/// let outcome = runtime.invoke(
+///     "metrics-collector",
+///     SimTime::ZERO,
+///     RetryPolicy::default(),
+///     &mut ledger,
+///     |attempt| if attempt == 1 { Ok(42) } else { Err("flaky".into()) },
+/// )?;
+/// assert_eq!(outcome.value, 42);
+/// # Ok::<(), aws_stack::FunctionError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct FunctionRuntime {
+    functions: BTreeMap<String, (Region, FunctionConfig)>,
+    invocations: Vec<InvocationRecord>,
+}
+
+impl FunctionRuntime {
+    /// Creates an empty runtime.
+    pub fn new() -> Self {
+        FunctionRuntime::default()
+    }
+
+    /// Registers (or replaces) a function.
+    pub fn register(&mut self, name: impl Into<String>, region: Region, config: FunctionConfig) {
+        self.functions.insert(name.into(), (region, config));
+    }
+
+    /// Whether a function is registered.
+    pub fn is_registered(&self, name: &str) -> bool {
+        self.functions.contains_key(name)
+    }
+
+    /// Invokes a function with retries. The closure receives the 1-based
+    /// attempt number and returns `Ok(value)` or an error message; each
+    /// attempt is billed, and retries are separated by the policy's
+    /// backoff in sim time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FunctionError::UnknownFunction`] for unregistered names and
+    /// [`FunctionError::RetriesExhausted`] when every attempt fails.
+    pub fn invoke<T, F>(
+        &mut self,
+        name: &str,
+        at: SimTime,
+        policy: RetryPolicy,
+        ledger: &mut BillingLedger,
+        mut body: F,
+    ) -> Result<InvocationOutcome<T>, FunctionError>
+    where
+        F: FnMut(u32) -> Result<T, String>,
+    {
+        let (region, config) = self
+            .functions
+            .get(name)
+            .copied()
+            .ok_or_else(|| FunctionError::UnknownFunction(name.to_owned()))?;
+        let max_attempts = policy.max_attempts.max(1);
+        let mut clock = at;
+        let mut last_error = String::new();
+        for attempt in 1..=max_attempts {
+            if attempt > 1 {
+                clock += policy.backoff_before(attempt - 1);
+            }
+            self.bill_attempt(region, config, clock, ledger);
+            clock += config.exec_duration.min(config.timeout);
+            match body(attempt) {
+                Ok(value) => {
+                    self.invocations.push(InvocationRecord {
+                        name: name.to_owned(),
+                        region,
+                        started_at: at,
+                        attempts: attempt,
+                        succeeded: true,
+                    });
+                    return Ok(InvocationOutcome {
+                        value,
+                        finished_at: clock,
+                        attempts: attempt,
+                    });
+                }
+                Err(e) => last_error = e,
+            }
+        }
+        self.invocations.push(InvocationRecord {
+            name: name.to_owned(),
+            region,
+            started_at: at,
+            attempts: max_attempts,
+            succeeded: false,
+        });
+        Err(FunctionError::RetriesExhausted {
+            name: name.to_owned(),
+            attempts: max_attempts,
+            last_error,
+        })
+    }
+
+    fn bill_attempt(
+        &self,
+        region: Region,
+        config: FunctionConfig,
+        at: SimTime,
+        ledger: &mut BillingLedger,
+    ) {
+        let gb_seconds =
+            f64::from(config.memory_mib) / 1024.0 * config.exec_duration.as_secs() as f64;
+        let cost = Usd::new(GB_SECOND_PRICE * gb_seconds + REQUEST_PRICE);
+        ledger.charge(at, ServiceKind::FunctionRuntime, region, cost);
+    }
+
+    /// Completed invocation records, in execution order.
+    pub fn invocations(&self) -> &[InvocationRecord] {
+        &self.invocations
+    }
+
+    /// Number of invocations (including failed ones).
+    pub fn invocation_count(&self) -> usize {
+        self.invocations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runtime() -> (FunctionRuntime, BillingLedger) {
+        let mut rt = FunctionRuntime::new();
+        rt.register("f", Region::UsEast1, FunctionConfig::default());
+        (rt, BillingLedger::new())
+    }
+
+    #[test]
+    fn first_attempt_success() {
+        let (mut rt, mut ledger) = runtime();
+        let out = rt
+            .invoke("f", SimTime::ZERO, RetryPolicy::default(), &mut ledger, |_| Ok(7))
+            .unwrap();
+        assert_eq!(out.value, 7);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.finished_at, SimTime::from_secs(2));
+        assert!(ledger.total_for_service(ServiceKind::FunctionRuntime) > Usd::ZERO);
+        assert_eq!(rt.invocation_count(), 1);
+        assert!(rt.invocations()[0].succeeded);
+    }
+
+    #[test]
+    fn retries_with_backoff_then_succeeds() {
+        let (mut rt, mut ledger) = runtime();
+        let out = rt
+            .invoke("f", SimTime::ZERO, RetryPolicy::default(), &mut ledger, |attempt| {
+                if attempt < 3 {
+                    Err("spot request open".into())
+                } else {
+                    Ok("fulfilled")
+                }
+            })
+            .unwrap();
+        assert_eq!(out.attempts, 3);
+        // exec(2) + backoff(30) + exec(2) + backoff(60) + exec(2) = 96 s.
+        assert_eq!(out.finished_at, SimTime::from_secs(96));
+    }
+
+    #[test]
+    fn retries_exhausted_is_an_error() {
+        let (mut rt, mut ledger) = runtime();
+        let err = rt
+            .invoke("f", SimTime::ZERO, RetryPolicy::default(), &mut ledger, |_| {
+                Err::<(), _>("down".into())
+            })
+            .unwrap_err();
+        match err {
+            FunctionError::RetriesExhausted { attempts, last_error, .. } => {
+                assert_eq!(attempts, 3);
+                assert_eq!(last_error, "down");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        assert!(!rt.invocations()[0].succeeded);
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let (mut rt, mut ledger) = runtime();
+        let err = rt
+            .invoke("ghost", SimTime::ZERO, RetryPolicy::default(), &mut ledger, |_| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, FunctionError::UnknownFunction(_)));
+        assert!(!rt.is_registered("ghost"));
+        assert!(rt.is_registered("f"));
+    }
+
+    #[test]
+    fn backoff_grows_geometrically() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            initial_backoff: SimDuration::from_secs(10),
+            backoff_rate: 2.0,
+        };
+        assert_eq!(p.backoff_before(1), SimDuration::from_secs(10));
+        assert_eq!(p.backoff_before(2), SimDuration::from_secs(20));
+        assert_eq!(p.backoff_before(3), SimDuration::from_secs(40));
+    }
+
+    #[test]
+    fn each_attempt_is_billed() {
+        let (mut rt, mut ledger) = runtime();
+        let _ = rt.invoke("f", SimTime::ZERO, RetryPolicy::default(), &mut ledger, |_| {
+            Err::<(), _>("x".into())
+        });
+        assert_eq!(ledger.len(), 3, "three attempts, three line items");
+    }
+}

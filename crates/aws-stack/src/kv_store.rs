@@ -1,0 +1,417 @@
+//! The DynamoDB-like key-value store.
+//!
+//! SpotVerse's centralized data plane (paper §4): the Monitor writes spot
+//! prices, Interruption Frequencies and Placement Scores here; checkpoint
+//! workloads persist shard progress here so a replacement instance in any
+//! region can resume.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use sim_kernel::SimTime;
+
+use cloud_compute::{BillingLedger, ServiceKind};
+use cloud_market::{Region, Usd};
+
+/// An attribute value (a small, serde-friendly subset of DynamoDB's types).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// A string.
+    S(String),
+    /// A number.
+    N(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A list.
+    L(Vec<AttrValue>),
+}
+
+impl AttrValue {
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::S(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            AttrValue::N(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The list items, if this is a list.
+    pub fn as_list(&self) -> Option<&[AttrValue]> {
+        match self {
+            AttrValue::L(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::S(s.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::S(s)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(n: f64) -> Self {
+        AttrValue::N(n)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(b: bool) -> Self {
+        AttrValue::Bool(b)
+    }
+}
+
+/// An item: attribute name → value.
+pub type Item = BTreeMap<String, AttrValue>;
+
+/// Key-value store errors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvError {
+    /// The table does not exist.
+    NoSuchTable(String),
+    /// The table already exists.
+    TableExists(String),
+    /// A conditional write's precondition failed.
+    ConditionFailed {
+        /// Table name.
+        table: String,
+        /// Item key.
+        key: String,
+    },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            KvError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            KvError::ConditionFailed { table, key } => {
+                write!(f, "conditional write failed for `{key}` in `{table}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+#[derive(Debug)]
+struct Table {
+    region: Region,
+    items: BTreeMap<String, Item>,
+}
+
+/// The DynamoDB-like store.
+///
+/// # Examples
+///
+/// ```
+/// use aws_stack::{AttrValue, KvStore};
+/// use cloud_compute::BillingLedger;
+/// use cloud_market::Region;
+/// use sim_kernel::SimTime;
+///
+/// let mut db = KvStore::new();
+/// let mut ledger = BillingLedger::new();
+/// db.create_table("checkpoints", Region::UsEast1)?;
+/// let mut item = aws_stack::Item::new();
+/// item.insert("shards_done".into(), AttrValue::N(3.0));
+/// db.put_item("checkpoints", "workload-7", item, SimTime::ZERO, &mut ledger)?;
+/// let got = db.get_item("checkpoints", "workload-7", SimTime::ZERO, &mut ledger)?;
+/// assert_eq!(got.unwrap()["shards_done"].as_number(), Some(3.0));
+/// # Ok::<(), aws_stack::KvError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct KvStore {
+    tables: BTreeMap<String, Table>,
+    reads: u64,
+    writes: u64,
+}
+
+/// Per-write price (on-demand capacity pricing, approximately).
+const WRITE_PRICE: f64 = 1.25e-6;
+/// Per-read price.
+const READ_PRICE: f64 = 0.25e-6;
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// Creates a table homed in `region`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::TableExists`] on duplicates.
+    pub fn create_table(&mut self, name: impl Into<String>, region: Region) -> Result<(), KvError> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(KvError::TableExists(name));
+        }
+        self.tables.insert(
+            name,
+            Table {
+                region,
+                items: BTreeMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Writes an item (full replace).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::NoSuchTable`] for unknown tables.
+    pub fn put_item(
+        &mut self,
+        table: &str,
+        key: impl Into<String>,
+        item: Item,
+        at: SimTime,
+        ledger: &mut BillingLedger,
+    ) -> Result<(), KvError> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| KvError::NoSuchTable(table.to_owned()))?;
+        ledger.charge(at, ServiceKind::KvStore, t.region, Usd::new(WRITE_PRICE));
+        t.items.insert(key.into(), item);
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Reads an item, if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::NoSuchTable`] for unknown tables.
+    pub fn get_item(
+        &mut self,
+        table: &str,
+        key: &str,
+        at: SimTime,
+        ledger: &mut BillingLedger,
+    ) -> Result<Option<Item>, KvError> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| KvError::NoSuchTable(table.to_owned()))?;
+        ledger.charge(at, ServiceKind::KvStore, t.region, Usd::new(READ_PRICE));
+        self.reads += 1;
+        Ok(t.items.get(key).cloned())
+    }
+
+    /// Updates an item in place via a closure; the closure receives the
+    /// current item (default-empty when absent) and mutates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::NoSuchTable`] for unknown tables.
+    pub fn update_item<F>(
+        &mut self,
+        table: &str,
+        key: &str,
+        at: SimTime,
+        ledger: &mut BillingLedger,
+        update: F,
+    ) -> Result<(), KvError>
+    where
+        F: FnOnce(&mut Item),
+    {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| KvError::NoSuchTable(table.to_owned()))?;
+        ledger.charge(at, ServiceKind::KvStore, t.region, Usd::new(WRITE_PRICE));
+        let item = t.items.entry(key.to_owned()).or_default();
+        update(item);
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Writes an item only if `condition` holds over the current item (absent
+    /// items are presented as `None`) — the optimistic-concurrency primitive
+    /// checkpoint writers use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::NoSuchTable`] or [`KvError::ConditionFailed`].
+    pub fn conditional_put<F>(
+        &mut self,
+        table: &str,
+        key: &str,
+        item: Item,
+        at: SimTime,
+        ledger: &mut BillingLedger,
+        condition: F,
+    ) -> Result<(), KvError>
+    where
+        F: FnOnce(Option<&Item>) -> bool,
+    {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| KvError::NoSuchTable(table.to_owned()))?;
+        ledger.charge(at, ServiceKind::KvStore, t.region, Usd::new(WRITE_PRICE));
+        self.writes += 1;
+        if !condition(t.items.get(key)) {
+            return Err(KvError::ConditionFailed {
+                table: table.to_owned(),
+                key: key.to_owned(),
+            });
+        }
+        t.items.insert(key.to_owned(), item);
+        Ok(())
+    }
+
+    /// Scans all items in key order with a key prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::NoSuchTable`] for unknown tables.
+    pub fn scan_prefix(&self, table: &str, prefix: &str) -> Result<Vec<(&str, &Item)>, KvError> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| KvError::NoSuchTable(table.to_owned()))?;
+        Ok(t.items
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), v))
+            .collect())
+    }
+
+    /// Total reads served.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total writes served.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> (KvStore, BillingLedger) {
+        let mut db = KvStore::new();
+        db.create_table("t", Region::UsEast1).unwrap();
+        (db, BillingLedger::new())
+    }
+
+    fn item(n: f64) -> Item {
+        let mut i = Item::new();
+        i.insert("v".into(), AttrValue::N(n));
+        i
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (mut db, mut ledger) = db();
+        db.put_item("t", "k", item(1.0), SimTime::ZERO, &mut ledger).unwrap();
+        let got = db.get_item("t", "k", SimTime::ZERO, &mut ledger).unwrap().unwrap();
+        assert_eq!(got["v"].as_number(), Some(1.0));
+        assert_eq!(db.reads(), 1);
+        assert_eq!(db.writes(), 1);
+        assert!(ledger.total_for_service(ServiceKind::KvStore) > Usd::ZERO);
+    }
+
+    #[test]
+    fn get_missing_is_none() {
+        let (mut db, mut ledger) = db();
+        assert_eq!(db.get_item("t", "missing", SimTime::ZERO, &mut ledger).unwrap(), None);
+    }
+
+    #[test]
+    fn update_creates_or_mutates() {
+        let (mut db, mut ledger) = db();
+        db.update_item("t", "k", SimTime::ZERO, &mut ledger, |i| {
+            i.insert("count".into(), AttrValue::N(1.0));
+        })
+        .unwrap();
+        db.update_item("t", "k", SimTime::ZERO, &mut ledger, |i| {
+            let cur = i.get("count").and_then(AttrValue::as_number).unwrap_or(0.0);
+            i.insert("count".into(), AttrValue::N(cur + 1.0));
+        })
+        .unwrap();
+        let got = db.get_item("t", "k", SimTime::ZERO, &mut ledger).unwrap().unwrap();
+        assert_eq!(got["count"].as_number(), Some(2.0));
+    }
+
+    #[test]
+    fn conditional_put_enforces_precondition() {
+        let (mut db, mut ledger) = db();
+        // First write requires absence.
+        db.conditional_put("t", "k", item(1.0), SimTime::ZERO, &mut ledger, |cur| cur.is_none())
+            .unwrap();
+        // Second write with the same precondition fails.
+        let err = db
+            .conditional_put("t", "k", item(2.0), SimTime::ZERO, &mut ledger, |cur| cur.is_none())
+            .unwrap_err();
+        assert!(matches!(err, KvError::ConditionFailed { .. }));
+        // Version-guarded write succeeds.
+        db.conditional_put("t", "k", item(2.0), SimTime::ZERO, &mut ledger, |cur| {
+            cur.and_then(|i| i["v"].as_number()) == Some(1.0)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn scan_prefix_orders_keys() {
+        let (mut db, mut ledger) = db();
+        for k in ["w/2", "w/1", "x/1"] {
+            db.put_item("t", k, item(0.0), SimTime::ZERO, &mut ledger).unwrap();
+        }
+        let keys: Vec<&str> = db.scan_prefix("t", "w/").unwrap().iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec!["w/1", "w/2"]);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let (mut db, mut ledger) = db();
+        assert!(matches!(
+            db.put_item("nope", "k", Item::new(), SimTime::ZERO, &mut ledger),
+            Err(KvError::NoSuchTable(_))
+        ));
+        assert!(matches!(db.create_table("t", Region::UsEast1), Err(KvError::TableExists(_))));
+    }
+
+    #[test]
+    fn attr_value_accessors() {
+        assert_eq!(AttrValue::from("x").as_str(), Some("x"));
+        assert_eq!(AttrValue::from(2.0).as_number(), Some(2.0));
+        assert_eq!(AttrValue::from(true).as_bool(), Some(true));
+        let l = AttrValue::L(vec![AttrValue::N(1.0)]);
+        assert_eq!(l.as_list().unwrap().len(), 1);
+        assert_eq!(AttrValue::from("x").as_number(), None);
+        assert_eq!(AttrValue::from(String::from("y")).as_str(), Some("y"));
+    }
+}

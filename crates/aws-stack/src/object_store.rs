@@ -1,0 +1,437 @@
+//! The S3-like object store.
+//!
+//! SpotVerse uses it for: monitoring code artifacts, instance-activity logs
+//! (workload durations and interruption details are reconstructed from
+//! these, §5.1.2), and checkpoint datasets. Cross-region puts/gets pay the
+//! shared transfer tariff and take real transfer time — the constraint that
+//! checkpoint uploads must fit the two-minute interruption notice.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use sim_kernel::SimTime;
+
+use cloud_compute::{transfer, BillingLedger, ServiceKind};
+use cloud_market::{Region, Usd};
+
+/// The body of a stored object: real bytes for small control-plane records,
+/// or a synthetic size for bulk scientific data whose contents are
+/// irrelevant to the simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjectBody {
+    /// Literal bytes (logs, JSON-ish records).
+    Inline(Bytes),
+    /// A virtual payload of the given size in GiB.
+    Synthetic {
+        /// Payload size in GiB.
+        size_gib: f64,
+    },
+}
+
+impl ObjectBody {
+    /// Creates an inline body from a string.
+    pub fn from_text(text: impl Into<String>) -> Self {
+        ObjectBody::Inline(Bytes::from(text.into()))
+    }
+
+    /// The body size in GiB.
+    pub fn size_gib(&self) -> f64 {
+        match self {
+            ObjectBody::Inline(bytes) => bytes.len() as f64 / (1024.0 * 1024.0 * 1024.0),
+            ObjectBody::Synthetic { size_gib } => *size_gib,
+        }
+    }
+
+    /// The inline text, if this is an inline body of valid UTF-8.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            ObjectBody::Inline(bytes) => std::str::from_utf8(bytes).ok(),
+            ObjectBody::Synthetic { .. } => None,
+        }
+    }
+}
+
+/// A stored object plus metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredObject {
+    body: ObjectBody,
+    put_at: SimTime,
+    origin_region: Region,
+}
+
+impl StoredObject {
+    /// The object body.
+    pub fn body(&self) -> &ObjectBody {
+        &self.body
+    }
+
+    /// When the object was written.
+    pub fn put_at(&self) -> SimTime {
+        self.put_at
+    }
+
+    /// The region the writer uploaded from.
+    pub fn origin_region(&self) -> Region {
+        self.origin_region
+    }
+}
+
+/// Object-store errors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObjectStoreError {
+    /// The bucket does not exist.
+    NoSuchBucket(String),
+    /// The bucket already exists.
+    BucketExists(String),
+    /// The key does not exist in the bucket.
+    NoSuchKey {
+        /// Bucket name.
+        bucket: String,
+        /// Object key.
+        key: String,
+    },
+}
+
+impl fmt::Display for ObjectStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectStoreError::NoSuchBucket(b) => write!(f, "no such bucket `{b}`"),
+            ObjectStoreError::BucketExists(b) => write!(f, "bucket `{b}` already exists"),
+            ObjectStoreError::NoSuchKey { bucket, key } => {
+                write!(f, "no such key `{key}` in bucket `{bucket}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObjectStoreError {}
+
+/// Outcome of a transfer-bearing operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferOutcome {
+    /// When the transfer completes.
+    pub completes_at: SimTime,
+    /// What the transfer cost (zero within a region).
+    pub cost: Usd,
+}
+
+#[derive(Debug)]
+struct Bucket {
+    region: Region,
+    objects: BTreeMap<String, StoredObject>,
+}
+
+/// The S3-like multi-bucket object store.
+///
+/// # Examples
+///
+/// ```
+/// use aws_stack::{ObjectBody, ObjectStore};
+/// use cloud_compute::BillingLedger;
+/// use cloud_market::Region;
+/// use sim_kernel::SimTime;
+///
+/// let mut s3 = ObjectStore::new();
+/// let mut ledger = BillingLedger::new();
+/// s3.create_bucket("spotverse-logs", Region::UsEast1)?;
+/// s3.put_object(
+///     "spotverse-logs",
+///     "run-1/interruptions.log",
+///     ObjectBody::from_text("i-0001 interrupted"),
+///     Region::UsEast1,
+///     SimTime::ZERO,
+///     &mut ledger,
+/// )?;
+/// assert!(s3.get_metadata("spotverse-logs", "run-1/interruptions.log").is_ok());
+/// # Ok::<(), aws_stack::ObjectStoreError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    buckets: BTreeMap<String, Bucket>,
+    put_count: u64,
+    get_count: u64,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    /// Creates a bucket homed in `region`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectStoreError::BucketExists`] on duplicates.
+    pub fn create_bucket(
+        &mut self,
+        name: impl Into<String>,
+        region: Region,
+    ) -> Result<(), ObjectStoreError> {
+        let name = name.into();
+        if self.buckets.contains_key(&name) {
+            return Err(ObjectStoreError::BucketExists(name));
+        }
+        self.buckets.insert(
+            name,
+            Bucket {
+                region,
+                objects: BTreeMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// The region a bucket is homed in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectStoreError::NoSuchBucket`] for unknown buckets.
+    pub fn bucket_region(&self, bucket: &str) -> Result<Region, ObjectStoreError> {
+        self.buckets
+            .get(bucket)
+            .map(|b| b.region)
+            .ok_or_else(|| ObjectStoreError::NoSuchBucket(bucket.to_owned()))
+    }
+
+    /// Writes an object from `from_region`, charging cross-region transfer
+    /// and a small storage fee, and returning when the upload completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectStoreError::NoSuchBucket`] for unknown buckets.
+    pub fn put_object(
+        &mut self,
+        bucket: &str,
+        key: impl Into<String>,
+        body: ObjectBody,
+        from_region: Region,
+        at: SimTime,
+        ledger: &mut BillingLedger,
+    ) -> Result<TransferOutcome, ObjectStoreError> {
+        let b = self
+            .buckets
+            .get_mut(bucket)
+            .ok_or_else(|| ObjectStoreError::NoSuchBucket(bucket.to_owned()))?;
+        let size = body.size_gib();
+        let transfer_cost = transfer::transfer_cost(from_region, b.region, size);
+        let completes_at = at + transfer::transfer_time(from_region, b.region, size);
+        let storage_fee = Usd::new(0.0005 * size);
+        ledger.charge(at, ServiceKind::DataTransfer, b.region, transfer_cost);
+        ledger.charge(at, ServiceKind::ObjectStorage, b.region, storage_fee);
+        b.objects.insert(
+            key.into(),
+            StoredObject {
+                body,
+                put_at: at,
+                origin_region: from_region,
+            },
+        );
+        self.put_count += 1;
+        Ok(TransferOutcome {
+            completes_at,
+            cost: transfer_cost + storage_fee,
+        })
+    }
+
+    /// Reads an object into `to_region`, charging cross-region transfer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectStoreError::NoSuchBucket`] or
+    /// [`ObjectStoreError::NoSuchKey`].
+    pub fn get_object(
+        &mut self,
+        bucket: &str,
+        key: &str,
+        to_region: Region,
+        at: SimTime,
+        ledger: &mut BillingLedger,
+    ) -> Result<(StoredObject, TransferOutcome), ObjectStoreError> {
+        let b = self
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| ObjectStoreError::NoSuchBucket(bucket.to_owned()))?;
+        let obj = b
+            .objects
+            .get(key)
+            .ok_or_else(|| ObjectStoreError::NoSuchKey {
+                bucket: bucket.to_owned(),
+                key: key.to_owned(),
+            })?
+            .clone();
+        let size = obj.body().size_gib();
+        let cost = transfer::transfer_cost(b.region, to_region, size);
+        let completes_at = at + transfer::transfer_time(b.region, to_region, size);
+        ledger.charge(at, ServiceKind::DataTransfer, to_region, cost);
+        self.get_count += 1;
+        Ok((obj, TransferOutcome { completes_at, cost }))
+    }
+
+    /// Reads object metadata without transfer accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectStoreError::NoSuchBucket`] or
+    /// [`ObjectStoreError::NoSuchKey`].
+    pub fn get_metadata(&self, bucket: &str, key: &str) -> Result<&StoredObject, ObjectStoreError> {
+        let b = self
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| ObjectStoreError::NoSuchBucket(bucket.to_owned()))?;
+        b.objects.get(key).ok_or_else(|| ObjectStoreError::NoSuchKey {
+            bucket: bucket.to_owned(),
+            key: key.to_owned(),
+        })
+    }
+
+    /// Lists keys in a bucket with a prefix, in lexicographic order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectStoreError::NoSuchBucket`] for unknown buckets.
+    pub fn list_keys(&self, bucket: &str, prefix: &str) -> Result<Vec<&str>, ObjectStoreError> {
+        let b = self
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| ObjectStoreError::NoSuchBucket(bucket.to_owned()))?;
+        Ok(b.objects
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.as_str())
+            .collect())
+    }
+
+    /// Total put operations served.
+    pub fn put_count(&self) -> u64 {
+        self.put_count
+    }
+
+    /// Total get operations served.
+    pub fn get_count(&self) -> u64 {
+        self.get_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> (ObjectStore, BillingLedger) {
+        let mut s3 = ObjectStore::new();
+        s3.create_bucket("logs", Region::UsEast1).unwrap();
+        (s3, BillingLedger::new())
+    }
+
+    #[test]
+    fn put_get_roundtrip_same_region() {
+        let (mut s3, mut ledger) = store();
+        s3.put_object(
+            "logs",
+            "a/b",
+            ObjectBody::from_text("hello"),
+            Region::UsEast1,
+            SimTime::ZERO,
+            &mut ledger,
+        )
+        .unwrap();
+        let (obj, outcome) = s3
+            .get_object("logs", "a/b", Region::UsEast1, SimTime::from_secs(5), &mut ledger)
+            .unwrap();
+        assert_eq!(obj.body().as_text(), Some("hello"));
+        assert_eq!(outcome.cost, Usd::ZERO);
+        assert_eq!(s3.put_count(), 1);
+        assert_eq!(s3.get_count(), 1);
+    }
+
+    #[test]
+    fn cross_region_put_costs_and_takes_time() {
+        let (mut s3, mut ledger) = store();
+        let outcome = s3
+            .put_object(
+                "logs",
+                "ckpt",
+                ObjectBody::Synthetic { size_gib: 1.0 },
+                Region::ApNortheast3,
+                SimTime::ZERO,
+                &mut ledger,
+            )
+            .unwrap();
+        assert!(outcome.cost > Usd::ZERO);
+        assert!(outcome.completes_at > SimTime::ZERO);
+        assert!(ledger.total_for_service(ServiceKind::DataTransfer) > Usd::ZERO);
+    }
+
+    #[test]
+    fn synthetic_checkpoint_fits_notice() {
+        let (mut s3, mut ledger) = store();
+        let outcome = s3
+            .put_object(
+                "logs",
+                "ckpt",
+                ObjectBody::Synthetic { size_gib: 1.0 },
+                Region::EuNorth1,
+                SimTime::ZERO,
+                &mut ledger,
+            )
+            .unwrap();
+        assert!(
+            outcome.completes_at <= SimTime::from_secs(120),
+            "1 GiB checkpoint must fit the 2-minute notice"
+        );
+    }
+
+    #[test]
+    fn missing_bucket_and_key_error() {
+        let (mut s3, mut ledger) = store();
+        assert!(matches!(
+            s3.get_object("nope", "k", Region::UsEast1, SimTime::ZERO, &mut ledger),
+            Err(ObjectStoreError::NoSuchBucket(_))
+        ));
+        assert!(matches!(
+            s3.get_object("logs", "k", Region::UsEast1, SimTime::ZERO, &mut ledger),
+            Err(ObjectStoreError::NoSuchKey { .. })
+        ));
+        assert!(matches!(
+            s3.create_bucket("logs", Region::UsEast1),
+            Err(ObjectStoreError::BucketExists(_))
+        ));
+    }
+
+    #[test]
+    fn list_keys_filters_by_prefix() {
+        let (mut s3, mut ledger) = store();
+        for key in ["run-1/a", "run-1/b", "run-2/a"] {
+            s3.put_object(
+                "logs",
+                key,
+                ObjectBody::from_text("x"),
+                Region::UsEast1,
+                SimTime::ZERO,
+                &mut ledger,
+            )
+            .unwrap();
+        }
+        assert_eq!(s3.list_keys("logs", "run-1/").unwrap(), vec!["run-1/a", "run-1/b"]);
+        assert_eq!(s3.list_keys("logs", "run-9/").unwrap(), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn metadata_records_origin() {
+        let (mut s3, mut ledger) = store();
+        s3.put_object(
+            "logs",
+            "k",
+            ObjectBody::from_text("x"),
+            Region::EuWest2,
+            SimTime::from_secs(42),
+            &mut ledger,
+        )
+        .unwrap();
+        let meta = s3.get_metadata("logs", "k").unwrap();
+        assert_eq!(meta.origin_region(), Region::EuWest2);
+        assert_eq!(meta.put_at(), SimTime::from_secs(42));
+    }
+}

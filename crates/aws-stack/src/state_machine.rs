@@ -1,0 +1,614 @@
+//! A Step-Functions-like state machine.
+//!
+//! The paper wires its interruption handler through Step Functions so that
+//! failed or delayed spot requests are retried with backoff (§4). This
+//! module provides a small, deterministic state-machine executor over
+//! caller-supplied task handlers: Task (with per-state retry policy),
+//! Choice, Wait, Succeed and Fail states.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use sim_kernel::{SimDuration, SimTime};
+
+use crate::functions::RetryPolicy;
+
+/// A state name.
+pub type StateName = String;
+
+/// One state of a machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum State {
+    /// Invoke a task handler; on success go to `next`, retrying failures
+    /// per `retry`.
+    Task {
+        /// Handler key passed to the executor's dispatch function.
+        handler: String,
+        /// Retry policy for handler failures.
+        retry: RetryPolicy,
+        /// Next state on success (`None` = machine succeeds).
+        next: Option<StateName>,
+        /// State to transition to when retries are exhausted
+        /// (`None` = machine fails).
+        catch: Option<StateName>,
+    },
+    /// Branch on the handler-visible context: the dispatch function returns
+    /// a branch key, mapped here to the next state.
+    Choice {
+        /// Handler key whose `Ok(value)` selects the branch.
+        handler: String,
+        /// Branch table.
+        branches: BTreeMap<String, StateName>,
+        /// Taken when no branch matches.
+        default: StateName,
+    },
+    /// Pause for a fixed duration, then continue.
+    Wait {
+        /// How long to wait.
+        duration: SimDuration,
+        /// Next state.
+        next: StateName,
+    },
+    /// Terminal success.
+    Succeed,
+    /// Terminal failure with a reason.
+    Fail {
+        /// Why the machine failed.
+        error: String,
+    },
+}
+
+/// A validated state machine definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateMachine {
+    name: String,
+    start_at: StateName,
+    states: BTreeMap<StateName, State>,
+}
+
+/// State-machine definition/execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateMachineError {
+    /// A referenced state does not exist.
+    UnknownState(StateName),
+    /// The definition has no states.
+    Empty,
+    /// Execution exceeded the transition budget (probable cycle).
+    TransitionBudgetExceeded {
+        /// The machine name.
+        machine: String,
+        /// The budget that was exceeded.
+        budget: u32,
+    },
+    /// A handler key was not registered with the executor.
+    UnknownHandler(String),
+}
+
+impl fmt::Display for StateMachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateMachineError::UnknownState(s) => write!(f, "unknown state `{s}`"),
+            StateMachineError::Empty => write!(f, "state machine has no states"),
+            StateMachineError::TransitionBudgetExceeded { machine, budget } => {
+                write!(f, "machine `{machine}` exceeded {budget} transitions")
+            }
+            StateMachineError::UnknownHandler(h) => write!(f, "unknown handler `{h}`"),
+        }
+    }
+}
+
+impl std::error::Error for StateMachineError {}
+
+impl StateMachine {
+    /// Builds and validates a machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateMachineError::Empty`] for an empty definition and
+    /// [`StateMachineError::UnknownState`] for dangling transitions.
+    pub fn new(
+        name: impl Into<String>,
+        start_at: impl Into<StateName>,
+        states: BTreeMap<StateName, State>,
+    ) -> Result<Self, StateMachineError> {
+        if states.is_empty() {
+            return Err(StateMachineError::Empty);
+        }
+        let machine = StateMachine {
+            name: name.into(),
+            start_at: start_at.into(),
+            states,
+        };
+        machine.validate()?;
+        Ok(machine)
+    }
+
+    /// The machine name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry state.
+    pub fn start_at(&self) -> &str {
+        &self.start_at
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the machine has no states (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    fn validate(&self) -> Result<(), StateMachineError> {
+        let check = |name: &StateName| -> Result<(), StateMachineError> {
+            if self.states.contains_key(name) {
+                Ok(())
+            } else {
+                Err(StateMachineError::UnknownState(name.clone()))
+            }
+        };
+        check(&self.start_at)?;
+        for state in self.states.values() {
+            match state {
+                State::Task { next, catch, .. } => {
+                    if let Some(n) = next {
+                        check(n)?;
+                    }
+                    if let Some(c) = catch {
+                        check(c)?;
+                    }
+                }
+                State::Choice {
+                    branches, default, ..
+                } => {
+                    for target in branches.values() {
+                        check(target)?;
+                    }
+                    check(default)?;
+                }
+                State::Wait { next, .. } => check(next)?,
+                State::Succeed | State::Fail { .. } => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The result of an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutionOutcome {
+    /// The machine reached `Succeed` (or a Task with no `next`).
+    Succeeded,
+    /// The machine reached `Fail` or exhausted a Task's retries without a
+    /// catch.
+    Failed {
+        /// The error reason.
+        error: String,
+    },
+}
+
+/// A step in the execution trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// The state that ran.
+    pub state: StateName,
+    /// When it started.
+    pub at: SimTime,
+    /// Task attempts used (0 for non-task states).
+    pub attempts: u32,
+}
+
+/// A finished execution: outcome, end time, and per-state trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Execution {
+    /// How it ended.
+    pub outcome: ExecutionOutcome,
+    /// When it ended.
+    pub finished_at: SimTime,
+    /// States visited, in order.
+    pub trace: Vec<TraceEntry>,
+}
+
+/// Maximum transitions per execution (cycle guard).
+const TRANSITION_BUDGET: u32 = 256;
+
+/// Executes `machine` starting at `at`. `dispatch` is called for every
+/// Task/Choice handler with `(handler_key, attempt)` and returns
+/// `Ok(branch_or_output)` or `Err(message)`.
+///
+/// Task execution time is `task_duration` per attempt; retry backoff
+/// follows each task's policy.
+///
+/// # Errors
+///
+/// Returns [`StateMachineError::TransitionBudgetExceeded`] on probable
+/// cycles.
+pub fn execute<F>(
+    machine: &StateMachine,
+    at: SimTime,
+    task_duration: SimDuration,
+    mut dispatch: F,
+) -> Result<Execution, StateMachineError>
+where
+    F: FnMut(&str, u32) -> Result<String, String>,
+{
+    let mut current = machine.start_at.clone();
+    let mut clock = at;
+    let mut trace = Vec::new();
+    for _ in 0..TRANSITION_BUDGET {
+        let state = machine
+            .states
+            .get(&current)
+            .expect("validated machine has no dangling states");
+        match state {
+            State::Succeed => {
+                trace.push(TraceEntry {
+                    state: current,
+                    at: clock,
+                    attempts: 0,
+                });
+                return Ok(Execution {
+                    outcome: ExecutionOutcome::Succeeded,
+                    finished_at: clock,
+                    trace,
+                });
+            }
+            State::Fail { error } => {
+                trace.push(TraceEntry {
+                    state: current,
+                    at: clock,
+                    attempts: 0,
+                });
+                return Ok(Execution {
+                    outcome: ExecutionOutcome::Failed {
+                        error: error.clone(),
+                    },
+                    finished_at: clock,
+                    trace,
+                });
+            }
+            State::Wait { duration, next } => {
+                trace.push(TraceEntry {
+                    state: current.clone(),
+                    at: clock,
+                    attempts: 0,
+                });
+                clock += *duration;
+                current = next.clone();
+            }
+            State::Choice {
+                handler,
+                branches,
+                default,
+            } => {
+                trace.push(TraceEntry {
+                    state: current.clone(),
+                    at: clock,
+                    attempts: 1,
+                });
+                let branch = dispatch(handler, 1).unwrap_or_default();
+                current = branches.get(&branch).unwrap_or(default).clone();
+            }
+            State::Task {
+                handler,
+                retry,
+                next,
+                catch,
+            } => {
+                let started = clock;
+                let max_attempts = retry.max_attempts.max(1);
+                let mut succeeded = false;
+                let mut attempts = 0;
+                let mut last_error = String::new();
+                for attempt in 1..=max_attempts {
+                    attempts = attempt;
+                    if attempt > 1 {
+                        clock += retry.backoff_before(attempt - 1);
+                    }
+                    clock += task_duration;
+                    match dispatch(handler, attempt) {
+                        Ok(_) => {
+                            succeeded = true;
+                            break;
+                        }
+                        Err(e) => last_error = e,
+                    }
+                }
+                trace.push(TraceEntry {
+                    state: current.clone(),
+                    at: started,
+                    attempts,
+                });
+                if succeeded {
+                    match next {
+                        Some(n) => current = n.clone(),
+                        None => {
+                            return Ok(Execution {
+                                outcome: ExecutionOutcome::Succeeded,
+                                finished_at: clock,
+                                trace,
+                            })
+                        }
+                    }
+                } else {
+                    match catch {
+                        Some(c) => current = c.clone(),
+                        None => {
+                            return Ok(Execution {
+                                outcome: ExecutionOutcome::Failed { error: last_error },
+                                finished_at: clock,
+                                trace,
+                            })
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Err(StateMachineError::TransitionBudgetExceeded {
+        machine: machine.name.clone(),
+        budget: TRANSITION_BUDGET,
+    })
+}
+
+/// The paper's interruption-handling machine: try a spot request; while it
+/// stays open, wait out the sweep interval and retry; fall back to
+/// on-demand when the budgeted rounds are exhausted.
+pub fn interruption_handler_machine(sweep_interval: SimDuration) -> StateMachine {
+    let mut states = BTreeMap::new();
+    states.insert(
+        "RequestSpot".to_owned(),
+        State::Task {
+            handler: "request-spot".to_owned(),
+            retry: RetryPolicy::default(),
+            next: Some("Done".to_owned()),
+            catch: Some("WaitForCapacity".to_owned()),
+        },
+    );
+    states.insert(
+        "WaitForCapacity".to_owned(),
+        State::Wait {
+            duration: sweep_interval,
+            next: "RetrySpot".to_owned(),
+        },
+    );
+    states.insert(
+        "RetrySpot".to_owned(),
+        State::Task {
+            handler: "request-spot".to_owned(),
+            retry: RetryPolicy::default(),
+            next: Some("Done".to_owned()),
+            catch: Some("FallbackOnDemand".to_owned()),
+        },
+    );
+    states.insert(
+        "FallbackOnDemand".to_owned(),
+        State::Task {
+            handler: "launch-on-demand".to_owned(),
+            retry: RetryPolicy::default(),
+            next: Some("Done".to_owned()),
+            catch: None,
+        },
+    );
+    states.insert("Done".to_owned(), State::Succeed);
+    StateMachine::new("spotverse-interruption-handler", "RequestSpot", states)
+        .expect("static machine is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mins(m: u64) -> SimDuration {
+        SimDuration::from_mins(m)
+    }
+
+    #[test]
+    fn linear_machine_succeeds() {
+        let mut states = BTreeMap::new();
+        states.insert(
+            "A".to_owned(),
+            State::Task {
+                handler: "a".to_owned(),
+                retry: RetryPolicy::default(),
+                next: Some("B".to_owned()),
+                catch: None,
+            },
+        );
+        states.insert("B".to_owned(), State::Succeed);
+        let machine = StateMachine::new("m", "A", states).unwrap();
+        let exec = execute(&machine, SimTime::ZERO, SimDuration::from_secs(2), |_, _| {
+            Ok("ok".into())
+        })
+        .unwrap();
+        assert_eq!(exec.outcome, ExecutionOutcome::Succeeded);
+        assert_eq!(exec.finished_at, SimTime::from_secs(2));
+        assert_eq!(exec.trace.len(), 2);
+    }
+
+    #[test]
+    fn task_retries_then_catches() {
+        let mut states = BTreeMap::new();
+        states.insert(
+            "A".to_owned(),
+            State::Task {
+                handler: "flaky".to_owned(),
+                retry: RetryPolicy {
+                    max_attempts: 2,
+                    initial_backoff: SimDuration::from_secs(10),
+                    backoff_rate: 2.0,
+                },
+                next: Some("Ok".to_owned()),
+                catch: Some("Recover".to_owned()),
+            },
+        );
+        states.insert(
+            "Recover".to_owned(),
+            State::Task {
+                handler: "fallback".to_owned(),
+                retry: RetryPolicy::default(),
+                next: None,
+                catch: None,
+            },
+        );
+        states.insert("Ok".to_owned(), State::Succeed);
+        let machine = StateMachine::new("m", "A", states).unwrap();
+        let mut fallback_ran = false;
+        let exec = execute(&machine, SimTime::ZERO, SimDuration::from_secs(1), |h, _| {
+            if h == "flaky" {
+                Err("down".into())
+            } else {
+                fallback_ran = true;
+                Ok("ok".into())
+            }
+        })
+        .unwrap();
+        assert_eq!(exec.outcome, ExecutionOutcome::Succeeded);
+        assert!(fallback_ran);
+        // flaky: attempt(1s) + backoff(10s) + attempt(1s); fallback: 1s.
+        assert_eq!(exec.finished_at, SimTime::from_secs(13));
+        assert_eq!(exec.trace[0].attempts, 2);
+    }
+
+    #[test]
+    fn fail_state_reports_error() {
+        let mut states = BTreeMap::new();
+        states.insert(
+            "A".to_owned(),
+            State::Fail {
+                error: "boom".into(),
+            },
+        );
+        let machine = StateMachine::new("m", "A", states).unwrap();
+        let exec = execute(&machine, SimTime::ZERO, mins(1), |_, _| Ok(String::new())).unwrap();
+        assert_eq!(
+            exec.outcome,
+            ExecutionOutcome::Failed {
+                error: "boom".into()
+            }
+        );
+    }
+
+    #[test]
+    fn choice_branches_on_handler_output() {
+        let mut branches = BTreeMap::new();
+        branches.insert("spot".to_owned(), "Spot".to_owned());
+        branches.insert("od".to_owned(), "OnDemand".to_owned());
+        let mut states = BTreeMap::new();
+        states.insert(
+            "Decide".to_owned(),
+            State::Choice {
+                handler: "decide".to_owned(),
+                branches,
+                default: "Spot".to_owned(),
+            },
+        );
+        states.insert("Spot".to_owned(), State::Succeed);
+        states.insert(
+            "OnDemand".to_owned(),
+            State::Fail {
+                error: "od".into(),
+            },
+        );
+        let machine = StateMachine::new("m", "Decide", states).unwrap();
+        let spot = execute(&machine, SimTime::ZERO, mins(1), |_, _| Ok("spot".into())).unwrap();
+        assert_eq!(spot.outcome, ExecutionOutcome::Succeeded);
+        let od = execute(&machine, SimTime::ZERO, mins(1), |_, _| Ok("od".into())).unwrap();
+        assert!(matches!(od.outcome, ExecutionOutcome::Failed { .. }));
+    }
+
+    #[test]
+    fn wait_advances_the_clock() {
+        let mut states = BTreeMap::new();
+        states.insert(
+            "W".to_owned(),
+            State::Wait {
+                duration: mins(15),
+                next: "S".to_owned(),
+            },
+        );
+        states.insert("S".to_owned(), State::Succeed);
+        let machine = StateMachine::new("m", "W", states).unwrap();
+        let exec = execute(&machine, SimTime::from_hours(1), mins(1), |_, _| {
+            Ok(String::new())
+        })
+        .unwrap();
+        assert_eq!(exec.finished_at, SimTime::from_hours(1) + mins(15));
+    }
+
+    #[test]
+    fn dangling_transition_rejected() {
+        let mut states = BTreeMap::new();
+        states.insert(
+            "A".to_owned(),
+            State::Wait {
+                duration: mins(1),
+                next: "Ghost".to_owned(),
+            },
+        );
+        let err = StateMachine::new("m", "A", states).unwrap_err();
+        assert!(matches!(err, StateMachineError::UnknownState(_)));
+        assert!(err.to_string().contains("Ghost"));
+    }
+
+    #[test]
+    fn empty_machine_rejected() {
+        let err = StateMachine::new("m", "A", BTreeMap::new()).unwrap_err();
+        assert_eq!(err, StateMachineError::Empty);
+    }
+
+    #[test]
+    fn cycle_hits_transition_budget() {
+        let mut states = BTreeMap::new();
+        states.insert(
+            "A".to_owned(),
+            State::Wait {
+                duration: mins(1),
+                next: "B".to_owned(),
+            },
+        );
+        states.insert(
+            "B".to_owned(),
+            State::Wait {
+                duration: mins(1),
+                next: "A".to_owned(),
+            },
+        );
+        let machine = StateMachine::new("m", "A", states).unwrap();
+        let err = execute(&machine, SimTime::ZERO, mins(1), |_, _| Ok(String::new())).unwrap_err();
+        assert!(matches!(err, StateMachineError::TransitionBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn interruption_handler_machine_paths() {
+        let machine = interruption_handler_machine(mins(15));
+        assert_eq!(machine.len(), 5);
+        // Path 1: spot granted immediately.
+        let fast = execute(&machine, SimTime::ZERO, SimDuration::from_secs(2), |h, _| {
+            assert_eq!(h, "request-spot");
+            Ok("granted".into())
+        })
+        .unwrap();
+        assert_eq!(fast.outcome, ExecutionOutcome::Succeeded);
+        // Path 2: spot never granted → waits a sweep, retries, falls back
+        // to on-demand.
+        let mut od_used = false;
+        let slow = execute(&machine, SimTime::ZERO, SimDuration::from_secs(2), |h, _| {
+            if h == "request-spot" {
+                Err("open".into())
+            } else {
+                od_used = true;
+                Ok("od".into())
+            }
+        })
+        .unwrap();
+        assert_eq!(slow.outcome, ExecutionOutcome::Succeeded);
+        assert!(od_used);
+        assert!(slow.finished_at > SimTime::from_secs(15 * 60));
+    }
+}

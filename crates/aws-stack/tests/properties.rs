@@ -1,0 +1,151 @@
+//! Property-based tests for the serverless substrate.
+
+use proptest::prelude::*;
+
+use aws_stack::{
+    AttrValue, BusEvent, EventBus, Item, KvStore, MetricKey, MetricsService, ObjectBody,
+    ObjectStore, Rule, Schedule, Statistic,
+};
+use cloud_compute::BillingLedger;
+use cloud_market::Region;
+use sim_kernel::{SimDuration, SimTime};
+
+proptest! {
+    /// KV put/get round-trips arbitrary numeric and string attributes.
+    #[test]
+    fn kv_roundtrips_items(
+        keys in prop::collection::vec("[a-z0-9/]{1,16}", 1..20),
+        numbers in prop::collection::vec(-1e12f64..1e12, 1..20),
+    ) {
+        let mut db = KvStore::new();
+        let mut ledger = BillingLedger::new();
+        db.create_table("t", Region::UsEast1).unwrap();
+        for (k, n) in keys.iter().zip(numbers.iter()) {
+            let mut item = Item::new();
+            item.insert("n".into(), AttrValue::N(*n));
+            item.insert("k".into(), AttrValue::S(k.clone()));
+            db.put_item("t", k.clone(), item, SimTime::ZERO, &mut ledger).unwrap();
+        }
+        for (k, n) in keys.iter().zip(numbers.iter()) {
+            // Later writes to the same key overwrite; find the last value
+            // written for this key.
+            let expected = keys
+                .iter()
+                .zip(numbers.iter())
+                .rfind(|(kk, _)| *kk == k)
+                .map(|(_, v)| *v)
+                .unwrap_or(*n);
+            let got = db.get_item("t", k, SimTime::ZERO, &mut ledger).unwrap().unwrap();
+            prop_assert_eq!(got["n"].as_number(), Some(expected));
+        }
+        prop_assert!(ledger.total().amount() > 0.0);
+    }
+
+    /// scan_prefix returns exactly the keys with that prefix, sorted.
+    #[test]
+    fn kv_scan_prefix_is_exact(
+        keys in prop::collection::btree_set("[a-c]{1,6}", 1..30),
+        prefix in "[a-c]{0,3}",
+    ) {
+        let mut db = KvStore::new();
+        let mut ledger = BillingLedger::new();
+        db.create_table("t", Region::UsEast1).unwrap();
+        for k in &keys {
+            db.put_item("t", k.clone(), Item::new(), SimTime::ZERO, &mut ledger).unwrap();
+        }
+        let scanned: Vec<String> = db
+            .scan_prefix("t", &prefix)
+            .unwrap()
+            .iter()
+            .map(|&(k, _)| k.to_owned())
+            .collect();
+        let expected: Vec<String> = keys
+            .iter()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        prop_assert_eq!(scanned, expected);
+    }
+
+    /// Object-store same-region put/get round-trips text payloads with zero
+    /// transfer cost; cross-region gets always cost something.
+    #[test]
+    fn object_store_costs_track_geography(
+        text in ".{0,200}",
+        to_region_idx in 0usize..12,
+    ) {
+        let mut s3 = ObjectStore::new();
+        let mut ledger = BillingLedger::new();
+        s3.create_bucket("b", Region::UsEast1).unwrap();
+        s3.put_object("b", "k", ObjectBody::from_text(text.clone()), Region::UsEast1, SimTime::ZERO, &mut ledger).unwrap();
+        let to = Region::ALL[to_region_idx];
+        let (obj, outcome) = s3.get_object("b", "k", to, SimTime::ZERO, &mut ledger).unwrap();
+        prop_assert_eq!(obj.body().as_text(), Some(text.as_str()));
+        if to == Region::UsEast1 || text.is_empty() {
+            prop_assert_eq!(outcome.cost.amount(), 0.0);
+        }
+        prop_assert!(outcome.completes_at >= SimTime::ZERO);
+    }
+
+    /// Schedules fire exactly floor((to-from)/period) ± 1 times in a
+    /// window, all on period boundaries.
+    #[test]
+    fn schedule_occurrences_are_on_grid(
+        period_mins in 1u64..120,
+        start in 0u64..10_000,
+        window in 1u64..500_000,
+    ) {
+        let s = Schedule::new("s", SimDuration::from_mins(period_mins), SimTime::from_secs(start));
+        let from = SimTime::from_secs(start);
+        let to = SimTime::from_secs(start + window);
+        let occ = s.occurrences(from, to);
+        let period = period_mins * 60;
+        for t in &occ {
+            prop_assert_eq!((t.as_secs() - start) % period, 0);
+            prop_assert!(*t >= from && *t < to);
+        }
+        let expected = window.div_ceil(period);
+        prop_assert_eq!(occ.len() as u64, expected);
+    }
+
+    /// Metric statistics agree with a direct computation over the window.
+    #[test]
+    fn metric_statistics_match_reference(
+        values in prop::collection::vec(-1e6f64..1e6, 1..40),
+    ) {
+        let mut cw = MetricsService::new(Region::UsEast1);
+        let mut ledger = BillingLedger::new();
+        let key = MetricKey::new("ns", "m", "d");
+        for (i, v) in values.iter().enumerate() {
+            cw.put_metric(key.clone(), SimTime::from_secs(i as u64), *v, &mut ledger);
+        }
+        let to = SimTime::from_secs(values.len() as u64);
+        let sum = cw.statistic(&key, Statistic::Sum, SimTime::ZERO, to).unwrap();
+        let avg = cw.statistic(&key, Statistic::Average, SimTime::ZERO, to).unwrap();
+        let count = cw.statistic(&key, Statistic::SampleCount, SimTime::ZERO, to).unwrap();
+        let expected_sum: f64 = values.iter().sum();
+        prop_assert!((sum - expected_sum).abs() < 1e-6 * (1.0 + expected_sum.abs()));
+        prop_assert_eq!(count as usize, values.len());
+        prop_assert!((avg - expected_sum / values.len() as f64).abs() < 1e-6 * (1.0 + avg.abs()));
+    }
+
+    /// Event-bus delivery count equals the number of matching rules, for
+    /// arbitrary rule sets.
+    #[test]
+    fn event_bus_delivers_per_matching_rule(
+        sources in prop::collection::vec("[a-b]{1,3}", 1..10),
+        event_source in "[a-b]{1,3}",
+    ) {
+        let mut bus = EventBus::new();
+        for (i, source) in sources.iter().enumerate() {
+            bus.put_rule(Rule::new(format!("r{i}"), source.clone(), None, "t")).unwrap();
+        }
+        let matching = sources
+            .iter()
+            .filter(|s| event_source.starts_with(s.as_str()))
+            .count();
+        let targets = bus.publish(BusEvent::new(event_source.clone(), "dt", "", SimTime::ZERO));
+        prop_assert_eq!(targets.len(), matching);
+        prop_assert_eq!(bus.delivered_count() as usize, matching);
+    }
+}

@@ -1,0 +1,158 @@
+//! Figure 10 (with Tables 2 and 3): threshold-based allocation — normalized
+//! cost of m5.xlarge spot fleets under thresholds {4, 5, 6} and workload
+//! durations {5, 10, 20} hours, relative to the cheapest on-demand
+//! deployment.
+
+use std::sync::Arc;
+
+use bio_workloads::{workload_fleet, WorkloadKind};
+use cloud_market::{InstanceType, Region, SpotMarket};
+use sim_kernel::{SimDuration, SimRng, SimTime};
+use spotverse::{
+    normalized_cost, run_experiment_on, Monitor, OnDemandStrategy, Optimizer, SpotVerseConfig,
+    SpotVerseStrategy,
+};
+use spotverse_bench::{bench_config, header, paper_vs_measured, section, BENCH_SEED};
+
+/// Thresholds run mid-horizon (day 90), outside the early surge window —
+/// where Table 3's price ordering holds.
+const START_DAY: u64 = 90;
+const FLEET: usize = 40;
+
+fn fleet(duration_hours: u64) -> Vec<bio_workloads::WorkloadSpec> {
+    workload_fleet(
+        WorkloadKind::StandardGeneral,
+        FLEET,
+        SimDuration::from_hours(duration_hours),
+        SimDuration::from_mins(30),
+        &SimRng::seed_from_u64(BENCH_SEED),
+    )
+}
+
+fn main() {
+    header(
+        "Figure 10 + Tables 2-3 — threshold-based allocation, normalized cost",
+        "paper §5.2.4",
+    );
+    let base = bench_config(BENCH_SEED, InstanceType::M5Xlarge, fleet(10), START_DAY);
+    let market = Arc::new(SpotMarket::new(base.market));
+
+    // --- Table 3: the regions each threshold selects ----------------------
+    section("table 3 — regions selected per threshold");
+    let monitor = Monitor::new(InstanceType::M5Xlarge, Region::UsEast1);
+    // Use the day's median spot price per region (24 hourly samples) so a
+    // transient demand-episode spike at one instant does not reorder the
+    // day's selection — Table 3 reflects the day, not one hour.
+    let assessments = {
+        let mut noon = monitor
+            .fresh_assessments(&market, SimTime::from_days(START_DAY) + SimDuration::from_hours(12))
+            .expect("within horizon");
+        for a in &mut noon {
+            let mut prices: Vec<f64> = (0..24)
+                .map(|h| {
+                    market
+                        .spot_price(
+                            a.region,
+                            InstanceType::M5Xlarge,
+                            SimTime::from_days(START_DAY) + SimDuration::from_hours(h),
+                        )
+                        .expect("within horizon")
+                        .rate()
+                })
+                .collect();
+            prices.sort_by(f64::total_cmp);
+            a.spot_price = cloud_market::UsdPerHour::new(prices[12]);
+        }
+        noon
+    };
+    let paper_sets: [(u8, &str); 3] = [
+        (6, "us-west-1, ap-northeast-3, eu-west-1, eu-north-1"),
+        (5, "ap-southeast-1, eu-west-3, ca-central-1, eu-west-2"),
+        (4, "us-east-1, us-east-2, ap-southeast-2, us-west-2"),
+    ];
+    for (threshold, paper_set) in paper_sets {
+        let optimizer = Optimizer::new(
+            SpotVerseConfig::builder(InstanceType::M5Xlarge)
+                .threshold(threshold)
+                .build(),
+        );
+        let selected: Vec<&str> = optimizer
+            .select_regions(&assessments)
+            .iter()
+            .map(|a| a.region.name())
+            .collect();
+        paper_vs_measured(
+            &format!("threshold {threshold} regions"),
+            paper_set,
+            &selected.join(", "),
+        );
+    }
+
+    // --- Figure 10: normalized cost sweep ---------------------------------
+    section("figure 10 — normalized cost (value < 1 means cheaper than on-demand)");
+    println!(
+        "  paper: thresholds 5-6 save consistently (up to 65%); threshold 4 costs up to +36%"
+    );
+    println!("\n  {:<10} {:>10} {:>10} {:>10}", "duration", "T=4", "T=5", "T=6");
+    let mut grid: Vec<(u64, Vec<f64>)> = Vec::new();
+    for duration in [5u64, 10, 20] {
+        let workloads = fleet(duration);
+        let mut config = base.clone();
+        config.workloads = workloads;
+        // On-demand reference: same fleet on the cheapest on-demand
+        // instances.
+        let od_report = run_experiment_on(
+            Arc::clone(&market),
+            config.clone(),
+            Box::new(OnDemandStrategy::new()),
+        );
+        let mut row = Vec::new();
+        for threshold in [4u8, 5, 6] {
+            let strategy = SpotVerseStrategy::new(
+                SpotVerseConfig::builder(InstanceType::M5Xlarge)
+                    .threshold(threshold)
+                    .build(),
+            );
+            let report =
+                run_experiment_on(Arc::clone(&market), config.clone(), Box::new(strategy));
+            row.push(normalized_cost(&report, od_report.cost.total));
+        }
+        println!(
+            "  {:<10} {:>10.2} {:>10.2} {:>10.2}",
+            format!("{duration} h"),
+            row[0],
+            row[1],
+            row[2]
+        );
+        grid.push((duration, row));
+    }
+
+    section("shape checks");
+    let t4_20h = grid.iter().find(|(d, _)| *d == 20).unwrap().1[0];
+    let best_savings = grid
+        .iter()
+        .flat_map(|(_, row)| row[1..].iter().copied())
+        .fold(f64::INFINITY, f64::min);
+    paper_vs_measured(
+        "threshold 4 at 20 h (normalized)",
+        "~1.36 (more expensive)",
+        &format!("{t4_20h:.2}"),
+    );
+    paper_vs_measured(
+        "best savings at thresholds 5-6",
+        "up to 65% (0.35)",
+        &format!("{:.0}% ({best_savings:.2})", (1.0 - best_savings) * 100.0),
+    );
+    let t4_worsens = {
+        let t4: Vec<f64> = grid.iter().map(|(_, row)| row[0]).collect();
+        t4.windows(2).all(|w| w[0] <= w[1] + 0.05)
+    };
+    println!("  threshold-4 normalized cost grows with duration: {t4_worsens}");
+    let savings_shrink = {
+        let t6: Vec<f64> = grid.iter().map(|(_, row)| row[2]).collect();
+        t6.first().unwrap() <= t6.last().unwrap()
+    };
+    println!("  savings diminish as duration grows (paper's closing observation): {savings_shrink}");
+    let t56_always_save = grid.iter().all(|(_, row)| row[1] < 1.0 && row[2] < 1.0);
+    println!("  thresholds 5-6 always save vs on-demand: {t56_always_save}");
+}

@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the hot paths: market construction,
+//! Algorithm 1 region selection, interruption sampling, and end-to-end
+//! experiment throughput.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use bio_workloads::{paper_fleet, WorkloadKind};
+use cloud_market::{InstanceType, MarketConfig, Region, SpotMarket};
+use sim_kernel::{SimRng, SimTime};
+use spotverse::{
+    run_experiment_on, ExperimentConfig, Monitor, Optimizer, SingleRegionStrategy,
+    SpotVerseConfig,
+};
+
+fn bench_market_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("market");
+    group.sample_size(10);
+    group.bench_function("spot_market_build_210_days", |b| {
+        b.iter(|| SpotMarket::new(MarketConfig::with_seed(std::hint::black_box(7))));
+    });
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let market = SpotMarket::new(MarketConfig::with_seed(7));
+    let monitor = Monitor::new(InstanceType::M5Xlarge, Region::UsEast1);
+    let assessments = monitor
+        .fresh_assessments(&market, SimTime::from_days(10))
+        .unwrap();
+    let optimizer = Optimizer::new(SpotVerseConfig::paper_default(InstanceType::M5Xlarge));
+    c.bench_function("algorithm1_select_regions", |b| {
+        b.iter(|| optimizer.select_regions(std::hint::black_box(&assessments)));
+    });
+    let mut rng = SimRng::seed_from_u64(3);
+    c.bench_function("algorithm1_migration_target", |b| {
+        b.iter(|| {
+            optimizer.migration_target(
+                std::hint::black_box(&assessments),
+                Region::CaCentral1,
+                &mut rng,
+            )
+        });
+    });
+}
+
+fn bench_interruption_sampling(c: &mut Criterion) {
+    let market = SpotMarket::new(MarketConfig::with_seed(7));
+    let mut rng = SimRng::seed_from_u64(5);
+    c.bench_function("sample_interruption_delay", |b| {
+        b.iter(|| {
+            market
+                .sample_interruption_delay(
+                    Region::CaCentral1,
+                    InstanceType::M5Xlarge,
+                    SimTime::from_days(2),
+                    &mut rng,
+                )
+                .unwrap()
+        });
+    });
+}
+
+fn bench_experiment(c: &mut Criterion) {
+    let rng = SimRng::seed_from_u64(11);
+    let fleet = paper_fleet(WorkloadKind::GenomeReconstruction, 8, &rng);
+    let config = ExperimentConfig::new(11, InstanceType::M5Xlarge, fleet);
+    let market = Arc::new(SpotMarket::new(config.market));
+    let mut group = c.benchmark_group("experiment");
+    group.sample_size(10);
+    group.bench_function("single_region_8_workloads", |b| {
+        b.iter_batched(
+            || (Arc::clone(&market), config.clone()),
+            |(market, config)| {
+                run_experiment_on(
+                    market,
+                    config,
+                    Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
+                )
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_market_build,
+    bench_optimizer,
+    bench_interruption_sampling,
+    bench_experiment
+);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! The checkpoint workload: NGS Data Preprocessing (paper §5.1.1).
+//!
+//! FastQC quality assessment, Cutadapt-equivalent trimming and MultiQC
+//! aggregation over a 1 GB SRA FastQC dataset that is *segmented into
+//! shards*, each file's processing status tracked individually — the
+//! paper's checkpointing mechanism. On an interruption notice the progress
+//! record (and the ≤1 GB working set, sized to fit the two-minute notice)
+//! is uploaded, and a replacement instance in any region resumes from the
+//! last completed shard.
+
+use galaxy_flow::{DataFormat, RecoveryMode, Tool, ToolCategory, Workflow};
+use sim_kernel::SimDuration;
+
+/// Default shard count (the segmented FastQC dataset).
+pub const DEFAULT_SHARDS: u32 = 20;
+
+/// Size of the checkpointed dataset in GiB (paper: a 1 GB SRA dataset,
+/// chosen to upload within the two-minute notice).
+pub const DATASET_GIB: f64 = 1.0;
+
+/// Builds the NGS preprocessing checkpoint workload.
+///
+/// `total` is the uninterrupted duration; `shards` controls checkpoint
+/// granularity (progress is lost only back to the last completed shard).
+///
+/// # Panics
+///
+/// Panics if `shards == 0` or `total` is shorter than one second per shard.
+///
+/// # Examples
+///
+/// ```
+/// use bio_workloads::ngs_preprocessing::ngs_preprocessing_workload;
+/// use sim_kernel::SimDuration;
+///
+/// let wf = ngs_preprocessing_workload(SimDuration::from_hours(10), 20);
+/// assert!(wf.is_checkpointable());
+/// ```
+pub fn ngs_preprocessing_workload(total: SimDuration, shards: u32) -> Workflow {
+    assert!(shards > 0, "NGS preprocessing needs at least one shard");
+    assert!(
+        total.as_secs() >= u64::from(shards) + 3,
+        "total {total} too short for {shards} shards"
+    );
+    // Fixed small prologue/epilogue around the sharded body.
+    let fetch = SimDuration::from_secs((total.as_secs() as f64 * 0.03).round() as u64)
+        .max(SimDuration::from_secs(1));
+    let report = SimDuration::from_secs((total.as_secs() as f64 * 0.02).round() as u64)
+        .max(SimDuration::from_secs(1));
+    let body = total - fetch - report;
+    // Split the body between per-shard QC and per-shard trimming.
+    let qc = SimDuration::from_secs(body.as_secs() * 55 / 100);
+    let trim = body - qc;
+
+    let mut b = Workflow::builder("ngs-data-preprocessing", RecoveryMode::ResumeFromCheckpoint);
+    let fetch_id = b.add_step_full(
+        "fetch-sra-dataset",
+        "sra-toolkit",
+        fetch,
+        &[],
+        1,
+        DataFormat::Sra,
+        DATASET_GIB,
+    );
+    let qc_id = b.add_step_full(
+        "fastqc-per-shard",
+        "fastqc",
+        qc,
+        &[fetch_id],
+        shards,
+        DataFormat::Html,
+        0.02,
+    );
+    let trim_id = b.add_step_full(
+        "cutadapt-per-shard",
+        "cutadapt",
+        trim,
+        &[qc_id],
+        shards,
+        DataFormat::FastqGz,
+        0.5,
+    );
+    b.add_step_full(
+        "multiqc-aggregate",
+        "multiqc",
+        report,
+        &[trim_id],
+        1,
+        DataFormat::Html,
+        0.01,
+    );
+    b.build().expect("NGS preprocessing workflow is statically valid")
+}
+
+/// The tools the workload needs installed.
+pub fn required_tools() -> Vec<Tool> {
+    vec![
+        Tool::new("sra-toolkit", "SRA Toolkit", "3.0", ToolCategory::DataRetrieval),
+        Tool::new("fastqc", "FastQC", "0.12.1", ToolCategory::QualityControl),
+        Tool::new("cutadapt", "Cutadapt", "4.4", ToolCategory::SequenceTrimming),
+        Tool::new("multiqc", "MultiQC", "1.14", ToolCategory::Reporting),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galaxy_flow::WorkflowInvocation;
+
+    #[test]
+    fn checkpoint_semantics_and_shard_counts() {
+        let wf = ngs_preprocessing_workload(SimDuration::from_hours(10), 20);
+        assert_eq!(wf.recovery(), RecoveryMode::ResumeFromCheckpoint);
+        let shard_units: u32 = wf.steps().iter().map(|s| s.shards()).sum();
+        assert_eq!(shard_units, 1 + 20 + 20 + 1);
+    }
+
+    #[test]
+    fn duration_is_close_to_requested() {
+        for hours in [5, 10, 20] {
+            let total = SimDuration::from_hours(hours);
+            let wf = ngs_preprocessing_workload(total, DEFAULT_SHARDS);
+            let diff = wf
+                .total_duration()
+                .max(total)
+                .saturating_sub(wf.total_duration().min(total));
+            // Per-shard rounding may shift the total by at most one second
+            // per unit.
+            assert!(diff.as_secs() <= 60, "{hours}h: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn interruption_only_loses_current_shard() {
+        let wf = ngs_preprocessing_workload(SimDuration::from_hours(10), 20);
+        let mut inv = WorkflowInvocation::new(&wf);
+        inv.record_execution(SimDuration::from_hours(5)).unwrap();
+        let before = inv.units_done();
+        assert!(before > 0);
+        inv.handle_interruption();
+        assert_eq!(inv.units_done(), before, "checkpoint keeps completed shards");
+        // Lost work is bounded by one shard of the larger sharded step.
+        let max_unit = inv
+            .plan()
+            .units()
+            .iter()
+            .map(|u| u.duration)
+            .max()
+            .unwrap();
+        assert!(max_unit < SimDuration::from_hours(1), "shards are fine-grained");
+    }
+
+    #[test]
+    fn dataset_fits_interruption_notice() {
+        // The constraint the paper engineered the 1 GB dataset around.
+        use cloud_compute::transfer::fits_in_interruption_notice;
+        use cloud_market::Region;
+        assert!(fits_in_interruption_notice(
+            Region::CaCentral1,
+            Region::ApNortheast3,
+            DATASET_GIB
+        ));
+    }
+
+    #[test]
+    fn required_tools_cover_every_step() {
+        let wf = ngs_preprocessing_workload(SimDuration::from_hours(10), 4);
+        let tools = required_tools();
+        for step in wf.steps() {
+            assert!(tools.iter().any(|t| t.id() == step.tool()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ngs_preprocessing_workload(SimDuration::from_hours(10), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! The Standard General Workload: QIIME 2 microbiome analysis (paper
+//! §5.1.1).
+//!
+//! Sequence demultiplexing → DADA2 quality control → phylogenetic tree
+//! construction → diversity analysis. Interruptions force a complete
+//! restart. The paper pads processing with sleep intervals so every run
+//! lasts 10–11 hours regardless of instance specs; here the requested total
+//! duration is distributed over the steps in fixed proportions.
+
+use galaxy_flow::{DataFormat, RecoveryMode, Tool, ToolCategory, Workflow};
+use sim_kernel::SimDuration;
+
+/// Step proportions (label, tool, share of total duration, output format).
+const STEPS: [(&str, &str, f64, DataFormat); 5] = [
+    ("import-sequences", "qiime2-tools-import", 0.05, DataFormat::Qza),
+    ("demultiplex", "qiime2-demux", 0.15, DataFormat::Qza),
+    ("dada2-denoise", "dada2", 0.35, DataFormat::Qza),
+    ("phylogenetic-tree", "qiime2-phylogeny", 0.20, DataFormat::Qza),
+    ("diversity-analysis", "qiime2-diversity", 0.25, DataFormat::Qza),
+];
+
+/// Builds the QIIME 2 standard general workload with the given total
+/// duration.
+///
+/// # Panics
+///
+/// Panics if `total` is shorter than one minute (each step must get a
+/// positive duration).
+///
+/// # Examples
+///
+/// ```
+/// use bio_workloads::qiime::standard_general_workload;
+/// use sim_kernel::SimDuration;
+///
+/// let wf = standard_general_workload(SimDuration::from_hours(10));
+/// assert_eq!(wf.len(), 5);
+/// assert!(!wf.is_checkpointable());
+/// ```
+pub fn standard_general_workload(total: SimDuration) -> Workflow {
+    assert!(
+        total >= SimDuration::from_mins(1),
+        "QIIME 2 workload needs at least one minute, got {total}"
+    );
+    let mut b = Workflow::builder("qiime2-standard-general", RecoveryMode::RestartFromScratch);
+    let mut prev = None;
+    let mut allocated = SimDuration::ZERO;
+    for (i, (label, tool, share, format)) in STEPS.iter().enumerate() {
+        // Give the final step the rounding remainder so durations sum
+        // exactly to `total`.
+        let duration = if i == STEPS.len() - 1 {
+            total - allocated
+        } else {
+            let d = SimDuration::from_secs((total.as_secs() as f64 * share).round() as u64)
+                .max(SimDuration::from_secs(1));
+            allocated += d;
+            d
+        };
+        let inputs: Vec<_> = prev.into_iter().collect();
+        let id = b.add_step_full(*label, *tool, duration, &inputs, 1, *format, 0.2);
+        prev = Some(id);
+    }
+    b.build().expect("QIIME 2 workflow is statically valid")
+}
+
+/// The tools the workload needs installed.
+pub fn required_tools() -> Vec<Tool> {
+    vec![
+        Tool::new("qiime2-tools-import", "QIIME 2 import", "2024.2", ToolCategory::DataRetrieval),
+        Tool::new("qiime2-demux", "QIIME 2 demux", "2024.2", ToolCategory::QualityControl),
+        Tool::new("dada2", "DADA2", "1.26", ToolCategory::QualityControl),
+        Tool::new("qiime2-phylogeny", "QIIME 2 phylogeny", "2024.2", ToolCategory::Phylogenetics),
+        Tool::new("qiime2-diversity", "QIIME 2 diversity", "2024.2", ToolCategory::Reporting),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_sum_exactly_to_total() {
+        for hours in [5, 10, 20] {
+            let total = SimDuration::from_hours(hours);
+            let wf = standard_general_workload(total);
+            assert_eq!(wf.total_duration(), total, "{hours}h");
+        }
+    }
+
+    #[test]
+    fn is_linear_chain() {
+        let wf = standard_general_workload(SimDuration::from_hours(10));
+        for (i, step) in wf.steps().iter().enumerate() {
+            if i == 0 {
+                assert!(step.inputs().is_empty());
+            } else {
+                assert_eq!(step.inputs().len(), 1);
+                assert_eq!(step.inputs()[0].index(), i - 1);
+            }
+            assert_eq!(step.shards(), 1, "standard workload is monolithic");
+        }
+    }
+
+    #[test]
+    fn restart_semantics() {
+        let wf = standard_general_workload(SimDuration::from_hours(10));
+        assert_eq!(wf.recovery(), RecoveryMode::RestartFromScratch);
+    }
+
+    #[test]
+    fn dada2_is_the_longest_step() {
+        let wf = standard_general_workload(SimDuration::from_hours(10));
+        let longest = wf
+            .steps()
+            .iter()
+            .max_by_key(|s| s.duration())
+            .unwrap();
+        assert_eq!(longest.label(), "dada2-denoise");
+    }
+
+    #[test]
+    fn required_tools_cover_every_step() {
+        let wf = standard_general_workload(SimDuration::from_hours(10));
+        let tools = required_tools();
+        for step in wf.steps() {
+            assert!(
+                tools.iter().any(|t| t.id() == step.tool()),
+                "missing tool {}",
+                step.tool()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one minute")]
+    fn rejects_degenerate_duration() {
+        standard_general_workload(SimDuration::from_secs(10));
+    }
+}

@@ -1,0 +1,200 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! Supports `--flag value` and `--flag=value` forms, collects positional
+//! arguments, and rejects unknown flags against a declared schema so typos
+//! fail loudly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Argument-parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A flag not in the command's schema.
+    UnknownFlag(String),
+    /// A flag declared to take a value was last on the line.
+    MissingValue(String),
+    /// A value failed to parse as the expected type.
+    InvalidValue {
+        /// The flag.
+        flag: String,
+        /// The raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// The same flag appeared twice.
+    DuplicateFlag(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            ArgError::MissingValue(flag) => write!(f, "flag `{flag}` expects a value"),
+            ArgError::InvalidValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "flag `{flag}`: `{value}` is not a valid {expected}"),
+            ArgError::DuplicateFlag(flag) => write!(f, "flag `{flag}` given twice"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed arguments: flag → value, plus positionals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    flags: BTreeMap<String, String>,
+    positionals: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// Parses `args` against a schema of permitted flag names (without the
+    /// leading `--`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArgError`] on unknown flags, duplicates, or missing
+    /// values.
+    pub fn parse<I, S>(args: I, schema: &[&str]) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut flags = BTreeMap::new();
+        let mut positionals = Vec::new();
+        let mut iter = args.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(stripped) = arg.strip_prefix("--") {
+                let (name, inline_value) = match stripped.split_once('=') {
+                    Some((n, v)) => (n.to_owned(), Some(v.to_owned())),
+                    None => (stripped.to_owned(), None),
+                };
+                if !schema.contains(&name.as_str()) {
+                    return Err(ArgError::UnknownFlag(format!("--{name}")));
+                }
+                let value = match inline_value {
+                    Some(v) => v,
+                    None => iter
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(format!("--{name}")))?,
+                };
+                if flags.insert(name.clone(), value).is_some() {
+                    return Err(ArgError::DuplicateFlag(format!("--{name}")));
+                }
+            } else {
+                positionals.push(arg);
+            }
+        }
+        Ok(ParsedArgs { flags, positionals })
+    }
+
+    /// Positional arguments, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// A string flag, or the default when absent.
+    pub fn str_or<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
+        self.flags.get(flag).map(String::as_str).unwrap_or(default)
+    }
+
+    /// An optional string flag.
+    pub fn opt_str(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// A `u64` flag, or the default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::InvalidValue`] when present but unparsable.
+    pub fn u64_or(&self, flag: &str, default: u64) -> Result<u64, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::InvalidValue {
+                flag: format!("--{flag}"),
+                value: raw.clone(),
+                expected: "integer",
+            }),
+        }
+    }
+
+    /// A `u8` flag, or the default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::InvalidValue`] when present but unparsable.
+    pub fn u8_or(&self, flag: &str, default: u8) -> Result<u8, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::InvalidValue {
+                flag: format!("--{flag}"),
+                value: raw.clone(),
+                expected: "small integer",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &[&str] = &["seed", "instances", "strategy"];
+
+    #[test]
+    fn parses_space_and_equals_forms() {
+        let args = ParsedArgs::parse(
+            ["--seed", "42", "--strategy=spotverse", "extra"],
+            SCHEMA,
+        )
+        .unwrap();
+        assert_eq!(args.u64_or("seed", 0).unwrap(), 42);
+        assert_eq!(args.str_or("strategy", "x"), "spotverse");
+        assert_eq!(args.positionals(), ["extra"]);
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let args = ParsedArgs::parse(Vec::<String>::new(), SCHEMA).unwrap();
+        assert_eq!(args.u64_or("seed", 7).unwrap(), 7);
+        assert_eq!(args.str_or("strategy", "spotverse"), "spotverse");
+        assert_eq!(args.opt_str("instances"), None);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let err = ParsedArgs::parse(["--sede", "42"], SCHEMA).unwrap_err();
+        assert_eq!(err, ArgError::UnknownFlag("--sede".into()));
+        assert!(err.to_string().contains("--sede"));
+    }
+
+    #[test]
+    fn missing_and_invalid_values() {
+        let err = ParsedArgs::parse(["--seed"], SCHEMA).unwrap_err();
+        assert_eq!(err, ArgError::MissingValue("--seed".into()));
+        let args = ParsedArgs::parse(["--seed", "abc"], SCHEMA).unwrap();
+        assert!(matches!(
+            args.u64_or("seed", 0),
+            Err(ArgError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_flag_rejected() {
+        let err = ParsedArgs::parse(["--seed", "1", "--seed=2"], SCHEMA).unwrap_err();
+        assert_eq!(err, ArgError::DuplicateFlag("--seed".into()));
+    }
+
+    #[test]
+    fn u8_parsing() {
+        let args = ParsedArgs::parse(["--seed", "6"], SCHEMA).unwrap();
+        assert_eq!(args.u8_or("seed", 0).unwrap(), 6);
+        let bad = ParsedArgs::parse(["--seed", "300"], SCHEMA).unwrap();
+        assert!(bad.u8_or("seed", 0).is_err());
+    }
+}

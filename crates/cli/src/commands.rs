@@ -1,0 +1,413 @@
+//! CLI subcommands: each builds its inputs from parsed flags, runs against
+//! the simulator, and renders plain-text output (returned as a `String` so
+//! commands are unit-testable without capturing stdout).
+
+use std::fmt;
+use std::sync::Arc;
+
+use bio_workloads::{paper_fleet, WorkloadKind};
+use cloud_market::history::{archive_to_csv, collect_archive};
+use cloud_market::{InstanceType, Region, SpotMarket};
+use sim_kernel::{SimDuration, SimRng, SimTime};
+use spotverse::{
+    run_experiment_on, summary_line, ExperimentConfig, ExperimentReport, Monitor,
+    NaiveMultiRegionStrategy, OnDemandStrategy, SingleRegionStrategy, SkyPilotStrategy,
+    SpotVerseConfig, SpotVerseStrategy, Strategy,
+};
+
+use crate::args::{ArgError, ParsedArgs};
+use galaxy_flow::to_ga_json;
+
+/// CLI errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments.
+    Args(ArgError),
+    /// A flag value outside its domain (e.g. unknown strategy name).
+    BadInput(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::BadInput(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// Top-level usage text.
+pub fn usage() -> String {
+    "\
+spotverse — multi-region spot-instance experiment simulator
+
+USAGE:
+    spotverse <command> [flags]
+
+COMMANDS:
+    simulate    run one strategy over a workload fleet and print its report
+    compare     run every strategy on the same market and print a table
+    advisor     show per-region scores (Algorithm 1's inputs) at an instant
+    traces      export a SpotLake-style market archive as CSV
+    workflow    export one of the paper's workflows as a Galaxy .ga document
+    help        show this message
+
+COMMON FLAGS:
+    --seed <u64>             experiment seed            (default 2024)
+    --instances <n>          fleet size                 (default 20)
+    --instance-type <name>   e.g. m5.xlarge             (default m5.xlarge)
+    --workload <kind>        genome | ngs | qiime       (default genome)
+    --start-day <d>          day offset into the market (default 1)
+
+SIMULATE FLAGS:
+    --strategy <name>        spotverse | single-region | on-demand |
+                             skypilot | naive-multi     (default spotverse)
+    --threshold <t>          Algorithm 1 threshold      (default 6)
+    --region <name>          region for single-region   (default ca-central-1)
+
+ADVISOR / TRACES FLAGS:
+    --day <d>                advisor snapshot day       (default 1)
+    --days <n>               trace length in days       (default 14)
+
+WORKFLOW FLAGS:
+    --workload <kind>        genome | ngs | qiime       (default genome)
+    --duration-hours <h>     total workflow duration    (default 10)
+"
+    .to_owned()
+}
+
+fn parse_workload(name: &str) -> Result<WorkloadKind, CliError> {
+    match name {
+        "genome" => Ok(WorkloadKind::GenomeReconstruction),
+        "ngs" => Ok(WorkloadKind::NgsPreprocessing),
+        "qiime" => Ok(WorkloadKind::StandardGeneral),
+        other => Err(CliError::BadInput(format!(
+            "unknown workload `{other}` (expected genome | ngs | qiime)"
+        ))),
+    }
+}
+
+fn parse_instance_type(name: &str) -> Result<InstanceType, CliError> {
+    name.parse()
+        .map_err(|e| CliError::BadInput(format!("{e}")))
+}
+
+fn parse_region(name: &str) -> Result<Region, CliError> {
+    name.parse()
+        .map_err(|e| CliError::BadInput(format!("{e}")))
+}
+
+/// Shared experiment scaffolding from common flags.
+struct CommonConfig {
+    config: ExperimentConfig,
+    instance_type: InstanceType,
+}
+
+fn common_config(args: &ParsedArgs) -> Result<CommonConfig, CliError> {
+    let seed = args.u64_or("seed", 2024)?;
+    let instances = args.u64_or("instances", 20)? as usize;
+    if instances == 0 {
+        return Err(CliError::BadInput("--instances must be positive".into()));
+    }
+    let instance_type = parse_instance_type(args.str_or("instance-type", "m5.xlarge"))?;
+    let kind = parse_workload(args.str_or("workload", "genome"))?;
+    let start_day = args.u64_or("start-day", 1)?;
+    let rng = SimRng::seed_from_u64(seed);
+    let mut config = ExperimentConfig::new(seed, instance_type, paper_fleet(kind, instances, &rng));
+    config.start = SimTime::from_days(start_day);
+    Ok(CommonConfig {
+        config,
+        instance_type,
+    })
+}
+
+fn build_strategy(
+    name: &str,
+    instance_type: InstanceType,
+    threshold: u8,
+    region: Region,
+) -> Result<Box<dyn Strategy>, CliError> {
+    match name {
+        "spotverse" => Ok(Box::new(SpotVerseStrategy::new(
+            SpotVerseConfig::builder(instance_type)
+                .threshold(threshold)
+                .build(),
+        ))),
+        "single-region" => Ok(Box::new(SingleRegionStrategy::new(region))),
+        "on-demand" => Ok(Box::new(OnDemandStrategy::new())),
+        "skypilot" => Ok(Box::new(SkyPilotStrategy::new())),
+        "naive-multi" => Ok(Box::new(NaiveMultiRegionStrategy::paper_motivational())),
+        other => Err(CliError::BadInput(format!(
+            "unknown strategy `{other}` (expected spotverse | single-region | on-demand | skypilot | naive-multi)"
+        ))),
+    }
+}
+
+fn render_report(report: &ExperimentReport) -> String {
+    let mut out = String::new();
+    out.push_str(&summary_line(report));
+    out.push('\n');
+    out.push_str(&format!(
+        "  cost breakdown: spot {}  on-demand {}  transfer {}  shared services {}\n",
+        report.cost.spot_instances,
+        report.cost.on_demand_instances,
+        report.cost.data_transfer,
+        report.cost.shared_services,
+    ));
+    out.push_str(&format!(
+        "  instance-hours {:.1}   spot requests {}/{} fulfilled\n",
+        report.instance_hours, report.spot_fulfillments, report.spot_attempts,
+    ));
+    if !report.interruptions_by_region.is_empty() {
+        out.push_str("  interruptions by region:");
+        for (region, n) in &report.interruptions_by_region {
+            out.push_str(&format!(" {region}={n}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// `spotverse simulate`.
+pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
+    let common = common_config(args)?;
+    let threshold = args.u8_or("threshold", 6)?;
+    let region = parse_region(args.str_or("region", "ca-central-1"))?;
+    let strategy = build_strategy(
+        args.str_or("strategy", "spotverse"),
+        common.instance_type,
+        threshold,
+        region,
+    )?;
+    let market = Arc::new(SpotMarket::new(common.config.market));
+    let report = run_experiment_on(market, common.config, strategy);
+    Ok(render_report(&report))
+}
+
+/// `spotverse compare`.
+pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
+    let common = common_config(args)?;
+    let threshold = args.u8_or("threshold", 6)?;
+    let region = parse_region(args.str_or("region", "ca-central-1"))?;
+    let market = Arc::new(SpotMarket::new(common.config.market));
+    let mut out = String::new();
+    for name in ["single-region", "naive-multi", "skypilot", "spotverse", "on-demand"] {
+        let strategy = build_strategy(name, common.instance_type, threshold, region)?;
+        let report = run_experiment_on(Arc::clone(&market), common.config.clone(), strategy);
+        out.push_str(&summary_line(&report));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `spotverse advisor`.
+pub fn advisor(args: &ParsedArgs) -> Result<String, CliError> {
+    let seed = args.u64_or("seed", 2024)?;
+    let instance_type = parse_instance_type(args.str_or("instance-type", "m5.xlarge"))?;
+    let day = args.u64_or("day", 1)?;
+    let market = SpotMarket::new(cloud_market::MarketConfig::with_seed(seed));
+    let monitor = Monitor::new(instance_type, Region::UsEast1);
+    let assessments = monitor
+        .fresh_assessments(&market, SimTime::from_days(day))
+        .map_err(|e| CliError::BadInput(format!("{e}")))?;
+    let mut out = format!(
+        "{:<16} {:>10} {:>10} {:>9} {:>10} {:>9}\n",
+        "region", "spot $/h", "od $/h", "placement", "stability", "combined"
+    );
+    for a in &assessments {
+        out.push_str(&format!(
+            "{:<16} {:>10.4} {:>10.4} {:>9} {:>10} {:>9}\n",
+            a.region.name(),
+            a.spot_price.rate(),
+            a.on_demand_price.rate(),
+            a.placement.value(),
+            a.stability.value(),
+            a.combined().value(),
+        ));
+    }
+    Ok(out)
+}
+
+/// `spotverse traces`.
+pub fn traces(args: &ParsedArgs) -> Result<String, CliError> {
+    let seed = args.u64_or("seed", 2024)?;
+    let instance_type = parse_instance_type(args.str_or("instance-type", "m5.xlarge"))?;
+    let days = args.u64_or("days", 14)?;
+    if days == 0 {
+        return Err(CliError::BadInput("--days must be positive".into()));
+    }
+    let market = SpotMarket::new(cloud_market::MarketConfig::with_seed(seed));
+    let rows = collect_archive(
+        &market,
+        instance_type,
+        SimTime::ZERO,
+        SimTime::from_days(days),
+        SimDuration::from_hours(6),
+    )
+    .map_err(|e| CliError::BadInput(format!("{e}")))?;
+    Ok(archive_to_csv(&rows))
+}
+
+/// `spotverse workflow`: export a paper workflow as a `.ga` document.
+pub fn workflow(args: &ParsedArgs) -> Result<String, CliError> {
+    let kind = parse_workload(args.str_or("workload", "genome"))?;
+    let hours = args.u64_or("duration-hours", 10)?;
+    if hours == 0 {
+        return Err(CliError::BadInput("--duration-hours must be positive".into()));
+    }
+    let spec = bio_workloads::WorkloadSpec {
+        id: "cli-export".into(),
+        kind,
+        duration: SimDuration::from_hours(hours),
+        shards: None,
+    };
+    Ok(to_ga_json(&spec.build_workflow()))
+}
+
+/// Flag schemas per command.
+pub fn schema(command: &str) -> &'static [&'static str] {
+    match command {
+        "simulate" => &[
+            "seed",
+            "instances",
+            "instance-type",
+            "workload",
+            "start-day",
+            "strategy",
+            "threshold",
+            "region",
+        ],
+        "compare" => &[
+            "seed",
+            "instances",
+            "instance-type",
+            "workload",
+            "start-day",
+            "threshold",
+            "region",
+        ],
+        "advisor" => &["seed", "instance-type", "day"],
+        "traces" => &["seed", "instance-type", "days"],
+        "workflow" => &["workload", "duration-hours"],
+        _ => &[],
+    }
+}
+
+/// Dispatches a full command line (without the binary name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown commands, bad flags, or bad values.
+pub fn run<I, S>(argv: I) -> Result<String, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let mut iter = argv.into_iter().map(Into::into);
+    let command = match iter.next() {
+        Some(c) => c,
+        None => return Ok(usage()),
+    };
+    let rest: Vec<String> = iter.collect();
+    match command.as_str() {
+        "simulate" => simulate(&ParsedArgs::parse(rest, schema("simulate"))?),
+        "compare" => compare(&ParsedArgs::parse(rest, schema("compare"))?),
+        "advisor" => advisor(&ParsedArgs::parse(rest, schema("advisor"))?),
+        "traces" => traces(&ParsedArgs::parse(rest, schema("traces"))?),
+        "workflow" => workflow(&ParsedArgs::parse(rest, schema("workflow"))?),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::BadInput(format!(
+            "unknown command `{other}` (try `spotverse help`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_paths() {
+        assert!(run(Vec::<String>::new()).unwrap().contains("USAGE"));
+        assert!(run(["help"]).unwrap().contains("COMMANDS"));
+        assert!(run(["--help"]).unwrap().contains("simulate"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run(["simualte"]).unwrap_err();
+        assert!(err.to_string().contains("simualte"));
+    }
+
+    #[test]
+    fn advisor_lists_all_regions() {
+        let out = run(["advisor", "--day", "3", "--seed", "5"]).unwrap();
+        for region in Region::ALL {
+            assert!(out.contains(region.name()), "missing {region}");
+        }
+        assert!(out.contains("combined"));
+    }
+
+    #[test]
+    fn traces_emit_csv() {
+        let out = run(["traces", "--days", "2", "--instance-type", "c5.2xlarge"]).unwrap();
+        assert!(out.starts_with("timestamp_secs,"));
+        assert!(out.contains("c5.2xlarge"));
+        // 12 regions × 8 samples + header.
+        assert_eq!(out.lines().count(), 1 + 12 * 8);
+    }
+
+    #[test]
+    fn simulate_runs_a_small_fleet() {
+        let out = run([
+            "simulate",
+            "--instances",
+            "3",
+            "--strategy",
+            "on-demand",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
+        assert!(out.contains("on-demand"));
+        assert!(out.contains("3/3"));
+        assert!(out.contains("cost breakdown"));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_inputs() {
+        assert!(run(["simulate", "--strategy", "warp-drive"]).is_err());
+        assert!(run(["simulate", "--workload", "quake"]).is_err());
+        assert!(run(["simulate", "--instance-type", "z9.mega"]).is_err());
+        assert!(run(["simulate", "--region", "mars-north-1"]).is_err());
+        assert!(run(["simulate", "--instances", "0"]).is_err());
+        assert!(run(["simulate", "--bogus", "1"]).is_err());
+    }
+
+    #[test]
+    fn workflow_exports_valid_ga() {
+        let out = run(["workflow", "--workload", "ngs", "--duration-hours", "8"]).unwrap();
+        let imported = galaxy_flow::from_ga_json(&out).unwrap();
+        assert!(imported.is_checkpointable());
+        assert_eq!(imported.name(), "ngs-data-preprocessing");
+        let genome = run(["workflow"]).unwrap();
+        assert_eq!(galaxy_flow::from_ga_json(&genome).unwrap().len(), 23);
+        assert!(run(["workflow", "--duration-hours", "0"]).is_err());
+    }
+
+    #[test]
+    fn compare_lists_every_strategy() {
+        let out = run(["compare", "--instances", "2", "--seed", "11", "--workload", "ngs"]).unwrap();
+        for name in ["single-region", "naive-multi", "skypilot", "spotverse", "on-demand"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # spotverse-cli
+//!
+//! The command-line interface to the SpotVerse simulator — the "intuitive
+//! user interface" direction of the paper's §7. Four subcommands:
+//!
+//! * `simulate` — run one strategy over a workload fleet,
+//! * `compare`  — run every strategy on the identical market,
+//! * `advisor`  — print Algorithm 1's per-region score inputs,
+//! * `traces`   — export a SpotLake-style market archive as CSV.
+//!
+//! ```text
+//! cargo run -p spotverse-cli -- compare --instances 20 --workload genome
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, ParsedArgs};
+pub use commands::{advisor, compare, run, schema, simulate, traces, usage, CliError};

@@ -1,0 +1,18 @@
+//! The `spotverse` binary: parse argv, dispatch, print.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match spotverse_cli::run(argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `spotverse help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! The EC2-like compute control plane: spot requests, on-demand launches,
+//! interruption scheduling, and per-second billing against the market's
+//! hourly price curve.
+//!
+//! The control plane is *synchronous with respect to sim time*: callers
+//! (the SpotVerse Controller, or baseline strategies) invoke it at a given
+//! instant and receive outcomes carrying future instants (boot-ready time,
+//! interruption time) that they are responsible for scheduling as events.
+//! This keeps the compute substrate reusable under any orchestration model.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sim_kernel::{SimDuration, SimRng, SimTime};
+
+use cloud_market::{InstanceType, MarketError, Region, SpotMarket, Usd};
+
+use crate::billing::{BillingLedger, ServiceKind};
+use crate::instance::{InstanceId, InstanceRecord, PurchaseModel, TerminationReason};
+
+/// The two-minute interruption notice AWS gives spot instances.
+pub const INTERRUPTION_NOTICE: SimDuration = SimDuration::from_secs(120);
+
+/// Configuration of the compute control plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ec2Config {
+    /// Fixed boot delay from launch until the workload can start.
+    pub boot_delay: SimDuration,
+    /// Global crowding scale: concentrating this account's spot instances
+    /// in one (region, type) market raises the marginal reclaim hazard by
+    /// `1 + scale * region_depth * min(1, others / fleet_scale)`, where
+    /// `region_depth` is [`Region::capacity_depth_coefficient`] — the
+    /// effect behind the paper's initial-distribution experiment (§5.2.3).
+    pub crowding_coefficient: f64,
+    /// Fleet size at which crowding saturates.
+    pub crowding_fleet_scale: f64,
+}
+
+impl Default for Ec2Config {
+    fn default() -> Self {
+        Ec2Config {
+            boot_delay: SimDuration::from_secs(150),
+            crowding_coefficient: 1.0,
+            crowding_fleet_scale: 40.0,
+        }
+    }
+}
+
+/// Errors from the compute control plane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ec2Error {
+    /// The underlying market rejected the query.
+    Market(MarketError),
+    /// No instance with that id exists.
+    UnknownInstance(InstanceId),
+    /// The instance is already terminated.
+    AlreadyTerminated(InstanceId),
+}
+
+impl std::fmt::Display for Ec2Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ec2Error::Market(e) => write!(f, "market error: {e}"),
+            Ec2Error::UnknownInstance(id) => write!(f, "unknown instance {id}"),
+            Ec2Error::AlreadyTerminated(id) => write!(f, "instance {id} already terminated"),
+        }
+    }
+}
+
+impl std::error::Error for Ec2Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Ec2Error::Market(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MarketError> for Ec2Error {
+    fn from(e: MarketError) -> Self {
+        Ec2Error::Market(e)
+    }
+}
+
+/// The outcome of one spot-request attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpotRequestOutcome {
+    /// Capacity was granted.
+    Fulfilled(LaunchedSpot),
+    /// No capacity at this instant; the request stays open and should be
+    /// retried (the paper's Controller sweeps open requests every 15 min).
+    OpenNoCapacity,
+}
+
+/// Details of a fulfilled spot launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchedSpot {
+    /// The instance created.
+    pub instance: InstanceId,
+    /// When boot completes and the workload can start.
+    pub ready_at: SimTime,
+    /// When the provider will reclaim the instance, if ever within the
+    /// market horizon. The two-minute notice fires at
+    /// `interruption_at - INTERRUPTION_NOTICE`.
+    pub interruption_at: Option<SimTime>,
+}
+
+/// The EC2-like control plane.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use cloud_compute::{Ec2, Ec2Config, SpotRequestOutcome, TerminationReason};
+/// use cloud_market::{InstanceType, MarketConfig, Region, SpotMarket};
+/// use sim_kernel::{SimRng, SimTime};
+///
+/// let market = Arc::new(SpotMarket::new(MarketConfig::with_seed(3)));
+/// let mut ec2 = Ec2::new(market, Ec2Config::default(), SimRng::seed_from_u64(3));
+/// let outcome = ec2.request_spot(Region::ApNortheast3, InstanceType::M5Xlarge, SimTime::ZERO)?;
+/// if let SpotRequestOutcome::Fulfilled(launch) = outcome {
+///     ec2.terminate(launch.instance, SimTime::from_hours(1), TerminationReason::Completed)?;
+/// }
+/// # Ok::<(), cloud_compute::Ec2Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Ec2 {
+    market: Arc<SpotMarket>,
+    config: Ec2Config,
+    rng: SimRng,
+    ledger: BillingLedger,
+    instances: HashMap<InstanceId, InstanceRecord>,
+    next_instance: u64,
+    spot_attempts: u64,
+    spot_fulfillments: u64,
+}
+
+impl Ec2 {
+    /// Creates a control plane over a market.
+    pub fn new(market: Arc<SpotMarket>, config: Ec2Config, rng: SimRng) -> Self {
+        Ec2 {
+            market,
+            config,
+            rng: rng.fork("ec2"),
+            ledger: BillingLedger::new(),
+            instances: HashMap::new(),
+            next_instance: 1,
+            spot_attempts: 0,
+            spot_fulfillments: 0,
+        }
+    }
+
+    /// The market this control plane trades against.
+    pub fn market(&self) -> &SpotMarket {
+        &self.market
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> Ec2Config {
+        self.config
+    }
+
+    /// Attempts a spot request at `at`.
+    ///
+    /// A fulfilled request creates a running instance, samples its future
+    /// interruption from the market hazard, and starts billing. An
+    /// unfulfilled request stays open (the caller retries later).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Ec2Error::Market`] if the type is not offered in the region
+    /// or `at` is beyond the market horizon.
+    pub fn request_spot(
+        &mut self,
+        region: Region,
+        instance_type: InstanceType,
+        at: SimTime,
+    ) -> Result<SpotRequestOutcome, Ec2Error> {
+        self.spot_attempts += 1;
+        if !self.market.try_fulfill(region, instance_type, at, &mut self.rng)? {
+            return Ok(SpotRequestOutcome::OpenNoCapacity);
+        }
+        self.spot_fulfillments += 1;
+        let id = self.fresh_id();
+        let ready_at = at + self.config.boot_delay;
+        let crowding = self.crowding_multiplier(region, instance_type);
+        let interruption_at = self
+            .market
+            .sample_interruption_delay_scaled(region, instance_type, at, crowding, &mut self.rng)?
+            .map(|d| at + d)
+            // An interruption during boot is indistinguishable from a failed
+            // request at the workload level; keep it anyway (realism), but
+            // never earlier than the notice period after launch.
+            .map(|t| t.max(at + INTERRUPTION_NOTICE));
+        self.instances.insert(
+            id,
+            InstanceRecord::new(id, region, instance_type, PurchaseModel::Spot, at, ready_at),
+        );
+        Ok(SpotRequestOutcome::Fulfilled(LaunchedSpot {
+            instance: id,
+            ready_at,
+            interruption_at,
+        }))
+    }
+
+    /// Launches an on-demand instance (always succeeds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Ec2Error::Market`] if the type is not offered in the region.
+    pub fn launch_on_demand(
+        &mut self,
+        region: Region,
+        instance_type: InstanceType,
+        at: SimTime,
+    ) -> Result<LaunchedSpot, Ec2Error> {
+        if !self.market.is_available(region, instance_type) {
+            return Err(Ec2Error::Market(MarketError::Unavailable {
+                region,
+                instance_type,
+            }));
+        }
+        let id = self.fresh_id();
+        let ready_at = at + self.config.boot_delay;
+        self.instances.insert(
+            id,
+            InstanceRecord::new(
+                id,
+                region,
+                instance_type,
+                PurchaseModel::OnDemand,
+                at,
+                ready_at,
+            ),
+        );
+        Ok(LaunchedSpot {
+            instance: id,
+            ready_at,
+            interruption_at: None,
+        })
+    }
+
+    /// Terminates an instance, finalizing its bill (per-second usage at the
+    /// market's hourly spot curve, or the flat on-demand rate).
+    ///
+    /// Returns the instance's total cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Ec2Error::UnknownInstance`] or
+    /// [`Ec2Error::AlreadyTerminated`] on misuse, and
+    /// [`Ec2Error::Market`] if billing needs prices beyond the horizon.
+    pub fn terminate(
+        &mut self,
+        id: InstanceId,
+        at: SimTime,
+        reason: TerminationReason,
+    ) -> Result<Usd, Ec2Error> {
+        // Compute the bill before mutating the record so market errors leave
+        // the instance untouched.
+        let (region, itype, model, launched_at, running) = {
+            let rec = self.instances.get(&id).ok_or(Ec2Error::UnknownInstance(id))?;
+            (
+                rec.region(),
+                rec.instance_type(),
+                rec.model(),
+                rec.launched_at(),
+                rec.is_running(),
+            )
+        };
+        if !running {
+            return Err(Ec2Error::AlreadyTerminated(id));
+        }
+        let cost = self.usage_cost(region, itype, model, launched_at, at)?;
+        let service = match model {
+            PurchaseModel::Spot => ServiceKind::SpotInstance,
+            PurchaseModel::OnDemand => ServiceKind::OnDemandInstance,
+        };
+        self.ledger.charge(at, service, region, cost);
+        self.instances
+            .get_mut(&id)
+            .expect("checked above")
+            .terminate(at, reason, cost);
+        Ok(cost)
+    }
+
+    /// The cost of running `model` capacity from `from` to `to`, integrating
+    /// the hourly spot curve for spot instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Ec2Error::Market`] for queries beyond the horizon.
+    pub fn usage_cost(
+        &self,
+        region: Region,
+        instance_type: InstanceType,
+        model: PurchaseModel,
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<Usd, Ec2Error> {
+        assert!(to >= from, "usage_cost: negative interval");
+        match model {
+            PurchaseModel::OnDemand => Ok(self
+                .market
+                .on_demand_price(region, instance_type)
+                .for_duration(to - from)),
+            PurchaseModel::Spot => {
+                let mut total = Usd::ZERO;
+                let mut cursor = from;
+                while cursor < to {
+                    let hour_end = SimTime::from_secs((cursor.as_secs() / 3600 + 1) * 3600);
+                    let segment_end = hour_end.min(to);
+                    let price = self.market.spot_price(region, instance_type, cursor)?;
+                    total += price.for_duration(segment_end - cursor);
+                    cursor = segment_end;
+                }
+                Ok(total)
+            }
+        }
+    }
+
+    /// Looks up an instance record.
+    pub fn instance(&self, id: InstanceId) -> Option<&InstanceRecord> {
+        self.instances.get(&id)
+    }
+
+    /// Number of currently running instances.
+    pub fn running_count(&self) -> usize {
+        self.instances.values().filter(|r| r.is_running()).count()
+    }
+
+    /// All instance records, in id order.
+    pub fn instances(&self) -> Vec<&InstanceRecord> {
+        let mut v: Vec<&InstanceRecord> = self.instances.values().collect();
+        v.sort_by_key(|r| r.id());
+        v
+    }
+
+    /// The billing ledger.
+    pub fn ledger(&self) -> &BillingLedger {
+        &self.ledger
+    }
+
+    /// Mutable access to the ledger, for charging non-compute services
+    /// (data transfer, serverless) against the same books.
+    pub fn ledger_mut(&mut self) -> &mut BillingLedger {
+        &mut self.ledger
+    }
+
+    /// Total spot-request attempts made so far.
+    pub fn spot_attempts(&self) -> u64 {
+        self.spot_attempts
+    }
+
+    /// Total spot requests fulfilled so far.
+    pub fn spot_fulfillments(&self) -> u64 {
+        self.spot_fulfillments
+    }
+
+    /// The crowding hazard multiplier for a new instance in this market,
+    /// based on how many of this account's spot instances already run there.
+    pub fn crowding_multiplier(&self, region: Region, instance_type: InstanceType) -> f64 {
+        let others = self
+            .instances
+            .values()
+            .filter(|r| {
+                r.is_running()
+                    && r.region() == region
+                    && r.instance_type() == instance_type
+                    && r.model() == PurchaseModel::Spot
+            })
+            .count() as f64;
+        1.0 + self.config.crowding_coefficient
+            * region.capacity_depth_coefficient()
+            * (others / self.config.crowding_fleet_scale).min(1.0)
+    }
+
+    fn fresh_id(&mut self) -> InstanceId {
+        let id = InstanceId::new(self.next_instance);
+        self.next_instance += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_market::MarketConfig;
+
+    fn ec2(seed: u64) -> Ec2 {
+        let market = Arc::new(SpotMarket::new(MarketConfig::with_seed(seed)));
+        Ec2::new(market, Ec2Config::default(), SimRng::seed_from_u64(seed))
+    }
+
+    fn fulfill(ec2: &mut Ec2, region: Region, at: SimTime) -> LaunchedSpot {
+        let mut t = at;
+        loop {
+            match ec2.request_spot(region, InstanceType::M5Xlarge, t).unwrap() {
+                SpotRequestOutcome::Fulfilled(launch) => return launch,
+                SpotRequestOutcome::OpenNoCapacity => t += SimDuration::from_mins(15),
+            }
+        }
+    }
+
+    #[test]
+    fn spot_launch_boots_and_bills() {
+        let mut e = ec2(1);
+        let launch = fulfill(&mut e, Region::ApNortheast3, SimTime::ZERO);
+        assert_eq!(e.running_count(), 1);
+        let rec = e.instance(launch.instance).unwrap();
+        assert_eq!(rec.ready_at() - rec.launched_at(), e.config().boot_delay);
+        let end = rec.launched_at() + SimDuration::from_hours(10);
+        let cost = e
+            .terminate(launch.instance, end, TerminationReason::Completed)
+            .unwrap();
+        assert!(cost > Usd::ZERO);
+        assert_eq!(e.ledger().total_for_service(ServiceKind::SpotInstance), cost);
+        assert_eq!(e.running_count(), 0);
+    }
+
+    #[test]
+    fn spot_cost_is_below_on_demand_cost() {
+        let mut e = ec2(2);
+        let launch = fulfill(&mut e, Region::CaCentral1, SimTime::ZERO);
+        let start = e.instance(launch.instance).unwrap().launched_at();
+        let end = start + SimDuration::from_hours(10);
+        let spot_cost = e
+            .usage_cost(
+                Region::CaCentral1,
+                InstanceType::M5Xlarge,
+                PurchaseModel::Spot,
+                start,
+                end,
+            )
+            .unwrap();
+        let od_cost = e
+            .usage_cost(
+                Region::CaCentral1,
+                InstanceType::M5Xlarge,
+                PurchaseModel::OnDemand,
+                start,
+                end,
+            )
+            .unwrap();
+        assert!(spot_cost < od_cost, "spot {spot_cost} vs od {od_cost}");
+    }
+
+    #[test]
+    fn on_demand_never_interrupts() {
+        let mut e = ec2(3);
+        let launch = e
+            .launch_on_demand(Region::UsEast1, InstanceType::M5Xlarge, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(launch.interruption_at, None);
+        let cost = e
+            .terminate(
+                launch.instance,
+                SimTime::from_hours(10) + e.config().boot_delay,
+                TerminationReason::Completed,
+            )
+            .unwrap();
+        // 10h + boot (150 s) at $0.192/h.
+        let expected = 0.192 * (10.0 + 150.0 / 3600.0);
+        assert!((cost.amount() - expected).abs() < 1e-9, "cost {cost}");
+    }
+
+    #[test]
+    fn interruption_respects_notice_floor() {
+        let mut e = ec2(4);
+        for day in 0..5 {
+            let launch = fulfill(&mut e, Region::CaCentral1, SimTime::from_days(day));
+            if let Some(at) = launch.interruption_at {
+                let rec = e.instance(launch.instance).unwrap();
+                assert!(at >= rec.launched_at() + INTERRUPTION_NOTICE);
+            }
+        }
+    }
+
+    #[test]
+    fn unstable_regions_interrupt_sooner() {
+        let mut e = ec2(5);
+        let ten_hours = SimDuration::from_hours(10);
+        let mut count = |region: Region| {
+            let mut interrupted = 0;
+            for i in 0..120 {
+                let launch = fulfill(&mut e, region, SimTime::from_hours(i));
+                let start = e.instance(launch.instance).unwrap().launched_at();
+                if launch
+                    .interruption_at
+                    .is_some_and(|at| at <= start + ten_hours)
+                {
+                    interrupted += 1;
+                }
+                let _ = e.terminate(launch.instance, start + SimDuration::from_secs(300), TerminationReason::Manual);
+            }
+            interrupted
+        };
+        let unstable = count(Region::CaCentral1);
+        let stable = count(Region::ApNortheast3);
+        assert!(
+            unstable > 2 * stable.max(1),
+            "unstable {unstable} vs stable {stable}"
+        );
+    }
+
+    #[test]
+    fn double_terminate_errors() {
+        let mut e = ec2(6);
+        let launch = e
+            .launch_on_demand(Region::UsEast1, InstanceType::M5Xlarge, SimTime::ZERO)
+            .unwrap();
+        e.terminate(launch.instance, SimTime::from_hours(1), TerminationReason::Completed)
+            .unwrap();
+        let err = e
+            .terminate(launch.instance, SimTime::from_hours(2), TerminationReason::Completed)
+            .unwrap_err();
+        assert!(matches!(err, Ec2Error::AlreadyTerminated(_)));
+        let err = e
+            .terminate(InstanceId::new(999), SimTime::from_hours(2), TerminationReason::Completed)
+            .unwrap_err();
+        assert!(matches!(err, Ec2Error::UnknownInstance(_)));
+    }
+
+    #[test]
+    fn unavailable_market_rejected() {
+        let mut e = ec2(7);
+        let err = e
+            .launch_on_demand(Region::ApNortheast3, InstanceType::P32xlarge, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, Ec2Error::Market(MarketError::Unavailable { .. })));
+        assert!(err.to_string().contains("not offered"));
+    }
+
+    #[test]
+    fn placement_affects_fulfillment_rate() {
+        let mut e = ec2(8);
+        let mut open = 0;
+        for i in 0..200 {
+            if matches!(
+                e.request_spot(Region::UsEast1, InstanceType::M5Xlarge, SimTime::from_hours(i))
+                    .unwrap(),
+                SpotRequestOutcome::OpenNoCapacity
+            ) {
+                open += 1;
+            }
+        }
+        // Placement mean 3 → fulfill ≈ 0.475, so roughly half stay open.
+        assert!(open > 60 && open < 150, "open {open}");
+        assert_eq!(e.spot_attempts(), 200);
+        assert!(e.spot_fulfillments() > 50);
+    }
+
+    #[test]
+    fn usage_cost_integrates_hour_boundaries() {
+        let e = ec2(9);
+        // Split a 2-hour run at an odd offset; summing the parts must equal
+        // the whole (billing additivity).
+        let start = SimTime::from_secs(1800);
+        let mid = SimTime::from_secs(5400);
+        let end = SimTime::from_secs(start.as_secs() + 7200);
+        let whole = e
+            .usage_cost(Region::EuWest1, InstanceType::M5Xlarge, PurchaseModel::Spot, start, end)
+            .unwrap();
+        let a = e
+            .usage_cost(Region::EuWest1, InstanceType::M5Xlarge, PurchaseModel::Spot, start, mid)
+            .unwrap();
+        let b = e
+            .usage_cost(Region::EuWest1, InstanceType::M5Xlarge, PurchaseModel::Spot, mid, end)
+            .unwrap();
+        assert!(((a + b).amount() - whole.amount()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,887 @@
+//! The simulated spot market: deterministic, seeded trajectories of spot
+//! prices, Interruption-Frequency bands, Placement Scores, and demand
+//! episodes for every (region, instance type) pair.
+//!
+//! Mechanics (see DESIGN.md §1 and §5):
+//!
+//! * **Prices** follow a mean-reverting AR(1) process around a slowly
+//!   drifting baseline, clamped to stay below the on-demand price.
+//! * **Bands** take a small daily Markov walk around each profile's long-run
+//!   band (Figure 4a's regional band migrations).
+//! * **Placement scores** follow a daily AR(1) around the profile mean.
+//! * **Demand episodes** are Poisson-arriving high-demand windows during
+//!   which prices rise *and* interruption hazard multiplies — capturing the
+//!   real-world correlation that makes cheap, unstable regions expensive in
+//!   practice (the effect SpotVerse exploits).
+//!
+//! Everything is precomputed at construction from the seed, so any strategy
+//! run against the same [`MarketConfig`] observes the identical market.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use sim_kernel::{SimDuration, SimRng, SimTime};
+
+use crate::advisor::{InterruptionBand, PlacementScore, StabilityScore};
+use crate::instance::InstanceType;
+use crate::money::UsdPerHour;
+use crate::profiles::{self, MarketProfile};
+use crate::region::{AvailabilityZone, Region};
+
+/// Demand-episode parameters for an Interruption-Frequency band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EpisodeParams {
+    per_day: f64,
+    mean_hours: f64,
+    price_mult: f64,
+    hazard_mult: f64,
+}
+
+fn episode_params(band: InterruptionBand) -> EpisodeParams {
+    match band {
+        InterruptionBand::Under5 => EpisodeParams {
+            per_day: 0.10,
+            mean_hours: 2.0,
+            price_mult: 1.20,
+            hazard_mult: 4.0,
+        },
+        InterruptionBand::FiveToTen => EpisodeParams {
+            per_day: 0.25,
+            mean_hours: 3.0,
+            price_mult: 1.30,
+            hazard_mult: 4.0,
+        },
+        InterruptionBand::TenToFifteen => EpisodeParams {
+            per_day: 0.40,
+            mean_hours: 3.0,
+            price_mult: 1.35,
+            hazard_mult: 3.5,
+        },
+        InterruptionBand::FifteenToTwenty => EpisodeParams {
+            per_day: 0.50,
+            mean_hours: 3.5,
+            price_mult: 1.40,
+            hazard_mult: 3.0,
+        },
+        // The worst band's churn is sustained background reclaim pressure,
+        // not rare bursts — otherwise migrating price-chasers could dodge
+        // it, which the paper's threshold-4 experiment shows they cannot.
+        InterruptionBand::Over20 => EpisodeParams {
+            per_day: 0.20,
+            mean_hours: 2.0,
+            price_mult: 1.30,
+            hazard_mult: 1.5,
+        },
+    }
+}
+
+/// A day of the simulated week (the simulation epoch falls on a Monday).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Weekday {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl Weekday {
+    /// The weekday containing `at`.
+    pub fn of(at: SimTime) -> Weekday {
+        match at.as_days() % 7 {
+            0 => Weekday::Monday,
+            1 => Weekday::Tuesday,
+            2 => Weekday::Wednesday,
+            3 => Weekday::Thursday,
+            4 => Weekday::Friday,
+            5 => Weekday::Saturday,
+            _ => Weekday::Sunday,
+        }
+    }
+
+    /// Whether this is a weekend day.
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+
+    /// The day-of-week interruption-hazard factor (paper §7 observes
+    /// weekly usage patterns): mid-week capacity pressure raises reclaim
+    /// rates slightly; weekends relax them.
+    pub fn hazard_factor(self) -> f64 {
+        match self {
+            Weekday::Tuesday | Weekday::Wednesday | Weekday::Thursday => 1.12,
+            Weekday::Monday | Weekday::Friday => 1.0,
+            Weekday::Saturday | Weekday::Sunday => 0.82,
+        }
+    }
+}
+
+/// Quiet-period hazard such that the *time-averaged* hazard equals the
+/// band's calibrated effective hazard (episodes multiply it).
+fn quiet_hazard(band: InterruptionBand) -> f64 {
+    let p = episode_params(band);
+    let f = (p.per_day * p.mean_hours / 24.0).min(0.9);
+    band.base_hourly_hazard() / (1.0 - f + p.hazard_mult * f)
+}
+
+/// Configuration of a market build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarketConfig {
+    /// The master seed all market streams are forked from.
+    pub seed: u64,
+    /// Trace horizon in days (experiments must finish inside it).
+    pub horizon_days: u32,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        MarketConfig {
+            seed: 0,
+            horizon_days: 210,
+        }
+    }
+}
+
+impl MarketConfig {
+    /// A config with the given seed and the default 210-day horizon.
+    pub fn with_seed(seed: u64) -> Self {
+        MarketConfig {
+            seed,
+            ..MarketConfig::default()
+        }
+    }
+}
+
+/// Error returned when querying a market that does not exist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MarketError {
+    /// The instance type is not offered in the region.
+    Unavailable {
+        /// The region queried.
+        region: Region,
+        /// The instance type queried.
+        instance_type: InstanceType,
+    },
+    /// The queried instant lies beyond the precomputed horizon.
+    BeyondHorizon {
+        /// The instant queried.
+        at: SimTime,
+        /// The horizon end.
+        horizon: SimTime,
+    },
+}
+
+impl std::fmt::Display for MarketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarketError::Unavailable {
+                region,
+                instance_type,
+            } => write!(f, "{instance_type} is not offered in {region}"),
+            MarketError::BeyondHorizon { at, horizon } => {
+                write!(f, "query at {at} beyond market horizon {horizon}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}
+
+/// One (region, instance type) market's precomputed trajectory.
+#[derive(Debug, Clone)]
+struct MarketState {
+    profile: MarketProfile,
+    /// Band per day.
+    daily_band: Vec<InterruptionBand>,
+    /// Placement score per day.
+    daily_placement: Vec<PlacementScore>,
+    /// Spot price per hour (episode multiplier baked in, clamped below
+    /// on-demand).
+    hourly_price: Vec<f64>,
+    /// Sorted, disjoint demand-episode windows.
+    episodes: Vec<(SimTime, SimTime)>,
+    /// Maximum instantaneous hazard over the horizon (thinning bound).
+    max_hazard: f64,
+}
+
+impl MarketState {
+    fn build(profile: MarketProfile, horizon_days: u32, rng: &SimRng) -> Self {
+        let days = horizon_days as usize;
+        let hours = days * 24;
+        let region = profile.region();
+        let itype = profile.instance_type();
+        let label = format!("{region}/{itype}");
+
+        // --- Band walk -----------------------------------------------------
+        // m5.xlarge (the Table-3 instance type) advertises very sticky
+        // advisor data; other types' bands migrate more visibly
+        // (Figure 4a/4b's fluctuations).
+        let (excursion_p, return_p) = if itype == InstanceType::M5Xlarge {
+            (0.015, 0.8)
+        } else {
+            (0.05, 0.5)
+        };
+        let mut band_rng = rng.fork(&format!("band:{label}"));
+        let base_band = profile.base_band();
+        let mut daily_band = Vec::with_capacity(days);
+        let mut band = base_band;
+        for _ in 0..days {
+            daily_band.push(band);
+            // Pull toward the base band, with small random excursions.
+            if band != base_band && band_rng.chance(return_p) {
+                band = if band > base_band { band.better() } else { band.worse() };
+            } else if band_rng.chance(excursion_p) {
+                band = band.worse();
+            } else if band_rng.chance(excursion_p) {
+                band = band.better();
+            }
+        }
+
+        // --- Placement-score walk (daily AR(1)) ----------------------------
+        let placement_sigma = if itype == InstanceType::M5Xlarge { 0.10 } else { 0.30 };
+        let mut place_rng = rng.fork(&format!("placement:{label}"));
+        let mut daily_placement = Vec::with_capacity(days);
+        let mut deviation = 0.0_f64;
+        for _ in 0..days {
+            deviation = 0.7 * deviation + place_rng.normal(0.0, placement_sigma);
+            daily_placement.push(PlacementScore::from_f64_clamped(
+                profile.placement_mean() + deviation,
+            ));
+        }
+
+        // --- Demand episodes -----------------------------------------------
+        let mut ep_rng = rng.fork(&format!("episodes:{label}"));
+        let mut episodes: Vec<(SimTime, SimTime)> = Vec::new();
+        let mut t_hours = 0.0_f64;
+        let horizon_hours = hours as f64;
+        loop {
+            // Episode arrival rate depends on the long-run band; the daily
+            // band walk only modulates hazard, not episode arrivals, which
+            // keeps the precomputation single-pass.
+            let params = episode_params(base_band);
+            let rate_per_hour = params.per_day / 24.0;
+            t_hours += ep_rng.exponential(rate_per_hour);
+            if !t_hours.is_finite() || t_hours >= horizon_hours {
+                break;
+            }
+            let duration = ep_rng.exponential(1.0 / params.mean_hours).clamp(0.5, 12.0);
+            let start = SimTime::from_secs((t_hours * 3600.0) as u64);
+            let end_hours = (t_hours + duration).min(horizon_hours);
+            let end = SimTime::from_secs((end_hours * 3600.0) as u64);
+            match episodes.last_mut() {
+                Some(last) if last.1 >= start => last.1 = last.1.max(end),
+                _ => episodes.push((start, end)),
+            }
+            t_hours = end_hours;
+        }
+
+        // --- Hourly price process ------------------------------------------
+        let mut price_rng = rng.fork(&format!("price:{label}"));
+        let od = profiles::on_demand_price(region, itype).rate();
+        let params = episode_params(base_band);
+        let mut hourly_price = Vec::with_capacity(hours);
+        let mut x = 0.0_f64; // AR(1) relative deviation
+        let mut episode_idx = 0usize;
+        for h in 0..hours {
+            x = 0.97 * x + price_rng.normal(0.0, 0.022);
+            let frac = h as f64 / hours.max(1) as f64;
+            let day = h as f64 / 24.0;
+            let surge_mult = profile.surge_price_factor(day);
+            let base = profile.spot_base_at(frac).rate() * surge_mult;
+            let mid = SimTime::from_secs(h as u64 * 3600 + 1800);
+            while episode_idx < episodes.len() && episodes[episode_idx].1 < mid {
+                episode_idx += 1;
+            }
+            let in_episode = episodes
+                .get(episode_idx)
+                .is_some_and(|&(s, e)| s <= mid && mid < e);
+            let mult = if in_episode { params.price_mult } else { 1.0 };
+            let price = (base * (1.0 + x).max(0.3) * mult).clamp(0.15 * od, od);
+            hourly_price.push(price);
+        }
+
+        // --- Thinning bound -------------------------------------------------
+        let max_band_hazard = daily_band
+            .iter()
+            .map(|b| quiet_hazard(*b) * episode_params(*b).hazard_mult)
+            .fold(0.0_f64, f64::max);
+        let max_surge = profile.max_surge_hazard_factor();
+        // 1.12 bounds the weekly factor.
+        let max_hazard = max_band_hazard * profile.hazard_scale() * max_surge * 1.12;
+
+        MarketState {
+            profile,
+            daily_band,
+            daily_placement,
+            hourly_price,
+            episodes,
+            max_hazard,
+        }
+    }
+
+    fn in_episode(&self, at: SimTime) -> bool {
+        let idx = self.episodes.partition_point(|&(s, _)| s <= at);
+        idx > 0 && at < self.episodes[idx - 1].1
+    }
+
+    fn hazard_at(&self, at: SimTime) -> f64 {
+        let day = (at.as_days() as usize).min(self.daily_band.len().saturating_sub(1));
+        let band = self.daily_band[day];
+        let surge = self
+            .profile
+            .surge_hazard_factor(at.as_secs() as f64 / 86_400.0);
+        let weekly = Weekday::of(at).hazard_factor();
+        let quiet = quiet_hazard(band) * self.profile.hazard_scale() * surge * weekly;
+        if self.in_episode(at) {
+            quiet * episode_params(band).hazard_mult
+        } else {
+            quiet
+        }
+    }
+}
+
+/// The simulated multi-region spot market.
+///
+/// # Examples
+///
+/// ```
+/// use cloud_market::{InstanceType, MarketConfig, Region, SpotMarket};
+/// use sim_kernel::SimTime;
+///
+/// let market = SpotMarket::new(MarketConfig::with_seed(42));
+/// let price = market
+///     .spot_price(Region::CaCentral1, InstanceType::M5Xlarge, SimTime::ZERO)
+///     .unwrap();
+/// let od = market.on_demand_price(Region::CaCentral1, InstanceType::M5Xlarge);
+/// assert!(price < od);
+/// ```
+#[derive(Debug)]
+pub struct SpotMarket {
+    config: MarketConfig,
+    horizon: SimTime,
+    states: HashMap<(Region, InstanceType), MarketState>,
+}
+
+impl SpotMarket {
+    /// Builds the market, precomputing all trajectories from the seed.
+    pub fn new(config: MarketConfig) -> Self {
+        let rng = SimRng::seed_from_u64(config.seed).fork("spot-market");
+        let mut states = HashMap::new();
+        for itype in InstanceType::ALL {
+            for p in profiles::profiles_for(itype) {
+                let key = (p.region(), itype);
+                states.insert(key, MarketState::build(p, config.horizon_days, &rng));
+            }
+        }
+        SpotMarket {
+            config,
+            horizon: SimTime::from_days(u64::from(config.horizon_days)),
+            states,
+        }
+    }
+
+    /// The configuration the market was built from.
+    pub fn config(&self) -> MarketConfig {
+        self.config
+    }
+
+    /// The end of the precomputed horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Regions where `instance_type` is offered, in catalog order.
+    pub fn regions_offering(&self, instance_type: InstanceType) -> Vec<Region> {
+        Region::ALL
+            .into_iter()
+            .filter(|r| self.states.contains_key(&(*r, instance_type)))
+            .collect()
+    }
+
+    /// Whether `instance_type` is offered in `region`.
+    pub fn is_available(&self, region: Region, instance_type: InstanceType) -> bool {
+        self.states.contains_key(&(region, instance_type))
+    }
+
+    fn state(
+        &self,
+        region: Region,
+        instance_type: InstanceType,
+    ) -> Result<&MarketState, MarketError> {
+        self.states.get(&(region, instance_type)).ok_or(MarketError::Unavailable {
+            region,
+            instance_type,
+        })
+    }
+
+    fn check_horizon(&self, at: SimTime) -> Result<(), MarketError> {
+        if at >= self.horizon {
+            Err(MarketError::BeyondHorizon {
+                at,
+                horizon: self.horizon,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The spot price at an instant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarketError::Unavailable`] if the type is not offered in the
+    /// region and [`MarketError::BeyondHorizon`] past the trace horizon.
+    pub fn spot_price(
+        &self,
+        region: Region,
+        instance_type: InstanceType,
+        at: SimTime,
+    ) -> Result<UsdPerHour, MarketError> {
+        self.check_horizon(at)?;
+        let state = self.state(region, instance_type)?;
+        let hour = (at.as_secs() / 3600) as usize;
+        Ok(UsdPerHour::new(state.hourly_price[hour.min(state.hourly_price.len() - 1)]))
+    }
+
+    /// The spot price in a specific availability zone: the regional price
+    /// with a small deterministic per-AZ offset (Figure 2's AZ diversity).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SpotMarket::spot_price`].
+    pub fn spot_price_az(
+        &self,
+        az: AvailabilityZone,
+        instance_type: InstanceType,
+        at: SimTime,
+    ) -> Result<UsdPerHour, MarketError> {
+        let regional = self.spot_price(az.region(), instance_type, at)?;
+        // Deterministic AZ spread: fixed offset plus a slow phase-shifted
+        // wobble, within ±7% of the regional price.
+        let k = f64::from(az.index()) + 1.0;
+        let fixed = 0.03 * (k * 2.399).sin();
+        let day = at.as_secs() as f64 / 86_400.0;
+        let wobble = 0.04 * ((day / 9.0 + k * 1.7).sin());
+        let od = profiles::on_demand_price(az.region(), instance_type).rate();
+        Ok(UsdPerHour::new(
+            (regional.rate() * (1.0 + fixed + wobble)).clamp(0.1 * od, od),
+        ))
+    }
+
+    /// The on-demand price (fixed over time).
+    pub fn on_demand_price(&self, region: Region, instance_type: InstanceType) -> UsdPerHour {
+        profiles::on_demand_price(region, instance_type)
+    }
+
+    /// The Interruption-Frequency band on the day containing `at`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SpotMarket::spot_price`].
+    pub fn interruption_band(
+        &self,
+        region: Region,
+        instance_type: InstanceType,
+        at: SimTime,
+    ) -> Result<InterruptionBand, MarketError> {
+        self.check_horizon(at)?;
+        let state = self.state(region, instance_type)?;
+        let day = (at.as_days() as usize).min(state.daily_band.len() - 1);
+        Ok(state.daily_band[day])
+    }
+
+    /// The Stability Score (derived from the band) at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SpotMarket::spot_price`].
+    pub fn stability_score(
+        &self,
+        region: Region,
+        instance_type: InstanceType,
+        at: SimTime,
+    ) -> Result<StabilityScore, MarketError> {
+        Ok(self.interruption_band(region, instance_type, at)?.stability_score())
+    }
+
+    /// The Spot Placement Score at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SpotMarket::spot_price`].
+    pub fn placement_score(
+        &self,
+        region: Region,
+        instance_type: InstanceType,
+        at: SimTime,
+    ) -> Result<PlacementScore, MarketError> {
+        self.check_horizon(at)?;
+        let state = self.state(region, instance_type)?;
+        let day = (at.as_days() as usize).min(state.daily_placement.len() - 1);
+        Ok(state.daily_placement[day])
+    }
+
+    /// The instantaneous interruption hazard (events per instance-hour).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SpotMarket::spot_price`].
+    pub fn hazard_rate(
+        &self,
+        region: Region,
+        instance_type: InstanceType,
+        at: SimTime,
+    ) -> Result<f64, MarketError> {
+        self.check_horizon(at)?;
+        Ok(self.state(region, instance_type)?.hazard_at(at))
+    }
+
+    /// Whether a demand episode is in progress at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SpotMarket::spot_price`].
+    pub fn in_demand_episode(
+        &self,
+        region: Region,
+        instance_type: InstanceType,
+        at: SimTime,
+    ) -> Result<bool, MarketError> {
+        self.check_horizon(at)?;
+        Ok(self.state(region, instance_type)?.in_episode(at))
+    }
+
+    /// Samples the delay until the next interruption for an instance started
+    /// at `start`, or `None` if no interruption occurs before the horizon.
+    ///
+    /// Uses thinning over the piecewise-constant hazard, so clustered
+    /// episode interruptions emerge naturally.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SpotMarket::spot_price`].
+    pub fn sample_interruption_delay(
+        &self,
+        region: Region,
+        instance_type: InstanceType,
+        start: SimTime,
+        rng: &mut SimRng,
+    ) -> Result<Option<SimDuration>, MarketError> {
+        self.sample_interruption_delay_scaled(region, instance_type, start, 1.0, rng)
+    }
+
+    /// Like [`SpotMarket::sample_interruption_delay`], with an extra caller
+    /// hazard multiplier — used by the compute layer to model *crowding*
+    /// (many of the caller's own instances concentrated in one market raise
+    /// the marginal reclaim risk; paper §5.2.3's initial-distribution
+    /// effect).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SpotMarket::spot_price`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hazard_multiplier` is negative or not finite.
+    pub fn sample_interruption_delay_scaled(
+        &self,
+        region: Region,
+        instance_type: InstanceType,
+        start: SimTime,
+        hazard_multiplier: f64,
+        rng: &mut SimRng,
+    ) -> Result<Option<SimDuration>, MarketError> {
+        assert!(
+            hazard_multiplier.is_finite() && hazard_multiplier >= 0.0,
+            "invalid hazard multiplier {hazard_multiplier}"
+        );
+        self.check_horizon(start)?;
+        let state = self.state(region, instance_type)?;
+        let lambda_max = state.max_hazard * hazard_multiplier;
+        if lambda_max <= 0.0 {
+            return Ok(None);
+        }
+        let mut t_hours = start.as_secs() as f64 / 3600.0;
+        let horizon_hours = self.horizon.as_secs() as f64 / 3600.0;
+        loop {
+            t_hours += rng.exponential(lambda_max);
+            if t_hours >= horizon_hours {
+                return Ok(None);
+            }
+            let at = SimTime::from_secs((t_hours * 3600.0) as u64);
+            let accept_p = state.hazard_at(at) * hazard_multiplier / lambda_max;
+            if rng.chance(accept_p) {
+                return Ok(Some(at.saturating_duration_since(start).max(SimDuration::from_secs(1))));
+            }
+        }
+    }
+
+    /// Whether a spot request placed at `at` is fulfilled on this attempt,
+    /// as a Bernoulli draw from the placement score.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SpotMarket::spot_price`].
+    pub fn try_fulfill(
+        &self,
+        region: Region,
+        instance_type: InstanceType,
+        at: SimTime,
+        rng: &mut SimRng,
+    ) -> Result<bool, MarketError> {
+        let score = self.placement_score(region, instance_type, at)?;
+        Ok(rng.chance(score.fulfill_probability()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn market() -> SpotMarket {
+        SpotMarket::new(MarketConfig::with_seed(7))
+    }
+
+    #[test]
+    fn determinism_same_seed_same_market() {
+        let a = market();
+        let b = market();
+        let t = SimTime::from_days(30);
+        for region in Region::ALL {
+            let pa = a.spot_price(region, InstanceType::M5Xlarge, t).unwrap();
+            let pb = b.spot_price(region, InstanceType::M5Xlarge, t).unwrap();
+            assert_eq!(pa, pb);
+            assert_eq!(
+                a.placement_score(region, InstanceType::M5Xlarge, t).unwrap(),
+                b.placement_score(region, InstanceType::M5Xlarge, t).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SpotMarket::new(MarketConfig::with_seed(1));
+        let b = SpotMarket::new(MarketConfig::with_seed(2));
+        let t = SimTime::from_days(10);
+        let pa = a.spot_price(Region::UsEast1, InstanceType::M5Xlarge, t).unwrap();
+        let pb = b.spot_price(Region::UsEast1, InstanceType::M5Xlarge, t).unwrap();
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn prices_never_exceed_on_demand() {
+        let m = market();
+        for region in Region::ALL {
+            let od = m.on_demand_price(region, InstanceType::M5Xlarge);
+            for day in (0..200).step_by(7) {
+                let p = m
+                    .spot_price(region, InstanceType::M5Xlarge, SimTime::from_days(day))
+                    .unwrap();
+                assert!(p <= od, "{region} day {day}: {p} > {od}");
+                assert!(p.rate() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn unavailable_market_errors() {
+        let m = market();
+        let err = m
+            .spot_price(Region::ApNortheast3, InstanceType::P32xlarge, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, MarketError::Unavailable { .. }));
+        assert!(err.to_string().contains("p3.2xlarge"));
+    }
+
+    #[test]
+    fn beyond_horizon_errors() {
+        let m = market();
+        let err = m
+            .spot_price(Region::UsEast1, InstanceType::M5Xlarge, SimTime::from_days(500))
+            .unwrap_err();
+        assert!(matches!(err, MarketError::BeyondHorizon { .. }));
+    }
+
+    #[test]
+    fn stable_regions_have_lower_hazard() {
+        let m = market();
+        let t = SimTime::from_days(3);
+        let stable = m
+            .hazard_rate(Region::ApNortheast3, InstanceType::M5Xlarge, t)
+            .unwrap();
+        let unstable = m
+            .hazard_rate(Region::CaCentral1, InstanceType::M5Xlarge, t)
+            .unwrap();
+        assert!(
+            stable < unstable,
+            "ap-northeast-3 hazard {stable} should be below ca-central-1 {unstable}"
+        );
+    }
+
+    #[test]
+    fn interruption_sampling_matches_hazard_scale() {
+        let m = market();
+        let mut rng = SimRng::seed_from_u64(99);
+        let n = 600;
+        let mut count_before = |region: Region, hours: u64| {
+            let mut interrupted = 0;
+            for _ in 0..n {
+                if let Some(d) = m
+                    .sample_interruption_delay(region, InstanceType::M5Xlarge, SimTime::from_days(1), &mut rng)
+                    .unwrap()
+                {
+                    if d <= SimDuration::from_hours(hours) {
+                        interrupted += 1;
+                    }
+                }
+            }
+            interrupted
+        };
+        let unstable = count_before(Region::CaCentral1, 10);
+        let stable = count_before(Region::ApNortheast3, 10);
+        assert!(
+            unstable > 2 * stable.max(1),
+            "unstable {unstable} vs stable {stable}"
+        );
+        // Unstable region: P(interrupt within 10 h) should be substantial.
+        assert!(unstable as f64 / n as f64 > 0.35, "unstable rate too low: {unstable}/{n}");
+    }
+
+    #[test]
+    fn fulfillment_tracks_placement_score() {
+        let m = market();
+        let mut rng = SimRng::seed_from_u64(4);
+        let t = SimTime::from_days(2);
+        let trials = 500;
+        let mut hits = |region: Region| {
+            (0..trials)
+                .filter(|_| m.try_fulfill(region, InstanceType::M5Xlarge, t, &mut rng).unwrap())
+                .count()
+        };
+        let high = hits(Region::ApNortheast3); // placement mean 7
+        let low = hits(Region::UsEast1); // placement mean 3
+        assert!(high > low, "high {high} vs low {low}");
+    }
+
+    #[test]
+    fn az_prices_cluster_near_regional_price() {
+        let m = market();
+        let t = SimTime::from_days(20);
+        let regional = m
+            .spot_price(Region::UsEast1, InstanceType::C52xlarge, t)
+            .unwrap()
+            .rate();
+        for az in Region::UsEast1.zones() {
+            let p = m.spot_price_az(az, InstanceType::C52xlarge, t).unwrap().rate();
+            assert!((p - regional).abs() / regional < 0.08, "AZ {az}: {p} vs {regional}");
+        }
+        // And the offsets are not all identical.
+        let prices: Vec<f64> = Region::UsEast1
+            .zones()
+            .map(|az| m.spot_price_az(az, InstanceType::C52xlarge, t).unwrap().rate())
+            .collect();
+        assert!(prices.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn regions_offering_excludes_p3_gaps() {
+        let m = market();
+        let regions = m.regions_offering(InstanceType::P32xlarge);
+        assert!(!regions.contains(&Region::ApNortheast3));
+        assert_eq!(m.regions_offering(InstanceType::M5Xlarge).len(), 12);
+        assert!(m.is_available(Region::UsEast1, InstanceType::P32xlarge));
+        assert!(!m.is_available(Region::EuNorth1, InstanceType::P32xlarge));
+    }
+
+    #[test]
+    fn bands_hover_near_profile_base() {
+        let m = market();
+        let mut matches = 0;
+        let mut total = 0;
+        for day in 0..200 {
+            let band = m
+                .interruption_band(Region::ApNortheast3, InstanceType::M5Xlarge, SimTime::from_days(day))
+                .unwrap();
+            total += 1;
+            if band == InterruptionBand::Under5 {
+                matches += 1;
+            }
+        }
+        assert!(
+            matches as f64 / total as f64 > 0.6,
+            "base band should dominate: {matches}/{total}"
+        );
+    }
+
+    #[test]
+    fn hazard_spikes_inside_episodes() {
+        // Use a TenToFifteen market (ca-central's Over20 band deliberately
+        // has near-homogeneous hazard; see episode_params).
+        let m = market();
+        let state = m
+            .state(Region::EuWest3, InstanceType::M5Xlarge)
+            .unwrap();
+        if let Some(&(start, _)) = state.episodes.first() {
+            let inside = state.hazard_at(start + SimDuration::from_secs(60));
+            let band = state.daily_band[(start.as_days() as usize).min(state.daily_band.len() - 1)];
+            let quiet = quiet_hazard(band);
+            assert!(inside > 2.0 * quiet, "episode hazard {inside} vs quiet {quiet}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod weekday_tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_monday_and_weeks_wrap() {
+        assert_eq!(Weekday::of(SimTime::ZERO), Weekday::Monday);
+        assert_eq!(Weekday::of(SimTime::from_days(5)), Weekday::Saturday);
+        assert_eq!(Weekday::of(SimTime::from_days(7)), Weekday::Monday);
+        assert!(Weekday::of(SimTime::from_days(6)).is_weekend());
+        assert!(!Weekday::of(SimTime::from_days(3)).is_weekend());
+    }
+
+    #[test]
+    fn weekday_hazard_shapes_the_week() {
+        assert!(Weekday::Wednesday.hazard_factor() > Weekday::Monday.hazard_factor());
+        assert!(Weekday::Sunday.hazard_factor() < Weekday::Monday.hazard_factor());
+    }
+
+    #[test]
+    fn hazard_rate_reflects_weekly_pattern() {
+        let m = SpotMarket::new(MarketConfig::with_seed(3));
+        // Compare a mid-week day against the following Sunday, far from
+        // surges, same band day (bands can change daily, so average a few
+        // weeks to wash that out).
+        let mut midweek = 0.0;
+        let mut weekend = 0.0;
+        let mut weeks = 0;
+        for week in 8..20 {
+            let wed = SimTime::from_days(week * 7 + 2);
+            let sun = SimTime::from_days(week * 7 + 6);
+            let b_wed = m.interruption_band(Region::UsEast1, InstanceType::M5Xlarge, wed).unwrap();
+            let b_sun = m.interruption_band(Region::UsEast1, InstanceType::M5Xlarge, sun).unwrap();
+            if b_wed != b_sun {
+                continue; // band moved mid-week; skip for a clean comparison
+            }
+            if m.in_demand_episode(Region::UsEast1, InstanceType::M5Xlarge, wed).unwrap()
+                || m.in_demand_episode(Region::UsEast1, InstanceType::M5Xlarge, sun).unwrap()
+            {
+                continue;
+            }
+            midweek += m.hazard_rate(Region::UsEast1, InstanceType::M5Xlarge, wed).unwrap();
+            weekend += m.hazard_rate(Region::UsEast1, InstanceType::M5Xlarge, sun).unwrap();
+            weeks += 1;
+        }
+        assert!(weeks > 0, "no clean comparison weeks found");
+        assert!(
+            midweek > weekend,
+            "midweek hazard {midweek} should exceed weekend {weekend} over {weeks} weeks"
+        );
+    }
+}

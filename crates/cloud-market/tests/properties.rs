@@ -1,0 +1,158 @@
+//! Property-based tests for the market's structural invariants: these must
+//! hold for *every* seed and instant, not just the calibrated bench seed.
+
+use proptest::prelude::*;
+
+use cloud_market::{
+    on_demand_price, InstanceType, InterruptionBand, MarketConfig, Region, SpotMarket, Weekday,
+};
+use sim_kernel::{SimDuration, SimRng, SimTime};
+
+fn any_region() -> impl Strategy<Value = Region> {
+    (0usize..12).prop_map(|i| Region::ALL[i])
+}
+
+fn any_type() -> impl Strategy<Value = InstanceType> {
+    (0usize..6).prop_map(|i| InstanceType::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Spot prices are strictly positive and never exceed on-demand, for
+    /// every market, seed, and instant.
+    #[test]
+    fn prices_bounded_by_on_demand(
+        seed in 0u64..1000,
+        region in any_region(),
+        itype in any_type(),
+        hour in 0u64..(209 * 24),
+    ) {
+        let market = SpotMarket::new(MarketConfig::with_seed(seed));
+        if !market.is_available(region, itype) {
+            return Ok(());
+        }
+        let at = SimTime::from_secs(hour * 3600);
+        let spot = market.spot_price(region, itype, at).unwrap();
+        let od = on_demand_price(region, itype);
+        prop_assert!(spot.rate() > 0.0);
+        prop_assert!(spot <= od, "{region}/{itype}@{at}: {spot} > {od}");
+    }
+
+    /// The same (seed, query) always returns the same answer — full
+    /// market determinism.
+    #[test]
+    fn market_queries_are_deterministic(
+        seed in 0u64..500,
+        region in any_region(),
+        day in 0u64..200,
+    ) {
+        let a = SpotMarket::new(MarketConfig::with_seed(seed));
+        let b = SpotMarket::new(MarketConfig::with_seed(seed));
+        let at = SimTime::from_days(day);
+        let itype = InstanceType::M5Xlarge;
+        prop_assert_eq!(a.spot_price(region, itype, at).unwrap(), b.spot_price(region, itype, at).unwrap());
+        prop_assert_eq!(a.placement_score(region, itype, at).unwrap(), b.placement_score(region, itype, at).unwrap());
+        prop_assert_eq!(a.interruption_band(region, itype, at).unwrap(), b.interruption_band(region, itype, at).unwrap());
+        prop_assert_eq!(a.hazard_rate(region, itype, at).unwrap(), b.hazard_rate(region, itype, at).unwrap());
+    }
+
+    /// The stability score is always the band's mapping, and hazard is
+    /// strictly positive.
+    #[test]
+    fn stability_follows_band_and_hazard_positive(
+        seed in 0u64..300,
+        region in any_region(),
+        day in 0u64..200,
+    ) {
+        let market = SpotMarket::new(MarketConfig::with_seed(seed));
+        let itype = InstanceType::C52xlarge;
+        let at = SimTime::from_days(day);
+        let band = market.interruption_band(region, itype, at).unwrap();
+        let stability = market.stability_score(region, itype, at).unwrap();
+        prop_assert_eq!(stability, band.stability_score());
+        prop_assert!(market.hazard_rate(region, itype, at).unwrap() > 0.0);
+    }
+
+    /// Sampled interruption delays land strictly after the start and
+    /// within the horizon; a zero multiplier never interrupts.
+    #[test]
+    fn interruption_samples_in_range(
+        seed in 0u64..200,
+        day in 0u64..180,
+        draw_seed in 0u64..1000,
+    ) {
+        let market = SpotMarket::new(MarketConfig::with_seed(seed));
+        let start = SimTime::from_days(day);
+        let mut rng = SimRng::seed_from_u64(draw_seed);
+        if let Some(delay) = market
+            .sample_interruption_delay(Region::UsEast1, InstanceType::M5Xlarge, start, &mut rng)
+            .unwrap()
+        {
+            prop_assert!(delay >= SimDuration::from_secs(1));
+            prop_assert!(start + delay <= market.horizon());
+        }
+        let none = market
+            .sample_interruption_delay_scaled(
+                Region::UsEast1,
+                InstanceType::M5Xlarge,
+                start,
+                0.0,
+                &mut rng,
+            )
+            .unwrap();
+        prop_assert_eq!(none, None, "zero hazard multiplier never interrupts");
+    }
+
+    /// AZ prices stay within a tight band around the regional price.
+    #[test]
+    fn az_prices_stay_near_regional(
+        seed in 0u64..200,
+        day in 0u64..200,
+        az_index in 0u8..3,
+    ) {
+        let market = SpotMarket::new(MarketConfig::with_seed(seed));
+        let at = SimTime::from_days(day);
+        let regional = market
+            .spot_price(Region::EuWest1, InstanceType::M5Xlarge, at)
+            .unwrap()
+            .rate();
+        let az = cloud_market::AvailabilityZone::new(Region::EuWest1, az_index).unwrap();
+        let p = market.spot_price_az(az, InstanceType::M5Xlarge, at).unwrap().rate();
+        prop_assert!((p - regional).abs() / regional < 0.10, "AZ {p} vs regional {regional}");
+    }
+
+    /// Weekday arithmetic is periodic with period 7.
+    #[test]
+    fn weekday_is_periodic(day in 0u64..10_000) {
+        prop_assert_eq!(
+            Weekday::of(SimTime::from_days(day)),
+            Weekday::of(SimTime::from_days(day + 7))
+        );
+    }
+
+    /// Band walk transitions are between adjacent bands only.
+    #[test]
+    fn band_walk_moves_one_step_per_day(seed in 0u64..100, region in any_region()) {
+        let market = SpotMarket::new(MarketConfig::with_seed(seed));
+        let itype = InstanceType::M5Xlarge;
+        let mut prev = market.interruption_band(region, itype, SimTime::ZERO).unwrap();
+        for day in 1..200u64 {
+            let band = market.interruption_band(region, itype, SimTime::from_days(day)).unwrap();
+            let adjacent = band == prev || band == prev.better() || band == prev.worse();
+            prop_assert!(adjacent, "{region} day {day}: {prev:?} -> {band:?}");
+            prev = band;
+        }
+    }
+}
+
+#[test]
+fn band_catalogue_is_ordered_and_complete() {
+    // Non-proptest sanity on the band lattice used everywhere above.
+    let hazards: Vec<f64> = InterruptionBand::ALL
+        .iter()
+        .map(|b| b.base_hourly_hazard())
+        .collect();
+    assert!(hazards.windows(2).all(|w| w[0] < w[1]));
+    assert_eq!(InterruptionBand::ALL.len(), 5);
+}

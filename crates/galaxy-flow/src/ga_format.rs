@@ -1,0 +1,408 @@
+//! The Galaxy `.ga` workflow interchange format.
+//!
+//! Galaxy shares workflows as `.ga` JSON documents (the paper's Genome
+//! Reconstruction workflow comes from the Galaxy training materials as one).
+//! This codec exports a [`Workflow`] to a `.ga`-shaped document and imports
+//! it back, carrying the simulator's step timing/sharding metadata in the
+//! step `annotation` field — so exported files remain structurally valid
+//! Galaxy workflows while round-tripping losslessly here.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sim_kernel::SimDuration;
+
+use crate::dataset::DataFormat;
+use crate::json::{self, Json, JsonError};
+use crate::workflow::{RecoveryMode, StepId, Workflow, WorkflowError};
+
+/// `.ga` codec errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GaFormatError {
+    /// The document is not valid JSON.
+    Json(JsonError),
+    /// The document is JSON but not a Galaxy workflow.
+    NotAGalaxyWorkflow(String),
+    /// A step entry is malformed.
+    MalformedStep {
+        /// Step key in the document.
+        step: String,
+        /// What was wrong.
+        problem: String,
+    },
+    /// The reconstructed workflow failed validation.
+    Workflow(WorkflowError),
+}
+
+impl fmt::Display for GaFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GaFormatError::Json(e) => write!(f, "{e}"),
+            GaFormatError::NotAGalaxyWorkflow(msg) => {
+                write!(f, "not a galaxy workflow: {msg}")
+            }
+            GaFormatError::MalformedStep { step, problem } => {
+                write!(f, "malformed step `{step}`: {problem}")
+            }
+            GaFormatError::Workflow(e) => write!(f, "invalid workflow: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GaFormatError {}
+
+impl From<JsonError> for GaFormatError {
+    fn from(e: JsonError) -> Self {
+        GaFormatError::Json(e)
+    }
+}
+
+impl From<WorkflowError> for GaFormatError {
+    fn from(e: WorkflowError) -> Self {
+        GaFormatError::Workflow(e)
+    }
+}
+
+fn format_name(format: DataFormat) -> &'static str {
+    format.extension()
+}
+
+fn format_from_name(name: &str) -> DataFormat {
+    match name {
+        "fastq" => DataFormat::Fastq,
+        "fastq.gz" => DataFormat::FastqGz,
+        "vcf" => DataFormat::Vcf,
+        "fasta" => DataFormat::Fasta,
+        "qza" => DataFormat::Qza,
+        "html" => DataFormat::Html,
+        "json" => DataFormat::Json,
+        "sra" => DataFormat::Sra,
+        _ => DataFormat::Tabular,
+    }
+}
+
+/// Exports a workflow as a `.ga`-shaped JSON document.
+pub fn to_ga_json(workflow: &Workflow) -> String {
+    let mut steps = BTreeMap::new();
+    for (i, step) in workflow.steps().iter().enumerate() {
+        let mut obj = BTreeMap::new();
+        obj.insert("id".to_owned(), Json::Number(i as f64));
+        obj.insert("name".to_owned(), Json::String(step.label().to_owned()));
+        obj.insert(
+            "tool_id".to_owned(),
+            Json::String(step.tool().as_str().to_owned()),
+        );
+        obj.insert("type".to_owned(), Json::String("tool".to_owned()));
+        obj.insert(
+            "annotation".to_owned(),
+            Json::String(format!(
+                "duration_secs={};shards={};output_gib={}",
+                step.duration().as_secs(),
+                step.shards(),
+                step.output_size_gib(),
+            )),
+        );
+        obj.insert(
+            "output_format".to_owned(),
+            Json::String(format_name(step.output_format()).to_owned()),
+        );
+        let mut connections = BTreeMap::new();
+        for (j, dep) in step.inputs().iter().enumerate() {
+            let mut conn = BTreeMap::new();
+            conn.insert("id".to_owned(), Json::Number(dep.index() as f64));
+            conn.insert(
+                "output_name".to_owned(),
+                Json::String("output".to_owned()),
+            );
+            connections.insert(format!("input{j}"), Json::Object(conn));
+        }
+        obj.insert("input_connections".to_owned(), Json::Object(connections));
+        steps.insert(i.to_string(), Json::Object(obj));
+    }
+
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "a_galaxy_workflow".to_owned(),
+        Json::String("true".to_owned()),
+    );
+    doc.insert(
+        "format-version".to_owned(),
+        Json::String("0.1".to_owned()),
+    );
+    doc.insert("name".to_owned(), Json::String(workflow.name().to_owned()));
+    doc.insert(
+        "annotation".to_owned(),
+        Json::String(
+            match workflow.recovery() {
+                RecoveryMode::RestartFromScratch => "recovery=restart-from-scratch",
+                RecoveryMode::ResumeFromCheckpoint => "recovery=resume-from-checkpoint",
+            }
+            .to_owned(),
+        ),
+    );
+    doc.insert("steps".to_owned(), Json::Object(steps));
+    json::write(&Json::Object(doc))
+}
+
+fn annotation_field(annotation: &str, key: &str) -> Option<String> {
+    annotation
+        .split(';')
+        .find_map(|pair| pair.strip_prefix(&format!("{key}=")))
+        .map(str::to_owned)
+}
+
+/// Imports a workflow from a `.ga`-shaped JSON document.
+///
+/// # Errors
+///
+/// Returns a [`GaFormatError`] for non-JSON input, non-workflow documents,
+/// malformed steps, or structurally invalid workflows.
+pub fn from_ga_json(input: &str) -> Result<Workflow, GaFormatError> {
+    let doc = json::parse(input)?;
+    if doc.get("a_galaxy_workflow").and_then(Json::as_str) != Some("true") {
+        return Err(GaFormatError::NotAGalaxyWorkflow(
+            "missing `a_galaxy_workflow: \"true\"`".into(),
+        ));
+    }
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("imported-workflow")
+        .to_owned();
+    let recovery = match doc.get("annotation").and_then(Json::as_str) {
+        Some(a) if a.contains("resume-from-checkpoint") => RecoveryMode::ResumeFromCheckpoint,
+        _ => RecoveryMode::RestartFromScratch,
+    };
+    let steps_obj = doc
+        .get("steps")
+        .and_then(Json::as_object)
+        .ok_or_else(|| GaFormatError::NotAGalaxyWorkflow("missing `steps` object".into()))?;
+
+    // Order steps by numeric key.
+    let mut ordered: Vec<(usize, &Json)> = Vec::with_capacity(steps_obj.len());
+    for (key, value) in steps_obj {
+        let index: usize = key.parse().map_err(|_| GaFormatError::MalformedStep {
+            step: key.clone(),
+            problem: "non-numeric step key".into(),
+        })?;
+        ordered.push((index, value));
+    }
+    ordered.sort_by_key(|&(i, _)| i);
+
+    let mut builder = Workflow::builder(name, recovery);
+    let mut ids: Vec<StepId> = Vec::with_capacity(ordered.len());
+    for (expected, (index, step)) in ordered.iter().enumerate() {
+        let key = index.to_string();
+        if *index != expected {
+            return Err(GaFormatError::MalformedStep {
+                step: key,
+                problem: format!("non-contiguous step ids (expected {expected})"),
+            });
+        }
+        let field = |name: &str| -> Result<&Json, GaFormatError> {
+            step.get(name).ok_or_else(|| GaFormatError::MalformedStep {
+                step: key.clone(),
+                problem: format!("missing `{name}`"),
+            })
+        };
+        let label = field("name")?
+            .as_str()
+            .ok_or_else(|| GaFormatError::MalformedStep {
+                step: key.clone(),
+                problem: "`name` is not a string".into(),
+            })?
+            .to_owned();
+        let tool = field("tool_id")?
+            .as_str()
+            .ok_or_else(|| GaFormatError::MalformedStep {
+                step: key.clone(),
+                problem: "`tool_id` is not a string".into(),
+            })?
+            .to_owned();
+        let annotation = step
+            .get("annotation")
+            .and_then(Json::as_str)
+            .unwrap_or_default();
+        let duration_secs: u64 = annotation_field(annotation, "duration_secs")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| GaFormatError::MalformedStep {
+                step: key.clone(),
+                problem: "annotation lacks `duration_secs`".into(),
+            })?;
+        let shards: u32 = annotation_field(annotation, "shards")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        let output_gib: f64 = annotation_field(annotation, "output_gib")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.01);
+        let output_format = format_from_name(
+            step.get("output_format").and_then(Json::as_str).unwrap_or("tabular"),
+        );
+        let mut inputs = Vec::new();
+        if let Some(connections) = step.get("input_connections").and_then(Json::as_object) {
+            for conn in connections.values() {
+                let dep = conn
+                    .get("id")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| GaFormatError::MalformedStep {
+                        step: key.clone(),
+                        problem: "connection lacks numeric `id`".into(),
+                    })?;
+                let dep = dep as usize;
+                if dep >= ids.len() {
+                    return Err(GaFormatError::MalformedStep {
+                        step: key.clone(),
+                        problem: format!("connection references later step {dep}"),
+                    });
+                }
+                inputs.push(ids[dep]);
+            }
+        }
+        let id = builder.add_step_full(
+            label,
+            tool.as_str(),
+            SimDuration::from_secs(duration_secs),
+            &inputs,
+            shards,
+            output_format,
+            output_gib,
+        );
+        ids.push(id);
+    }
+    Ok(builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::Workflow;
+
+    fn sample_workflow() -> Workflow {
+        let mut b = Workflow::builder("ngs-sample", RecoveryMode::ResumeFromCheckpoint);
+        let fetch = b.add_step_full(
+            "fetch",
+            "sra-toolkit",
+            SimDuration::from_mins(18),
+            &[],
+            1,
+            DataFormat::Sra,
+            1.0,
+        );
+        let qc = b.add_sharded_step("fastqc", "fastqc", SimDuration::from_hours(5), &[fetch], 20);
+        b.add_step_full(
+            "report",
+            "multiqc",
+            SimDuration::from_mins(12),
+            &[qc],
+            1,
+            DataFormat::Html,
+            0.01,
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let original = sample_workflow();
+        let ga = to_ga_json(&original);
+        let imported = from_ga_json(&ga).unwrap();
+        assert_eq!(imported, original);
+    }
+
+    #[test]
+    fn roundtrips_the_paper_workflows() {
+        // Exercise the codec on realistically-sized workflows via the
+        // builder patterns used by bio-workloads (23 steps, shards, etc.).
+        let mut b = Workflow::builder("big", RecoveryMode::RestartFromScratch);
+        let mut prev = None;
+        for i in 0..23 {
+            let inputs: Vec<_> = prev.into_iter().collect();
+            prev = Some(b.add_step(
+                format!("step-{i}"),
+                "tool",
+                SimDuration::from_mins(20 + i),
+                &inputs,
+            ));
+        }
+        let original = b.build().unwrap();
+        let imported = from_ga_json(&to_ga_json(&original)).unwrap();
+        assert_eq!(imported.len(), 23);
+        assert_eq!(imported, original);
+    }
+
+    #[test]
+    fn document_is_galaxy_shaped() {
+        let ga = to_ga_json(&sample_workflow());
+        let doc = crate::json::parse(&ga).unwrap();
+        assert_eq!(doc.get("a_galaxy_workflow").and_then(Json::as_str), Some("true"));
+        assert_eq!(doc.get("format-version").and_then(Json::as_str), Some("0.1"));
+        let steps = doc.get("steps").and_then(Json::as_object).unwrap();
+        assert_eq!(steps.len(), 3);
+        let qc = steps.get("1").unwrap();
+        assert_eq!(qc.get("tool_id").and_then(Json::as_str), Some("fastqc"));
+        assert!(qc
+            .get("annotation")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("shards=20"));
+    }
+
+    #[test]
+    fn rejects_non_workflows() {
+        assert!(matches!(
+            from_ga_json("{}"),
+            Err(GaFormatError::NotAGalaxyWorkflow(_))
+        ));
+        assert!(matches!(from_ga_json("not json"), Err(GaFormatError::Json(_))));
+        assert!(matches!(
+            from_ga_json(r#"{"a_galaxy_workflow": "true", "name": "x"}"#),
+            Err(GaFormatError::NotAGalaxyWorkflow(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_steps() {
+        // Forward-referencing connection.
+        let doc = r#"{
+            "a_galaxy_workflow": "true",
+            "name": "bad",
+            "annotation": "recovery=restart-from-scratch",
+            "steps": {
+                "0": {
+                    "id": 0, "name": "a", "tool_id": "t", "type": "tool",
+                    "annotation": "duration_secs=60;shards=1",
+                    "input_connections": {"input0": {"id": 5, "output_name": "output"}}
+                }
+            }
+        }"#;
+        let err = from_ga_json(doc).unwrap_err();
+        assert!(matches!(err, GaFormatError::MalformedStep { .. }), "{err}");
+        assert!(err.to_string().contains("later step"));
+    }
+
+    #[test]
+    fn missing_duration_is_rejected() {
+        let doc = r#"{
+            "a_galaxy_workflow": "true",
+            "name": "bad",
+            "steps": {
+                "0": {"id": 0, "name": "a", "tool_id": "t", "annotation": "shards=1"}
+            }
+        }"#;
+        let err = from_ga_json(doc).unwrap_err();
+        assert!(err.to_string().contains("duration_secs"));
+    }
+
+    #[test]
+    fn recovery_mode_survives_the_trip() {
+        let standard = {
+            let mut b = Workflow::builder("std", RecoveryMode::RestartFromScratch);
+            b.add_step("s", "t", SimDuration::from_mins(5), &[]);
+            b.build().unwrap()
+        };
+        let imported = from_ga_json(&to_ga_json(&standard)).unwrap();
+        assert_eq!(imported.recovery(), RecoveryMode::RestartFromScratch);
+        let imported_ckpt = from_ga_json(&to_ga_json(&sample_workflow())).unwrap();
+        assert_eq!(imported_ckpt.recovery(), RecoveryMode::ResumeFromCheckpoint);
+    }
+}

@@ -1,0 +1,231 @@
+//! A Planemo-like runner: headless workflow execution against a Galaxy
+//! instance.
+//!
+//! The paper's user-data script uses Planemo and the Galaxy API to launch
+//! workloads at instance boot (§4). This runner reproduces that path:
+//! authenticate with the API key, verify every referenced tool is
+//! installed, create a history, and execute the workflow's steps in order,
+//! appending each step's output dataset to the history.
+
+use std::fmt;
+
+use sim_kernel::{SimDuration, SimTime};
+
+use crate::galaxy::{GalaxyError, GalaxyInstance};
+use crate::workflow::Workflow;
+
+/// One executed step in the run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepTiming {
+    /// The step label.
+    pub label: String,
+    /// When the step started.
+    pub started_at: SimTime,
+    /// When the step finished.
+    pub finished_at: SimTime,
+}
+
+/// The result of a completed Planemo run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// History index the outputs were written to.
+    pub history: usize,
+    /// Per-step timings in execution order.
+    pub steps: Vec<StepTiming>,
+    /// When the whole run finished.
+    pub finished_at: SimTime,
+}
+
+impl RunReport {
+    /// Total wall-clock duration of the run.
+    pub fn duration(&self) -> SimDuration {
+        match self.steps.first() {
+            Some(first) => self.finished_at - first.started_at,
+            None => SimDuration::ZERO,
+        }
+    }
+}
+
+/// Planemo errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanemoError {
+    /// Galaxy rejected the run.
+    Galaxy(GalaxyError),
+    /// The workflow references a tool that is not installed.
+    MissingTool {
+        /// The step needing the tool.
+        step: String,
+        /// The missing tool id.
+        tool: String,
+    },
+}
+
+impl fmt::Display for PlanemoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanemoError::Galaxy(e) => write!(f, "galaxy: {e}"),
+            PlanemoError::MissingTool { step, tool } => {
+                write!(f, "step `{step}` needs tool `{tool}` which is not installed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanemoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanemoError::Galaxy(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GalaxyError> for PlanemoError {
+    fn from(e: GalaxyError) -> Self {
+        PlanemoError::Galaxy(e)
+    }
+}
+
+/// The headless workflow runner.
+///
+/// # Examples
+///
+/// ```
+/// use galaxy_flow::{
+///     GalaxyConfig, GalaxyInstance, PlanemoRunner, RecoveryMode, Tool, Workflow,
+/// };
+/// use sim_kernel::{SimDuration, SimTime};
+///
+/// let mut galaxy = GalaxyInstance::new(GalaxyConfig::automated("a@x", "key"));
+/// galaxy.install_tool("a@x", Tool::from("fastqc"))?;
+///
+/// let mut b = Workflow::builder("qc", RecoveryMode::RestartFromScratch);
+/// b.add_step("qc", "fastqc", SimDuration::from_mins(30), &[]);
+/// let wf = b.build().expect("valid workflow");
+///
+/// let runner = PlanemoRunner::new("key");
+/// let report = runner.run(&mut galaxy, &wf, SimTime::ZERO)?;
+/// assert_eq!(report.duration(), SimDuration::from_mins(30));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanemoRunner {
+    api_key: String,
+}
+
+impl PlanemoRunner {
+    /// Creates a runner holding the Galaxy API key.
+    pub fn new(api_key: impl Into<String>) -> Self {
+        PlanemoRunner {
+            api_key: api_key.into(),
+        }
+    }
+
+    /// Runs a workflow to completion (no interruptions), returning the run
+    /// report. Outputs are appended to a fresh history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanemoError::Galaxy`] for authentication failures and
+    /// [`PlanemoError::MissingTool`] when a referenced tool is absent.
+    pub fn run(
+        &self,
+        galaxy: &mut GalaxyInstance,
+        workflow: &Workflow,
+        at: SimTime,
+    ) -> Result<RunReport, PlanemoError> {
+        galaxy.authenticate(&self.api_key)?;
+        for step in workflow.steps() {
+            if !galaxy.tool_shed().is_installed(step.tool()) {
+                return Err(PlanemoError::MissingTool {
+                    step: step.label().to_owned(),
+                    tool: step.tool().as_str().to_owned(),
+                });
+            }
+        }
+        let history = galaxy.create_history(workflow.name());
+        let mut clock = at;
+        let mut steps = Vec::with_capacity(workflow.len());
+        for step in workflow.steps() {
+            let started_at = clock;
+            clock += step.duration();
+            galaxy
+                .history_mut(history)
+                .expect("history just created")
+                .add_dataset(
+                    format!("{}.{}", step.label(), step.output_format().extension()),
+                    step.output_format(),
+                    step.output_size_gib(),
+                    clock,
+                    Some(step.label().to_owned()),
+                );
+            steps.push(StepTiming {
+                label: step.label().to_owned(),
+                started_at,
+                finished_at: clock,
+            });
+        }
+        Ok(RunReport {
+            history,
+            steps,
+            finished_at: clock,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::galaxy::GalaxyConfig;
+    use crate::tool::Tool;
+    use crate::workflow::RecoveryMode;
+
+    fn galaxy_with(tools: &[&str]) -> GalaxyInstance {
+        let mut g = GalaxyInstance::new(GalaxyConfig::automated("a@x", "key"));
+        for t in tools {
+            g.install_tool("a@x", Tool::from(*t)).unwrap();
+        }
+        g
+    }
+
+    fn two_step_workflow() -> Workflow {
+        let mut b = Workflow::builder("wf", RecoveryMode::RestartFromScratch);
+        let a = b.add_step("fetch", "sra-toolkit", SimDuration::from_mins(10), &[]);
+        b.add_step("qc", "fastqc", SimDuration::from_mins(20), &[a]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn run_produces_history_and_timings() {
+        let mut g = galaxy_with(&["sra-toolkit", "fastqc"]);
+        let report = PlanemoRunner::new("key")
+            .run(&mut g, &two_step_workflow(), SimTime::from_hours(1))
+            .unwrap();
+        assert_eq!(report.steps.len(), 2);
+        assert_eq!(report.steps[0].label, "fetch");
+        assert_eq!(report.steps[1].started_at, SimTime::from_hours(1) + SimDuration::from_mins(10));
+        assert_eq!(report.duration(), SimDuration::from_mins(30));
+        let history = g.history(report.history).unwrap();
+        assert_eq!(history.len(), 2);
+        assert_eq!(history.iter().next().unwrap().produced_by.as_deref(), Some("fetch"));
+    }
+
+    #[test]
+    fn missing_tool_fails_before_any_execution() {
+        let mut g = galaxy_with(&["sra-toolkit"]);
+        let err = PlanemoRunner::new("key")
+            .run(&mut g, &two_step_workflow(), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, PlanemoError::MissingTool { .. }));
+        assert_eq!(g.history_count(), 0, "no history created on failure");
+    }
+
+    #[test]
+    fn bad_api_key_rejected() {
+        let mut g = galaxy_with(&["sra-toolkit", "fastqc"]);
+        let err = PlanemoRunner::new("nope")
+            .run(&mut g, &two_step_workflow(), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, PlanemoError::Galaxy(GalaxyError::InvalidApiKey)));
+    }
+}

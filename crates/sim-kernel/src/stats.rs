@@ -1,0 +1,316 @@
+//! Online statistics used by experiment reports: running moments, quantiles,
+//! and fixed-bin histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford running mean/variance with min/max tracking.
+///
+/// # Examples
+///
+/// ```
+/// use sim_kernel::RunningStats;
+///
+/// let stats: RunningStats = [2.0, 4.0, 6.0].into_iter().collect();
+/// assert_eq!(stats.mean(), 4.0);
+/// assert_eq!(stats.min(), Some(2.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    total: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            total: 0.0,
+        }
+    }
+
+    /// Records an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN; a NaN observation would silently poison every
+    /// downstream statistic.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "RunningStats::record: NaN observation");
+        self.count += 1;
+        self.total += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Mean of observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total_n = n1 + n2;
+        self.mean += delta * n2 / total_n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total_n;
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = RunningStats::new();
+        for x in iter {
+            s.record(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+/// Linear-interpolated percentile of a sample (sorts a copy).
+///
+/// Returns `None` for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or any value is NaN.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile: NaN value"));
+    if sorted.len() == 1 {
+        return Some(sorted[0]);
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Fixed-width histogram over `[lo, hi)` with out-of-range overflow bins.
+///
+/// # Examples
+///
+/// ```
+/// use sim_kernel::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.record(1.0);
+/// h.record(9.5);
+/// assert_eq!(h.bin_counts()[0], 1);
+/// assert_eq!(h.bin_counts()[4], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "Histogram: lo must be < hi");
+        assert!(bins > 0, "Histogram: need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records an observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basic_moments() {
+        let s: RunningStats = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(4.0));
+        assert_eq!(s.total(), 10.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let sequential: RunningStats = data.iter().copied().collect();
+        let mut left: RunningStats = data[..37].iter().copied().collect();
+        let right: RunningStats = data[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), sequential.count());
+        assert!((left.mean() - sequential.mean()).abs() < 1e-9);
+        assert!((left.variance() - sequential.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), sequential.min());
+        assert_eq!(left.max(), sequential.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: RunningStats = [5.0].into_iter().collect();
+        s.merge(&RunningStats::new());
+        assert_eq!(s.count(), 1);
+        let mut e = RunningStats::new();
+        e.merge(&s);
+        assert_eq!(e.mean(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_observation_panics() {
+        RunningStats::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), Some(10.0));
+        assert_eq!(percentile(&v, 100.0), Some(40.0));
+        assert_eq!(percentile(&v, 50.0), Some(25.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [-1.0, 0.0, 0.5, 5.0, 9.999, 10.0, 50.0] {
+            h.record(x);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bin_counts()[0], 2); // 0.0 and 0.5
+        assert_eq!(h.bin_counts()[5], 1);
+        assert_eq!(h.bin_counts()[9], 1);
+        assert_eq!(h.total(), 7);
+    }
+}

@@ -1,0 +1,178 @@
+//! A KV-store-backed [`CheckpointStore`]: the paper's DynamoDB checkpoint
+//! path as a reusable component.
+//!
+//! The experiment engine writes checkpoints inline for performance; this
+//! type packages the same layout behind the
+//! [`galaxy_flow::CheckpointStore`] trait for standalone use (see the
+//! `ngs_checkpoint_resume` example).
+
+use aws_stack::{AttrValue, Item, KvStore};
+use cloud_compute::BillingLedger;
+use cloud_market::Region;
+use galaxy_flow::{CheckpointError, CheckpointRecord, CheckpointStore};
+use sim_kernel::SimTime;
+
+/// The table name used for checkpoints.
+pub const CHECKPOINT_TABLE: &str = "spotverse-checkpoints";
+
+/// A checkpoint store persisting to a [`KvStore`] table, billing each
+/// operation.
+#[derive(Debug, Default)]
+pub struct KvCheckpointStore {
+    kv: KvStore,
+    ledger: BillingLedger,
+    clock: SimTime,
+}
+
+impl KvCheckpointStore {
+    /// Creates the store with its table homed in `region`.
+    pub fn new(region: Region) -> Self {
+        let mut kv = KvStore::new();
+        kv.create_table(CHECKPOINT_TABLE, region)
+            .expect("fresh store has no tables");
+        KvCheckpointStore {
+            kv,
+            ledger: BillingLedger::new(),
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// Advances the store's billing clock (operations are stamped with it).
+    pub fn set_clock(&mut self, at: SimTime) {
+        self.clock = at;
+    }
+
+    /// The accumulated KV charges.
+    pub fn ledger(&self) -> &BillingLedger {
+        &self.ledger
+    }
+
+    fn record_to_item(record: CheckpointRecord) -> Item {
+        let mut item = Item::new();
+        item.insert("units_done".into(), AttrValue::N(record.units_done as f64));
+        item.insert(
+            "updated_at".into(),
+            AttrValue::N(record.updated_at.as_secs() as f64),
+        );
+        item
+    }
+
+    fn item_to_record(item: &Item) -> CheckpointRecord {
+        let units = item
+            .get("units_done")
+            .and_then(AttrValue::as_number)
+            .unwrap_or(0.0) as usize;
+        let at = item
+            .get("updated_at")
+            .and_then(AttrValue::as_number)
+            .unwrap_or(0.0) as u64;
+        CheckpointRecord {
+            units_done: units,
+            updated_at: SimTime::from_secs(at),
+        }
+    }
+}
+
+impl CheckpointStore for KvCheckpointStore {
+    fn save(&mut self, workload: &str, record: CheckpointRecord) -> Result<(), CheckpointError> {
+        // Monotonicity via a conditional write — a stale replacement
+        // instance must not rewind the frontier.
+        let item = Self::record_to_item(record);
+        let result = self.kv.conditional_put(
+            CHECKPOINT_TABLE,
+            workload,
+            item,
+            self.clock,
+            &mut self.ledger,
+            |current| match current {
+                Some(existing) => Self::item_to_record(existing).units_done <= record.units_done,
+                None => true,
+            },
+        );
+        match result {
+            Ok(()) => Ok(()),
+            Err(aws_stack::KvError::ConditionFailed { .. }) => {
+                let persisted = self
+                    .load(workload)?
+                    .map(|r| r.units_done)
+                    .unwrap_or_default();
+                Err(CheckpointError::StaleWrite {
+                    workload: workload.to_owned(),
+                    incoming: record.units_done,
+                    persisted,
+                })
+            }
+            Err(e) => Err(CheckpointError::Backend(e.to_string())),
+        }
+    }
+
+    fn load(&self, workload: &str) -> Result<Option<CheckpointRecord>, CheckpointError> {
+        let rows = self
+            .kv
+            .scan_prefix(CHECKPOINT_TABLE, workload)
+            .map_err(|e| CheckpointError::Backend(e.to_string()))?;
+        Ok(rows
+            .into_iter()
+            .find(|(k, _)| *k == workload)
+            .map(|(_, item)| Self::item_to_record(item)))
+    }
+
+    fn clear(&mut self, workload: &str) -> Result<(), CheckpointError> {
+        self.kv
+            .put_item(CHECKPOINT_TABLE, workload, Item::new(), self.clock, &mut self.ledger)
+            .map_err(|e| CheckpointError::Backend(e.to_string()))?;
+        // An empty item decodes as zero progress — equivalent to cleared.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(units: usize, secs: u64) -> CheckpointRecord {
+        CheckpointRecord {
+            units_done: units,
+            updated_at: SimTime::from_secs(secs),
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut store = KvCheckpointStore::new(Region::UsEast1);
+        store.set_clock(SimTime::from_secs(100));
+        store.save("w", rec(4, 100)).unwrap();
+        let loaded = store.load("w").unwrap().unwrap();
+        assert_eq!(loaded.units_done, 4);
+        assert_eq!(loaded.updated_at, SimTime::from_secs(100));
+        assert!(store.ledger().total().amount() > 0.0, "writes are billed");
+    }
+
+    #[test]
+    fn stale_write_rejected() {
+        let mut store = KvCheckpointStore::new(Region::UsEast1);
+        store.save("w", rec(5, 10)).unwrap();
+        let err = store.save("w", rec(3, 20)).unwrap_err();
+        assert!(matches!(err, CheckpointError::StaleWrite { persisted: 5, .. }));
+        // Progress is unchanged.
+        assert_eq!(store.load("w").unwrap().unwrap().units_done, 5);
+    }
+
+    #[test]
+    fn missing_workload_is_none() {
+        let store = KvCheckpointStore::new(Region::UsEast1);
+        assert_eq!(store.load("ghost").unwrap(), None);
+    }
+
+    #[test]
+    fn clear_resets_progress() {
+        let mut store = KvCheckpointStore::new(Region::UsEast1);
+        store.save("w", rec(7, 0)).unwrap();
+        store.clear("w").unwrap();
+        let after = store.load("w").unwrap().unwrap();
+        assert_eq!(after.units_done, 0);
+        // And new progress can be written again from scratch.
+        store.save("w", rec(2, 50)).unwrap();
+        assert_eq!(store.load("w").unwrap().unwrap().units_done, 2);
+    }
+}

@@ -1,0 +1,886 @@
+//! The experiment engine: runs a fleet of workloads under a placement
+//! strategy against the simulated cloud, reproducing the paper's
+//! measurement loop.
+//!
+//! The engine embodies SpotVerse's **Controller** (paper §3.2, §4):
+//!
+//! * it launches initial instances per the strategy's placements,
+//! * open (unfulfilled) spot requests are retried on a 15-minute sweep,
+//! * a two-minute interruption notice precedes every reclaim; checkpoint
+//!   workloads upload their progress (KV record + working set to the
+//!   object store) inside the notice window,
+//! * on reclaim, the interruption-handler function runs and the strategy
+//!   chooses the relaunch target,
+//! * the Monitor collects market metrics on a periodic schedule so
+//!   SpotVerse decides from *observed* data.
+//!
+//! Everything bills into one ledger; the report reproduces the paper's
+//! metrics: completion times, interruption counts and their regional
+//! distribution, and the full cost breakdown.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use aws_stack::{
+    FileSystemId, FunctionConfig, FunctionRuntime, KvStore, MetricsService, ObjectBody,
+    ObjectStore, RetryPolicy, SharedFileSystem,
+};
+use bio_workloads::WorkloadSpec;
+use cloud_compute::{
+    Ec2, Ec2Config, InstanceId, ServiceKind, SpotRequestOutcome,
+    TerminationReason, INTERRUPTION_NOTICE,
+};
+use cloud_market::{InstanceType, MarketConfig, Region, SpotMarket, Usd};
+use galaxy_flow::WorkflowInvocation;
+use sim_kernel::{
+    CumulativeCounter, Model, Scheduler, SimDuration, SimRng, SimTime, Simulation, TimeSeries,
+};
+
+use crate::monitor::Monitor;
+use crate::optimizer::{Placement, RegionAssessment};
+use crate::strategy::{Strategy, StrategyContext};
+
+/// Name of the interruption-handler function (paper §4).
+pub const INTERRUPTION_HANDLER: &str = "spotverse-interruption-handler";
+
+/// Where checkpoint working sets are persisted (paper §7 proposes EFS as
+/// an alternative to S3; the checkpoint-storage ablation quantifies it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointBackend {
+    /// S3-like object store: cheap storage, cross-region puts pay transfer
+    /// and must fit the two-minute notice.
+    ObjectStore,
+    /// EFS-like shared filesystem: near-instant in-region writes, pricier
+    /// storage, WAN-penalized cross-region reads on resume.
+    SharedFileSystem,
+}
+/// Bucket holding checkpoints and activity logs.
+pub const LOG_BUCKET: &str = "spotverse-logs";
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Master seed (market + all decision streams fork from it).
+    pub seed: u64,
+    /// Market build parameters.
+    pub market: MarketConfig,
+    /// The instance type every workload runs on.
+    pub instance_type: InstanceType,
+    /// The fleet.
+    pub workloads: Vec<WorkloadSpec>,
+    /// When the fleet starts (offset into the market horizon).
+    pub start: SimTime,
+    /// Monitor collection period (default 15 minutes).
+    pub monitor_period: SimDuration,
+    /// Open-request retry sweep interval (the paper's 15 minutes).
+    pub retry_interval: SimDuration,
+    /// Hard deadline after `start`; workloads still unfinished then are
+    /// reported as incomplete.
+    pub max_runtime: SimDuration,
+    /// Route optimizer inputs through the Monitor→KV snapshot pipeline
+    /// (true reproduces the paper's architecture; false reads the market
+    /// directly).
+    pub monitor_pipeline: bool,
+    /// Where checkpoint working sets are persisted.
+    pub checkpoint_backend: CheckpointBackend,
+}
+
+impl ExperimentConfig {
+    /// A standard configuration: monitor pipeline on, 15-minute sweeps,
+    /// 30-day guard, start at day 1 of the market horizon.
+    pub fn new(seed: u64, instance_type: InstanceType, workloads: Vec<WorkloadSpec>) -> Self {
+        ExperimentConfig {
+            seed,
+            market: MarketConfig::with_seed(seed),
+            instance_type,
+            workloads,
+            start: SimTime::from_days(1),
+            monitor_period: SimDuration::from_mins(15),
+            retry_interval: SimDuration::from_mins(15),
+            max_runtime: SimDuration::from_days(30),
+            monitor_pipeline: true,
+            checkpoint_backend: CheckpointBackend::ObjectStore,
+        }
+    }
+}
+
+/// The cost breakdown the paper's cost model reports (§5.1.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Everything.
+    pub total: Usd,
+    /// Spot instance usage.
+    pub spot_instances: Usd,
+    /// On-demand instance usage.
+    pub on_demand_instances: Usd,
+    /// Cross-region data transfer (checkpoints, AMI copies).
+    pub data_transfer: Usd,
+    /// Shared serverless services (functions, KV, metrics, storage fees).
+    pub shared_services: Usd,
+}
+
+/// The result of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Strategy display name.
+    pub strategy: String,
+    /// Fleet size.
+    pub workloads: usize,
+    /// Workloads that finished before the deadline.
+    pub completed: usize,
+    /// Start → last completion (zero if nothing completed).
+    pub makespan: SimDuration,
+    /// Mean per-workload completion time.
+    pub mean_completion: SimDuration,
+    /// Total spot interruptions experienced.
+    pub interruptions: u64,
+    /// Interruptions per region (Figure 7c).
+    pub interruptions_by_region: BTreeMap<Region, u64>,
+    /// Cumulative interruptions over elapsed time (Figures 7a/7d).
+    pub cumulative_interruptions: TimeSeries,
+    /// Completed-workload count over elapsed time (Figure 7b).
+    pub completions_over_time: TimeSeries,
+    /// Instance launches per region.
+    pub launches_by_region: BTreeMap<Region, u64>,
+    /// Costs.
+    pub cost: CostBreakdown,
+    /// Total billed instance-hours.
+    pub instance_hours: f64,
+    /// Spot request attempts (including unfulfilled).
+    pub spot_attempts: u64,
+    /// Spot requests fulfilled.
+    pub spot_fulfillments: u64,
+}
+
+impl ExperimentReport {
+    /// Completion rate in `[0, 1]`.
+    pub fn completion_rate(&self) -> f64 {
+        if self.workloads == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.workloads as f64
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Start,
+    Launch(usize),
+    Retry(usize),
+    Notice(usize, InstanceId),
+    Reclaim(usize, InstanceId),
+    Complete(usize, InstanceId),
+    MonitorTick,
+}
+
+#[derive(Debug)]
+struct RunningInstance {
+    instance: InstanceId,
+    region: Region,
+    ready_at: SimTime,
+}
+
+#[derive(Debug)]
+struct WorkloadRuntime {
+    spec: WorkloadSpec,
+    invocation: WorkflowInvocation,
+    placement: Placement,
+    running: Option<RunningInstance>,
+    completed_at: Option<SimTime>,
+    launches: u32,
+}
+
+struct ExperimentModel {
+    config: ExperimentConfig,
+    market: Arc<SpotMarket>,
+    ec2: Ec2,
+    s3: ObjectStore,
+    efs: SharedFileSystem,
+    efs_id: Option<FileSystemId>,
+    kv: KvStore,
+    functions: FunctionRuntime,
+    metrics: MetricsService,
+    monitor: Monitor,
+    strategy: Box<dyn Strategy>,
+    strategy_rng: SimRng,
+    workloads: Vec<WorkloadRuntime>,
+    completed: usize,
+    interruptions: CumulativeCounter,
+    interruptions_by_region: BTreeMap<Region, u64>,
+    completions: CumulativeCounter,
+    launches_by_region: BTreeMap<Region, u64>,
+    deadline: SimTime,
+    aborted: bool,
+}
+
+impl std::fmt::Debug for ExperimentModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentModel")
+            .field("strategy", &self.strategy.name())
+            .field("completed", &self.completed)
+            .field("interruptions", &self.interruptions.count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ExperimentModel {
+    fn done(&self) -> bool {
+        self.completed == self.workloads.len() || self.aborted
+    }
+
+    /// Current optimizer inputs: the Monitor's latest persisted snapshot
+    /// when the pipeline is enabled, fresh market reads otherwise.
+    fn assessments(&self, now: SimTime) -> Vec<RegionAssessment> {
+        if self.config.monitor_pipeline {
+            if let Ok(snapshot) = self.monitor.latest_assessments(&self.kv) {
+                return snapshot;
+            }
+        }
+        self.monitor
+            .fresh_assessments(&self.market, now)
+            .expect("market assessments within horizon")
+    }
+
+    fn relocate(&mut self, now: SimTime, previous: Region) -> Placement {
+        let assessments = self.assessments(now);
+        let mut ctx = StrategyContext {
+            instance_type: self.config.instance_type,
+            now,
+            assessments: &assessments,
+            rng: &mut self.strategy_rng,
+        };
+        self.strategy.relocate(&mut ctx, previous)
+    }
+
+    fn handle_start(&mut self, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
+        // Prime the Monitor so the first decision has a snapshot.
+        self.monitor
+            .collect(
+                &self.market,
+                now,
+                &mut self.functions,
+                &mut self.kv,
+                &mut self.metrics,
+                self.ec2.ledger_mut(),
+            )
+            .expect("initial monitor collection");
+        scheduler.schedule_in(self.config.monitor_period, Event::MonitorTick);
+
+        let assessments = self.assessments(now);
+        let n = self.workloads.len();
+        let mut ctx = StrategyContext {
+            instance_type: self.config.instance_type,
+            now,
+            assessments: &assessments,
+            rng: &mut self.strategy_rng,
+        };
+        let placements = self.strategy.initial_placements(&mut ctx, n);
+        debug_assert_eq!(placements.len(), n);
+        for (w, placement) in placements.into_iter().enumerate() {
+            self.workloads[w].placement = placement;
+            scheduler.schedule_in(SimDuration::ZERO, Event::Launch(w));
+        }
+    }
+
+    fn handle_launch(&mut self, w: usize, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
+        if self.workloads[w].completed_at.is_some() || self.workloads[w].running.is_some() {
+            return;
+        }
+        let itype = self.config.instance_type;
+        let placement = self.workloads[w].placement;
+        match placement {
+            Placement::Spot(region) => match self.ec2.request_spot(region, itype, now) {
+                Ok(SpotRequestOutcome::Fulfilled(launch)) => {
+                    self.note_launch(region);
+                    self.start_execution(w, region, launch.instance, launch.ready_at, launch.interruption_at, now, scheduler);
+                }
+                Ok(SpotRequestOutcome::OpenNoCapacity) => {
+                    // The Controller's periodic sweep picks it back up.
+                    scheduler.schedule_in(self.config.retry_interval, Event::Retry(w));
+                }
+                Err(e) => panic!("spot request failed fatally: {e}"),
+            },
+            Placement::OnDemand(region) => {
+                let launch = self
+                    .ec2
+                    .launch_on_demand(region, itype, now)
+                    .expect("on-demand launch always succeeds in offered regions");
+                self.note_launch(region);
+                self.start_execution(w, region, launch.instance, launch.ready_at, None, now, scheduler);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_execution(
+        &mut self,
+        w: usize,
+        region: Region,
+        instance: InstanceId,
+        ready_at: SimTime,
+        interruption_at: Option<SimTime>,
+        now: SimTime,
+        scheduler: &mut Scheduler<'_, Event>,
+    ) {
+        self.workloads[w].launches += 1;
+        // Checkpoint workloads resuming mid-flight first re-download the
+        // working set from the log bucket.
+        let mut exec_start = ready_at;
+        if self.workloads[w].spec.kind.is_checkpointable() && self.workloads[w].invocation.units_done() > 0 {
+            let key = format!("checkpoints/{}/dataset", self.workloads[w].spec.id);
+            match self.config.checkpoint_backend {
+                CheckpointBackend::ObjectStore => {
+                    if let Ok((_, outcome)) =
+                        self.s3.get_object(LOG_BUCKET, &key, region, now, self.ec2.ledger_mut())
+                    {
+                        exec_start = exec_start.max(outcome.completes_at);
+                    }
+                }
+                CheckpointBackend::SharedFileSystem => {
+                    let fs = self.efs_id.expect("efs provisioned for this backend");
+                    if let Ok((_, outcome)) =
+                        self.efs.read(fs, &key, region, now, self.ec2.ledger_mut())
+                    {
+                        exec_start = exec_start.max(outcome.completes_at);
+                    }
+                }
+            }
+        }
+        let remaining = self.workloads[w].invocation.remaining_duration();
+        let completion_at = exec_start + remaining;
+        self.workloads[w].running = Some(RunningInstance {
+            instance,
+            region,
+            ready_at: exec_start,
+        });
+        match interruption_at {
+            Some(at) if at < completion_at => {
+                let notice_at = (at - INTERRUPTION_NOTICE).max(now);
+                scheduler.schedule_at(notice_at, Event::Notice(w, instance));
+                scheduler.schedule_at(at, Event::Reclaim(w, instance));
+            }
+            _ => {
+                scheduler.schedule_at(completion_at, Event::Complete(w, instance));
+            }
+        }
+    }
+
+    fn note_launch(&mut self, region: Region) {
+        *self.launches_by_region.entry(region).or_insert(0) += 1;
+    }
+
+    fn handle_notice(&mut self, w: usize, instance: InstanceId, now: SimTime) {
+        let Some(running) = &self.workloads[w].running else {
+            return;
+        };
+        if running.instance != instance || !self.workloads[w].spec.kind.is_checkpointable() {
+            return;
+        }
+        let region = running.region;
+        let ready_at = running.ready_at;
+        // Units completed through the notice instant are what survives.
+        let elapsed = now.saturating_duration_since(ready_at);
+        let units_done = self.workloads[w].invocation.units_done()
+            + self.workloads[w]
+                .invocation
+                .plan()
+                .units_completed_within(self.workloads[w].invocation.units_done(), elapsed);
+        // Persist the progress record and upload the ≤1 GiB working set —
+        // both must fit the two-minute notice (they do; see
+        // cloud_compute::transfer tests).
+        let spec_id = self.workloads[w].spec.id.clone();
+        let ledger = self.ec2.ledger_mut();
+        self.kv
+            .update_item("spotverse-checkpoints", &spec_id, now, ledger, |item| {
+                item.insert("units_done".into(), aws_stack::AttrValue::N(units_done as f64));
+                item.insert("at".into(), aws_stack::AttrValue::N(now.as_secs() as f64));
+            })
+            .expect("checkpoint table exists");
+        let key = format!("checkpoints/{spec_id}/dataset");
+        match self.config.checkpoint_backend {
+            CheckpointBackend::ObjectStore => {
+                self.s3
+                    .put_object(
+                        LOG_BUCKET,
+                        key,
+                        ObjectBody::Synthetic {
+                            size_gib: bio_workloads::ngs_preprocessing::DATASET_GIB,
+                        },
+                        region,
+                        now,
+                        self.ec2.ledger_mut(),
+                    )
+                    .expect("log bucket exists");
+            }
+            CheckpointBackend::SharedFileSystem => {
+                let fs = self.efs_id.expect("efs provisioned for this backend");
+                self.efs
+                    .write(
+                        fs,
+                        key,
+                        bio_workloads::ngs_preprocessing::DATASET_GIB,
+                        region,
+                        now,
+                        self.ec2.ledger_mut(),
+                    )
+                    .expect("efs mounted everywhere");
+            }
+        }
+        // Pin the invocation's progress to the checkpointed frontier: work
+        // between notice and reclaim is not persisted.
+        self.workloads[w]
+            .invocation
+            .resume_from(units_done)
+            .expect("checkpoint within plan");
+    }
+
+    fn handle_reclaim(
+        &mut self,
+        w: usize,
+        instance: InstanceId,
+        now: SimTime,
+        scheduler: &mut Scheduler<'_, Event>,
+    ) {
+        let Some(running) = &self.workloads[w].running else {
+            return;
+        };
+        if running.instance != instance {
+            return;
+        }
+        let region = running.region;
+        let ready_at = running.ready_at;
+        self.workloads[w].running = None;
+
+        // Account the interruption.
+        self.interruptions.increment(now);
+        *self.interruptions_by_region.entry(region).or_insert(0) += 1;
+
+        // Progress bookkeeping: checkpoint workloads were already pinned at
+        // the notice; standard workloads lose everything.
+        if !self.workloads[w].spec.kind.is_checkpointable() {
+            let elapsed = now.saturating_duration_since(ready_at);
+            let _ = self.workloads[w].invocation.record_execution(elapsed);
+        }
+        self.workloads[w].invocation.handle_interruption();
+
+        // Bill and log the terminated instance.
+        self.ec2
+            .terminate(instance, now, TerminationReason::Interrupted)
+            .expect("reclaimed instance was running");
+        let log_key = format!("interruptions/{}/{}", self.workloads[w].spec.id, instance);
+        self.s3
+            .put_object(
+                LOG_BUCKET,
+                log_key,
+                ObjectBody::from_text(format!("{instance} reclaimed in {region} at {now}")),
+                region,
+                now,
+                self.ec2.ledger_mut(),
+            )
+            .expect("log bucket exists");
+
+        // The interruption handler (EventBridge → Step Functions → Lambda)
+        // picks the migration target and issues the new request.
+        let handler_done = {
+            let ledger = self.ec2.ledger_mut();
+            self.functions
+                .invoke(INTERRUPTION_HANDLER, now, RetryPolicy::default(), ledger, |_| Ok(()))
+                .map(|o| o.finished_at)
+                .unwrap_or(now)
+        };
+        let placement = self.relocate(now, region);
+        self.workloads[w].placement = placement;
+        scheduler.schedule_at(handler_done.max(now), Event::Launch(w));
+    }
+
+    fn handle_complete(
+        &mut self,
+        w: usize,
+        instance: InstanceId,
+        now: SimTime,
+    ) {
+        let Some(running) = &self.workloads[w].running else {
+            return;
+        };
+        if running.instance != instance {
+            return;
+        }
+        let ready_at = running.ready_at;
+        self.workloads[w].running = None;
+        let elapsed = now.saturating_duration_since(ready_at);
+        let progress = self.workloads[w]
+            .invocation
+            .record_execution(elapsed)
+            .expect("completion on a running invocation");
+        debug_assert!(progress.finished, "completion event fired early");
+        self.ec2
+            .terminate(instance, now, TerminationReason::Completed)
+            .expect("completed instance was running");
+        self.workloads[w].completed_at = Some(now);
+        self.completed += 1;
+        self.completions.increment(now);
+        // Clear any checkpoint state.
+        if self.workloads[w].spec.kind.is_checkpointable() {
+            let spec_id = self.workloads[w].spec.id.clone();
+            let ledger = self.ec2.ledger_mut();
+            let _ = self.kv.update_item("spotverse-checkpoints", &spec_id, now, ledger, |item| {
+                item.insert("completed".into(), aws_stack::AttrValue::Bool(true));
+            });
+        }
+    }
+
+    fn handle_monitor_tick(&mut self, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
+        if self.done() {
+            return;
+        }
+        self.monitor
+            .collect(
+                &self.market,
+                now,
+                &mut self.functions,
+                &mut self.kv,
+                &mut self.metrics,
+                self.ec2.ledger_mut(),
+            )
+            .expect("monitor collection within horizon");
+        scheduler.schedule_in(self.config.monitor_period, Event::MonitorTick);
+    }
+}
+
+impl Model for ExperimentModel {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, scheduler: &mut Scheduler<'_, Event>) {
+        if now >= self.deadline {
+            self.aborted = true;
+            return;
+        }
+        match event {
+            Event::Start => self.handle_start(now, scheduler),
+            Event::Launch(w) | Event::Retry(w) => self.handle_launch(w, now, scheduler),
+            Event::Notice(w, instance) => self.handle_notice(w, instance, now),
+            Event::Reclaim(w, instance) => self.handle_reclaim(w, instance, now, scheduler),
+            Event::Complete(w, instance) => self.handle_complete(w, instance, now),
+            Event::MonitorTick => self.handle_monitor_tick(now, scheduler),
+        }
+    }
+}
+
+/// Runs one experiment, building a fresh market from the config.
+pub fn run_experiment(config: ExperimentConfig, strategy: Box<dyn Strategy>) -> ExperimentReport {
+    let market = Arc::new(SpotMarket::new(config.market));
+    run_experiment_on(market, config, strategy)
+}
+
+/// Runs one experiment against a shared market, so several strategies can
+/// be compared on the identical market trajectory.
+///
+/// # Panics
+///
+/// Panics if the market was built from a different [`MarketConfig`] than
+/// the experiment's, or if the fleet is empty.
+pub fn run_experiment_on(
+    market: Arc<SpotMarket>,
+    config: ExperimentConfig,
+    strategy: Box<dyn Strategy>,
+) -> ExperimentReport {
+    assert_eq!(
+        market.config(),
+        config.market,
+        "shared market must match the experiment's market config"
+    );
+    assert!(!config.workloads.is_empty(), "empty workload fleet");
+
+    let root_rng = SimRng::seed_from_u64(config.seed);
+    let ec2 = Ec2::new(Arc::clone(&market), Ec2Config::default(), root_rng.fork("ec2"));
+    let monitor = Monitor::new(config.instance_type, Region::UsEast1);
+
+    let mut model = ExperimentModel {
+        market,
+        ec2,
+        s3: ObjectStore::new(),
+        efs: SharedFileSystem::new(),
+        efs_id: None,
+        kv: KvStore::new(),
+        functions: FunctionRuntime::new(),
+        metrics: MetricsService::new(Region::UsEast1),
+        monitor,
+        strategy,
+        strategy_rng: root_rng.fork("strategy"),
+        workloads: config
+            .workloads
+            .iter()
+            .map(|spec| {
+                let workflow = spec.build_workflow();
+                WorkloadRuntime {
+                    spec: spec.clone(),
+                    invocation: WorkflowInvocation::new(&workflow),
+                    placement: Placement::Spot(Region::UsEast1), // overwritten at Start
+                    running: None,
+                    completed_at: None,
+                    launches: 0,
+                }
+            })
+            .collect(),
+        completed: 0,
+        interruptions: CumulativeCounter::new("interruptions"),
+        interruptions_by_region: BTreeMap::new(),
+        completions: CumulativeCounter::new("completions"),
+        launches_by_region: BTreeMap::new(),
+        deadline: config.start + config.max_runtime,
+        aborted: false,
+        config,
+    };
+
+    // Provision the serverless stack.
+    model.monitor.provision(&mut model.functions, &mut model.kv);
+    model
+        .functions
+        .register(INTERRUPTION_HANDLER, Region::UsEast1, FunctionConfig::default());
+    model
+        .s3
+        .create_bucket(LOG_BUCKET, Region::UsEast1)
+        .expect("fresh object store");
+    model
+        .kv
+        .create_table("spotverse-checkpoints", Region::UsEast1)
+        .expect("fresh kv store");
+    if model.config.checkpoint_backend == CheckpointBackend::SharedFileSystem {
+        let fs = model.efs.create(Region::UsEast1);
+        for region in Region::ALL {
+            model.efs.mount(fs, region).expect("fresh filesystem");
+        }
+        model.efs_id = Some(fs);
+    }
+
+    let start = model.config.start;
+    let mut sim = Simulation::new(model);
+    sim.schedule_at(start, Event::Start);
+    sim.run_until(|m| m.done());
+    let final_time = sim.now();
+    let model = sim.into_model();
+
+    // Assemble the report.
+    let completed_times: Vec<SimDuration> = model
+        .workloads
+        .iter()
+        .filter_map(|w| w.completed_at)
+        .map(|at| at - start)
+        .collect();
+    let makespan = completed_times
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    let mean_completion = if completed_times.is_empty() {
+        SimDuration::ZERO
+    } else {
+        SimDuration::from_secs(
+            completed_times.iter().map(|d| d.as_secs()).sum::<u64>()
+                / completed_times.len() as u64,
+        )
+    };
+    let ledger = model.ec2.ledger();
+    let shared = ledger.total_for_service(ServiceKind::FunctionRuntime)
+        + ledger.total_for_service(ServiceKind::KvStore)
+        + ledger.total_for_service(ServiceKind::Metrics)
+        + ledger.total_for_service(ServiceKind::ObjectStorage);
+    let cost = CostBreakdown {
+        total: ledger.total(),
+        spot_instances: ledger.total_for_service(ServiceKind::SpotInstance),
+        on_demand_instances: ledger.total_for_service(ServiceKind::OnDemandInstance),
+        data_transfer: ledger.total_for_service(ServiceKind::DataTransfer),
+        shared_services: shared,
+    };
+    let instance_hours: f64 = model
+        .ec2
+        .instances()
+        .iter()
+        .map(|r| match r.state() {
+            cloud_compute::InstanceState::Terminated { at, .. } => {
+                (at - r.launched_at()).as_hours_f64()
+            }
+            cloud_compute::InstanceState::Running => {
+                final_time.saturating_duration_since(r.launched_at()).as_hours_f64()
+            }
+        })
+        .sum();
+
+    ExperimentReport {
+        strategy: model.strategy.name().to_owned(),
+        workloads: model.workloads.len(),
+        completed: model.completed,
+        makespan,
+        mean_completion,
+        interruptions: model.interruptions.count(),
+        interruptions_by_region: model.interruptions_by_region,
+        cumulative_interruptions: model.interruptions.series().clone(),
+        completions_over_time: model.completions.series().clone(),
+        launches_by_region: model.launches_by_region,
+        cost,
+        instance_hours,
+        spot_attempts: model.ec2.spot_attempts(),
+        spot_fulfillments: model.ec2.spot_fulfillments(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bio_workloads::{paper_fleet, WorkloadKind};
+    use cloud_market::Region;
+
+    use crate::config::{InitialPlacement, SpotVerseConfig};
+    use crate::strategy::{
+        OnDemandStrategy, SingleRegionStrategy, SpotVerseStrategy,
+    };
+
+    fn small_fleet(kind: WorkloadKind, n: usize, seed: u64) -> ExperimentConfig {
+        let rng = SimRng::seed_from_u64(seed);
+        let fleet = paper_fleet(kind, n, &rng);
+        ExperimentConfig::new(seed, InstanceType::M5Xlarge, fleet)
+    }
+
+    #[test]
+    fn on_demand_fleet_completes_exactly_on_time() {
+        let config = small_fleet(WorkloadKind::GenomeReconstruction, 5, 11);
+        let durations: Vec<SimDuration> = config.workloads.iter().map(|w| w.duration).collect();
+        let report = run_experiment(config, Box::new(OnDemandStrategy::new()));
+        assert_eq!(report.completed, 5);
+        assert_eq!(report.interruptions, 0);
+        assert_eq!(report.cost.spot_instances, Usd::ZERO);
+        assert!(report.cost.on_demand_instances > Usd::ZERO);
+        // Makespan = longest workload + boot (150 s).
+        let expected = *durations.iter().max().unwrap() + SimDuration::from_secs(150);
+        assert_eq!(report.makespan, expected);
+        assert_eq!(report.spot_attempts, 0);
+    }
+
+    #[test]
+    fn single_region_unstable_market_interrupts_and_recovers() {
+        let config = small_fleet(WorkloadKind::GenomeReconstruction, 8, 12);
+        let report = run_experiment(
+            config,
+            Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
+        );
+        assert_eq!(report.completed, 8, "all workloads eventually finish");
+        assert!(report.interruptions > 0, "ca-central-1 is interruption-prone");
+        assert_eq!(
+            report.interruptions_by_region.keys().copied().collect::<Vec<_>>(),
+            vec![Region::CaCentral1],
+            "single-region interruptions stay in one region"
+        );
+        assert!(report.makespan > SimDuration::from_hours(10));
+        assert!(report.cost.total > Usd::ZERO);
+    }
+
+    #[test]
+    fn spotverse_beats_single_region_on_interruptions() {
+        let seed = 13;
+        let single = run_experiment(
+            small_fleet(WorkloadKind::GenomeReconstruction, 20, seed),
+            Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
+        );
+        let spotverse = run_experiment(
+            small_fleet(WorkloadKind::GenomeReconstruction, 20, seed),
+            Box::new(SpotVerseStrategy::new(
+                SpotVerseConfig::builder(InstanceType::M5Xlarge)
+                    .initial_placement(InitialPlacement::SingleRegion(Region::CaCentral1))
+                    .build(),
+            )),
+        );
+        assert_eq!(spotverse.completed, 20);
+        assert!(
+            spotverse.interruptions < single.interruptions,
+            "spotverse {} vs single {}",
+            spotverse.interruptions,
+            single.interruptions
+        );
+        assert!(
+            spotverse.makespan < single.makespan,
+            "spotverse {} vs single {}",
+            spotverse.makespan,
+            single.makespan
+        );
+        // SpotVerse migrated away: interruptions span multiple regions or
+        // at least launches do.
+        assert!(spotverse.launches_by_region.len() > 1);
+    }
+
+    #[test]
+    fn checkpoint_workloads_lose_less_time_than_standard() {
+        let seed = 14;
+        let standard = run_experiment(
+            small_fleet(WorkloadKind::GenomeReconstruction, 8, seed),
+            Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
+        );
+        let checkpoint = run_experiment(
+            small_fleet(WorkloadKind::NgsPreprocessing, 8, seed),
+            Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
+        );
+        assert_eq!(checkpoint.completed, 8);
+        assert!(
+            checkpoint.mean_completion < standard.mean_completion,
+            "checkpoint {} vs standard {}",
+            checkpoint.mean_completion,
+            standard.mean_completion
+        );
+        // Checkpoint uploads appear as data-transfer + kv spend.
+        assert!(checkpoint.cost.shared_services > Usd::ZERO);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_reports() {
+        let a = run_experiment(
+            small_fleet(WorkloadKind::GenomeReconstruction, 6, 15),
+            Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
+        );
+        let b = run_experiment(
+            small_fleet(WorkloadKind::GenomeReconstruction, 6, 15),
+            Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
+        );
+        assert_eq!(a.interruptions, b.interruptions);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.cost.total, b.cost.total);
+        assert_eq!(a.completed, b.completed);
+    }
+
+    #[test]
+    fn shared_market_requires_matching_config() {
+        let config = small_fleet(WorkloadKind::GenomeReconstruction, 2, 16);
+        let other_market = Arc::new(SpotMarket::new(MarketConfig::with_seed(999)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_experiment_on(other_market, config, Box::new(OnDemandStrategy::new()))
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cumulative_series_are_monotone() {
+        let report = run_experiment(
+            small_fleet(WorkloadKind::GenomeReconstruction, 8, 17),
+            Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
+        );
+        let values: Vec<f64> = report
+            .cumulative_interruptions
+            .iter()
+            .map(|&(_, v)| v)
+            .collect();
+        assert!(values.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(
+            report.completions_over_time.last().map(|(_, v)| v as usize),
+            Some(report.completed)
+        );
+        assert_eq!(report.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn interruption_total_matches_regional_sum() {
+        let report = run_experiment(
+            small_fleet(WorkloadKind::GenomeReconstruction, 10, 18),
+            Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
+        );
+        let regional: u64 = report.interruptions_by_region.values().sum();
+        assert_eq!(regional, report.interruptions);
+    }
+}

@@ -1,0 +1,76 @@
+//! # spotverse
+//!
+//! A reproduction of **SpotVerse** (Son, Gudukbay, Kandemir — MIDDLEWARE
+//! 2024): a multi-region cloud resource manager that runs long
+//! bioinformatics workloads on spot instances while navigating
+//! interruption risk, by ranking regions on a *combined score* — the Spot
+//! Placement Score (1–10) plus the Stability Score (1–3, the inverse of
+//! the Spot Instance Advisor's Interruption Frequency band) — rather than
+//! on spot price alone.
+//!
+//! The three architecture components of the paper map to:
+//!
+//! * **Monitor** ([`Monitor`]) — scheduled collector functions persist
+//!   per-region prices and advisor metrics to the KV store,
+//! * **Optimizer** ([`Optimizer`], Algorithm 1) — threshold-filtered,
+//!   price-sorted top-R region selection with round-robin initial
+//!   placement, random-among-top-R migration, and a cheapest-on-demand
+//!   fallback,
+//! * **Controller** (the experiment engine, [`run_experiment`]) — launches, 15-minute
+//!   open-request sweeps, two-minute-notice checkpointing, and
+//!   interruption-handler relaunches.
+//!
+//! Baselines from the paper's evaluation are provided as [`Strategy`]
+//! implementations: single-region, on-demand, naive multi-region, and a
+//! SkyPilot-like cheapest-price baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use bio_workloads::{paper_fleet, WorkloadKind};
+//! use cloud_market::InstanceType;
+//! use sim_kernel::SimRng;
+//! use spotverse::{
+//!     run_experiment, ExperimentConfig, SpotVerseConfig, SpotVerseStrategy,
+//! };
+//!
+//! let rng = SimRng::seed_from_u64(42);
+//! let fleet = paper_fleet(WorkloadKind::GenomeReconstruction, 4, &rng);
+//! let config = ExperimentConfig::new(42, InstanceType::M5Xlarge, fleet);
+//! let strategy = SpotVerseStrategy::new(SpotVerseConfig::paper_default(InstanceType::M5Xlarge));
+//! let report = run_experiment(config, Box::new(strategy));
+//! assert_eq!(report.completed, 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod checkpointing;
+mod config;
+mod deadline;
+mod experiment;
+mod forecast;
+mod monitor;
+mod optimizer;
+mod provider;
+mod report;
+mod repetitions;
+mod strategy;
+
+pub use checkpointing::{KvCheckpointStore, CHECKPOINT_TABLE};
+pub use config::{InitialPlacement, SpotVerseConfig, SpotVerseConfigBuilder};
+pub use experiment::{
+    run_experiment, run_experiment_on, CheckpointBackend, CostBreakdown, ExperimentConfig,
+    ExperimentReport, INTERRUPTION_HANDLER, LOG_BUCKET,
+};
+pub use monitor::{Monitor, MonitorError, COLLECTOR_FUNCTION, METRICS_TABLE};
+pub use deadline::{DeadlineAwareStrategy, DeadlinePolicy};
+pub use forecast::{ForecastingSpotVerseStrategy, HoltSmoother, MetricForecaster};
+pub use optimizer::{MigrationPolicy, Optimizer, Placement, RegionAssessment};
+pub use provider::{degrade_assessments, MetricAvailability, ProviderAdaptedStrategy};
+pub use report::{compare, normalized_cost, summary_line, Comparison};
+pub use repetitions::{repetition_config, run_repetitions, AggregateReport};
+pub use strategy::{
+    AblatedSpotVerseStrategy, NaiveMultiRegionStrategy, OnDemandStrategy, SingleRegionStrategy,
+    SkyPilotStrategy, SpotVerseStrategy, Strategy, StrategyContext,
+};

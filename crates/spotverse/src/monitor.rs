@@ -1,0 +1,343 @@
+//! The Monitor component (paper §3.2, §4).
+//!
+//! A metrics-collector function, triggered on a CloudWatch-like schedule,
+//! gathers on-demand/spot prices, Interruption Frequency (as the Stability
+//! Score) and Spot Placement Scores for every region offering the managed
+//! instance type, and persists them to the KV store — SpotVerse's
+//! centralized data plane. The Optimizer consumes the latest persisted
+//! snapshot, so decisions are made on *observed* (possibly minutes-stale)
+//! metrics, exactly as in the real system.
+
+use aws_stack::{AttrValue, FunctionConfig, FunctionRuntime, Item, KvError, KvStore, MetricKey, MetricsService, RetryPolicy};
+use cloud_compute::BillingLedger;
+use cloud_market::{
+    InstanceType, MarketError, PlacementScore, Region, SpotMarket, StabilityScore, UsdPerHour,
+};
+use sim_kernel::SimTime;
+
+use crate::optimizer::RegionAssessment;
+
+/// The KV table the Monitor writes to.
+pub const METRICS_TABLE: &str = "spotverse-metrics";
+/// The function name of the collector.
+pub const COLLECTOR_FUNCTION: &str = "spotverse-metrics-collector";
+
+/// Monitor errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorError {
+    /// The market rejected a query.
+    Market(MarketError),
+    /// The KV store rejected an operation.
+    Kv(KvError),
+    /// No snapshot has been collected yet.
+    NoSnapshot,
+}
+
+impl std::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonitorError::Market(e) => write!(f, "market: {e}"),
+            MonitorError::Kv(e) => write!(f, "kv store: {e}"),
+            MonitorError::NoSnapshot => write!(f, "no metrics snapshot collected yet"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MonitorError::Market(e) => Some(e),
+            MonitorError::Kv(e) => Some(e),
+            MonitorError::NoSnapshot => None,
+        }
+    }
+}
+
+impl From<MarketError> for MonitorError {
+    fn from(e: MarketError) -> Self {
+        MonitorError::Market(e)
+    }
+}
+
+impl From<KvError> for MonitorError {
+    fn from(e: KvError) -> Self {
+        MonitorError::Kv(e)
+    }
+}
+
+/// The Monitor component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Monitor {
+    instance_type: InstanceType,
+    home_region: Region,
+}
+
+impl Monitor {
+    /// Creates a monitor for an instance type, homed in `home_region` (where
+    /// its collector function and table live).
+    pub fn new(instance_type: InstanceType, home_region: Region) -> Self {
+        Monitor {
+            instance_type,
+            home_region,
+        }
+    }
+
+    /// The managed instance type.
+    pub fn instance_type(&self) -> InstanceType {
+        self.instance_type
+    }
+
+    /// Provisions the collector function and metrics table. Idempotent.
+    pub fn provision(&self, functions: &mut FunctionRuntime, kv: &mut KvStore) {
+        if !functions.is_registered(COLLECTOR_FUNCTION) {
+            functions.register(COLLECTOR_FUNCTION, self.home_region, FunctionConfig::default());
+        }
+        // Ignore "already exists": provisioning is idempotent.
+        let _ = kv.create_table(METRICS_TABLE, self.home_region);
+    }
+
+    /// Runs one collection cycle: the collector function reads every
+    /// region's metrics from the market and persists them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::Market`] or [`MonitorError::Kv`] on substrate
+    /// failures.
+    pub fn collect(
+        &self,
+        market: &SpotMarket,
+        at: SimTime,
+        functions: &mut FunctionRuntime,
+        kv: &mut KvStore,
+        metrics: &mut MetricsService,
+        ledger: &mut BillingLedger,
+    ) -> Result<usize, MonitorError> {
+        let regions = market.regions_offering(self.instance_type);
+        // Gather outside the function body so market errors surface typed.
+        let mut rows = Vec::with_capacity(regions.len());
+        for region in regions {
+            let spot = market.spot_price(region, self.instance_type, at)?;
+            let od = market.on_demand_price(region, self.instance_type);
+            let placement = market.placement_score(region, self.instance_type, at)?;
+            let stability = market.stability_score(region, self.instance_type, at)?;
+            rows.push((region, spot, od, placement, stability));
+        }
+        // The Lambda invocation (billed; retried by the runtime on demand).
+        functions
+            .invoke(COLLECTOR_FUNCTION, at, RetryPolicy::default(), ledger, |_| Ok(()))
+            .map_err(|e| MonitorError::Kv(KvError::NoSuchTable(e.to_string())))
+            .ok();
+        let count = rows.len();
+        for (region, spot, od, placement, stability) in rows {
+            let mut item = Item::new();
+            item.insert("spot_price".into(), AttrValue::N(spot.rate()));
+            item.insert("on_demand_price".into(), AttrValue::N(od.rate()));
+            item.insert("placement_score".into(), AttrValue::N(f64::from(placement.value())));
+            item.insert("stability_score".into(), AttrValue::N(f64::from(stability.value())));
+            item.insert("collected_at".into(), AttrValue::N(at.as_secs() as f64));
+            kv.put_item(
+                METRICS_TABLE,
+                format!("{}/{}", self.instance_type, region),
+                item,
+                at,
+                ledger,
+            )?;
+            metrics.put_metric(
+                MetricKey::new(
+                    "SpotVerse",
+                    "spot_price",
+                    format!("region={region},type={}", self.instance_type),
+                ),
+                at,
+                spot.rate(),
+                ledger,
+            );
+        }
+        Ok(count)
+    }
+
+    /// Reads the latest persisted snapshot as optimizer inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::NoSnapshot`] before the first collection and
+    /// [`MonitorError::Kv`] on store failures.
+    pub fn latest_assessments(
+        &self,
+        kv: &KvStore,
+    ) -> Result<Vec<RegionAssessment>, MonitorError> {
+        let prefix = format!("{}/", self.instance_type);
+        let rows = kv.scan_prefix(METRICS_TABLE, &prefix)?;
+        if rows.is_empty() {
+            return Err(MonitorError::NoSnapshot);
+        }
+        let mut out = Vec::with_capacity(rows.len());
+        for (key, item) in rows {
+            let region: Region = key[prefix.len()..]
+                .parse()
+                .expect("monitor wrote a valid region name");
+            let get = |name: &str| {
+                item.get(name)
+                    .and_then(AttrValue::as_number)
+                    .expect("monitor wrote numeric attributes")
+            };
+            out.push(RegionAssessment {
+                region,
+                placement: PlacementScore::new(get("placement_score") as u8)
+                    .expect("persisted placement score is in range"),
+                stability: StabilityScore::new(get("stability_score") as u8)
+                    .expect("persisted stability score is in range"),
+                spot_price: UsdPerHour::new(get("spot_price")),
+                on_demand_price: UsdPerHour::new(get("on_demand_price")),
+            });
+        }
+        // Present in catalog order, matching fresh_assessments.
+        out.sort_by_key(|a| Region::ALL.iter().position(|r| *r == a.region));
+        Ok(out)
+    }
+
+    /// Builds fresh assessments straight from the market (bypassing the
+    /// persistence pipeline) — used by baseline strategies and tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::Market`] for market failures.
+    pub fn fresh_assessments(
+        &self,
+        market: &SpotMarket,
+        at: SimTime,
+    ) -> Result<Vec<RegionAssessment>, MonitorError> {
+        let mut out = Vec::new();
+        for region in market.regions_offering(self.instance_type) {
+            out.push(RegionAssessment {
+                region,
+                placement: market.placement_score(region, self.instance_type, at)?,
+                stability: market.stability_score(region, self.instance_type, at)?,
+                spot_price: market.spot_price(region, self.instance_type, at)?,
+                on_demand_price: market.on_demand_price(region, self.instance_type),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_market::MarketConfig;
+
+    struct Fixture {
+        market: SpotMarket,
+        monitor: Monitor,
+        functions: FunctionRuntime,
+        kv: KvStore,
+        metrics: MetricsService,
+        ledger: BillingLedger,
+    }
+
+    fn fixture() -> Fixture {
+        let market = SpotMarket::new(MarketConfig::with_seed(3));
+        let monitor = Monitor::new(InstanceType::M5Xlarge, Region::UsEast1);
+        let mut functions = FunctionRuntime::new();
+        let mut kv = KvStore::new();
+        monitor.provision(&mut functions, &mut kv);
+        Fixture {
+            market,
+            monitor,
+            functions,
+            kv,
+            metrics: MetricsService::new(Region::UsEast1),
+            ledger: BillingLedger::new(),
+        }
+    }
+
+    #[test]
+    fn collect_persists_all_regions() {
+        let mut f = fixture();
+        let n = f
+            .monitor
+            .collect(
+                &f.market,
+                SimTime::from_hours(1),
+                &mut f.functions,
+                &mut f.kv,
+                &mut f.metrics,
+                &mut f.ledger,
+            )
+            .unwrap();
+        assert_eq!(n, 12);
+        assert_eq!(f.functions.invocation_count(), 1);
+        assert!(f.ledger.total().amount() > 0.0);
+        let assessments = f.monitor.latest_assessments(&f.kv).unwrap();
+        assert_eq!(assessments.len(), 12);
+    }
+
+    #[test]
+    fn snapshot_matches_market_at_collection_instant() {
+        let mut f = fixture();
+        let at = SimTime::from_days(2);
+        f.monitor
+            .collect(&f.market, at, &mut f.functions, &mut f.kv, &mut f.metrics, &mut f.ledger)
+            .unwrap();
+        let persisted = f.monitor.latest_assessments(&f.kv).unwrap();
+        let fresh = f.monitor.fresh_assessments(&f.market, at).unwrap();
+        for (p, fr) in persisted.iter().zip(fresh.iter()) {
+            assert_eq!(p.region, fr.region);
+            assert_eq!(p.placement, fr.placement);
+            assert_eq!(p.stability, fr.stability);
+            assert!((p.spot_price.rate() - fr.spot_price.rate()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn snapshot_is_stale_until_next_collection() {
+        let mut f = fixture();
+        let early = SimTime::from_days(1);
+        f.monitor
+            .collect(&f.market, early, &mut f.functions, &mut f.kv, &mut f.metrics, &mut f.ledger)
+            .unwrap();
+        let snapshot = f.monitor.latest_assessments(&f.kv).unwrap();
+        let later_fresh = f
+            .monitor
+            .fresh_assessments(&f.market, SimTime::from_days(40))
+            .unwrap();
+        // Prices move over 39 days; the persisted snapshot must not.
+        let moved = snapshot
+            .iter()
+            .zip(later_fresh.iter())
+            .any(|(a, b)| (a.spot_price.rate() - b.spot_price.rate()).abs() > 1e-9);
+        assert!(moved, "prices should drift over 39 days");
+    }
+
+    #[test]
+    fn no_snapshot_error_before_first_collection() {
+        let f = fixture();
+        assert!(matches!(
+            f.monitor.latest_assessments(&f.kv),
+            Err(MonitorError::NoSnapshot)
+        ));
+    }
+
+    #[test]
+    fn provision_is_idempotent() {
+        let mut f = fixture();
+        f.monitor.provision(&mut f.functions, &mut f.kv);
+        f.monitor.provision(&mut f.functions, &mut f.kv);
+        assert!(f.functions.is_registered(COLLECTOR_FUNCTION));
+    }
+
+    #[test]
+    fn p3_snapshot_covers_only_offering_regions() {
+        let market = SpotMarket::new(MarketConfig::with_seed(3));
+        let monitor = Monitor::new(InstanceType::P32xlarge, Region::UsEast1);
+        let mut functions = FunctionRuntime::new();
+        let mut kv = KvStore::new();
+        monitor.provision(&mut functions, &mut kv);
+        let mut metrics = MetricsService::new(Region::UsEast1);
+        let mut ledger = BillingLedger::new();
+        let n = monitor
+            .collect(&market, SimTime::ZERO, &mut functions, &mut kv, &mut metrics, &mut ledger)
+            .unwrap();
+        assert_eq!(n, 9, "p3 is offered in 9 of 12 regions");
+    }
+}

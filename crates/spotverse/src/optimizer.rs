@@ -1,0 +1,428 @@
+//! The Optimizer: the paper's Algorithm 1 ("SpotVerse Workload
+//! Management").
+//!
+//! Regions are assessed by a combined score — Spot Placement Score (1–10)
+//! plus Stability Score (1–3) — filtered by a threshold `T`, sorted by spot
+//! price ascending, and capped at `R` regions. Initial workloads are
+//! assigned round-robin over the selection; an interrupted workload
+//! migrates to a uniformly random member after excluding the region it was
+//! interrupted in. When no region meets the threshold, the workload falls
+//! back to the cheapest on-demand instance.
+
+use cloud_market::{CombinedScore, PlacementScore, Region, StabilityScore, UsdPerHour};
+use serde::{Deserialize, Serialize};
+use sim_kernel::SimRng;
+
+use crate::config::SpotVerseConfig;
+
+/// One region's assessment at a decision instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionAssessment {
+    /// The assessed region.
+    pub region: Region,
+    /// Spot Placement Score.
+    pub placement: PlacementScore,
+    /// Stability Score (inverse of Interruption Frequency).
+    pub stability: StabilityScore,
+    /// Current spot price.
+    pub spot_price: UsdPerHour,
+    /// Current on-demand price.
+    pub on_demand_price: UsdPerHour,
+}
+
+impl RegionAssessment {
+    /// The combined score Algorithm 1 ranks on.
+    pub fn combined(&self) -> CombinedScore {
+        CombinedScore::new(self.placement, self.stability)
+    }
+}
+
+/// Where Algorithm 1 decides to run something.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// A spot instance in the region.
+    Spot(Region),
+    /// An on-demand instance in the region (threshold fallback).
+    OnDemand(Region),
+}
+
+impl Placement {
+    /// The target region.
+    pub fn region(self) -> Region {
+        match self {
+            Placement::Spot(r) | Placement::OnDemand(r) => r,
+        }
+    }
+
+    /// Whether this is a spot placement.
+    pub fn is_spot(self) -> bool {
+        matches!(self, Placement::Spot(_))
+    }
+}
+
+/// How an interrupted workload picks its next region among the selected
+/// top-R — Algorithm 1 uses [`MigrationPolicy::RandomTopR`]; the other
+/// variants exist for the component-ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationPolicy {
+    /// The paper's policy: uniformly random among the top-R (spreads
+    /// migrating workloads instead of dog-piling the cheapest survivor).
+    RandomTopR,
+    /// Always the cheapest qualifying region (ablation: no randomization).
+    CheapestQualifying,
+    /// Relaunch in the interrupted region (ablation: no migration at all).
+    StayPut,
+}
+
+/// The Optimizer component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Optimizer {
+    config: SpotVerseConfig,
+}
+
+impl Optimizer {
+    /// Creates an optimizer with the given configuration.
+    pub fn new(config: SpotVerseConfig) -> Self {
+        Optimizer { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SpotVerseConfig {
+        &self.config
+    }
+
+    /// `SelectRegions`: admissible regions with combined score ≥ T, sorted
+    /// by spot price ascending and capped at `R`.
+    pub fn select_regions(&self, assessments: &[RegionAssessment]) -> Vec<RegionAssessment> {
+        let mut selected: Vec<RegionAssessment> = assessments
+            .iter()
+            .filter(|a| self.config.allows_region(a.region))
+            .filter(|a| a.combined().meets(self.config.threshold()))
+            .copied()
+            .collect();
+        selected.sort_by(|a, b| {
+            a.spot_price
+                .rate()
+                .total_cmp(&b.spot_price.rate())
+                .then_with(|| a.region.name().cmp(b.region.name()))
+        });
+        selected.truncate(self.config.max_regions());
+        selected
+    }
+
+    /// The cheapest-on-demand fallback across admissible regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assessments` is empty (the market always offers at least
+    /// one region per instance type).
+    pub fn cheapest_on_demand(&self, assessments: &[RegionAssessment]) -> Region {
+        assessments
+            .iter()
+            .filter(|a| self.config.allows_region(a.region))
+            .min_by(|a, b| {
+                a.on_demand_price
+                    .rate()
+                    .total_cmp(&b.on_demand_price.rate())
+                    .then_with(|| a.region.name().cmp(b.region.name()))
+            })
+            .expect("cheapest_on_demand: no admissible regions")
+            .region
+    }
+
+    /// Initial placement for `n` workloads: round-robin over the selected
+    /// regions, or all-on-demand when the threshold filters everything out.
+    pub fn initial_placements(&self, assessments: &[RegionAssessment], n: usize) -> Vec<Placement> {
+        let selected = self.select_regions(assessments);
+        if selected.is_empty() {
+            let od = self.cheapest_on_demand(assessments);
+            return vec![Placement::OnDemand(od); n];
+        }
+        (0..n)
+            .map(|i| Placement::Spot(selected[i % selected.len()].region))
+            .collect()
+    }
+
+    /// Migration target for a workload interrupted in
+    /// `interrupted_region`: a uniformly random member of the re-selected
+    /// top-R after excluding the interrupted region, or cheapest on-demand
+    /// when nothing qualifies.
+    pub fn migration_target(
+        &self,
+        assessments: &[RegionAssessment],
+        interrupted_region: Region,
+        rng: &mut SimRng,
+    ) -> Placement {
+        self.migration_target_with_policy(
+            assessments,
+            interrupted_region,
+            MigrationPolicy::RandomTopR,
+            rng,
+        )
+    }
+
+    /// Migration target under an explicit policy (ablation support; see
+    /// [`MigrationPolicy`]).
+    pub fn migration_target_with_policy(
+        &self,
+        assessments: &[RegionAssessment],
+        interrupted_region: Region,
+        policy: MigrationPolicy,
+        rng: &mut SimRng,
+    ) -> Placement {
+        if policy == MigrationPolicy::StayPut {
+            return Placement::Spot(interrupted_region);
+        }
+        // Exclude first, then take the top R — so the selection never
+        // silently shrinks below R because of the exclusion.
+        let filtered: Vec<RegionAssessment> = assessments
+            .iter()
+            .filter(|a| a.region != interrupted_region)
+            .copied()
+            .collect();
+        let selected = self.select_regions(&filtered);
+        if selected.is_empty() {
+            return Placement::OnDemand(self.cheapest_on_demand(assessments));
+        }
+        let pick = match policy {
+            MigrationPolicy::RandomTopR => rng.pick_index(selected.len()),
+            MigrationPolicy::CheapestQualifying => 0,
+            MigrationPolicy::StayPut => unreachable!("handled above"),
+        };
+        Placement::Spot(selected[pick].region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_market::InstanceType;
+
+    use crate::config::InitialPlacement;
+
+    fn assessment(region: Region, placement: u8, stability: u8, price: f64) -> RegionAssessment {
+        RegionAssessment {
+            region,
+            placement: PlacementScore::new(placement).unwrap(),
+            stability: StabilityScore::new(stability).unwrap(),
+            spot_price: UsdPerHour::new(price),
+            on_demand_price: UsdPerHour::new(price * 4.0),
+        }
+    }
+
+    /// The paper's Table 3-like fixture: tiered regions with prices inverse
+    /// to score.
+    fn fixture() -> Vec<RegionAssessment> {
+        vec![
+            assessment(Region::ApNortheast3, 7, 3, 0.086), // combined 10
+            assessment(Region::UsWest1, 6, 3, 0.088),      // 9
+            assessment(Region::EuWest1, 6, 2, 0.092),      // 8
+            assessment(Region::EuNorth1, 5, 2, 0.079),     // 7
+            assessment(Region::CaCentral1, 4, 1, 0.056),   // 5
+            assessment(Region::ApSoutheast1, 4, 1, 0.057), // 5
+            assessment(Region::EuWest3, 3, 2, 0.058),      // 5
+            assessment(Region::EuWest2, 3, 2, 0.059),      // 5
+            assessment(Region::UsEast1, 3, 1, 0.0455),     // 4
+            assessment(Region::UsEast2, 3, 1, 0.0450),     // 4
+            assessment(Region::ApSoutheast2, 3, 1, 0.047), // 4
+            assessment(Region::UsWest2, 3, 1, 0.0465),     // 4
+        ]
+    }
+
+    fn optimizer(threshold: u8) -> Optimizer {
+        Optimizer::new(
+            SpotVerseConfig::builder(InstanceType::M5Xlarge)
+                .threshold(threshold)
+                .max_regions(4)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn threshold_6_selects_paper_tier_a() {
+        let sel = optimizer(6).select_regions(&fixture());
+        let regions: Vec<Region> = sel.iter().map(|a| a.region).collect();
+        assert_eq!(
+            regions,
+            vec![
+                Region::EuNorth1,
+                Region::ApNortheast3,
+                Region::UsWest1,
+                Region::EuWest1
+            ],
+            "threshold-6 regions sorted by price ascending"
+        );
+    }
+
+    #[test]
+    fn threshold_5_selects_paper_tier_b() {
+        let sel = optimizer(5).select_regions(&fixture());
+        let regions: Vec<Region> = sel.iter().map(|a| a.region).collect();
+        assert_eq!(
+            regions,
+            vec![
+                Region::CaCentral1,
+                Region::ApSoutheast1,
+                Region::EuWest3,
+                Region::EuWest2
+            ]
+        );
+    }
+
+    #[test]
+    fn threshold_4_selects_cheapest_overall() {
+        let sel = optimizer(4).select_regions(&fixture());
+        let regions: Vec<Region> = sel.iter().map(|a| a.region).collect();
+        assert_eq!(
+            regions,
+            vec![
+                Region::UsEast2,
+                Region::UsEast1,
+                Region::UsWest2,
+                Region::ApSoutheast2
+            ]
+        );
+    }
+
+    #[test]
+    fn selection_invariants() {
+        for threshold in 2..=13 {
+            let opt = optimizer(threshold);
+            let sel = opt.select_regions(&fixture());
+            assert!(sel.len() <= 4);
+            assert!(sel.iter().all(|a| a.combined().meets(threshold)));
+            assert!(sel
+                .windows(2)
+                .all(|w| w[0].spot_price.rate() <= w[1].spot_price.rate()));
+        }
+    }
+
+    #[test]
+    fn round_robin_initial_distribution() {
+        let placements = optimizer(6).initial_placements(&fixture(), 10);
+        assert_eq!(placements.len(), 10);
+        assert!(placements.iter().all(|p| p.is_spot()));
+        // Round-robin: workloads 0 and 4 land in the same (cheapest) region.
+        assert_eq!(placements[0], placements[4]);
+        assert_eq!(placements[0].region(), Region::EuNorth1);
+        assert_eq!(placements[1].region(), Region::ApNortheast3);
+        // Even spread: each of the 4 regions gets 2 or 3 of 10 workloads.
+        for region in [
+            Region::EuNorth1,
+            Region::ApNortheast3,
+            Region::UsWest1,
+            Region::EuWest1,
+        ] {
+            let count = placements.iter().filter(|p| p.region() == region).count();
+            assert!((2..=3).contains(&count), "{region}: {count}");
+        }
+    }
+
+    #[test]
+    fn unreachable_threshold_falls_back_to_on_demand() {
+        let placements = optimizer(14).initial_placements(&fixture(), 3);
+        assert_eq!(placements.len(), 3);
+        for p in &placements {
+            assert!(!p.is_spot());
+            // The fixture's cheapest on-demand is 4 × 0.0450 (us-east-2).
+            assert_eq!(p.region(), Region::UsEast2);
+        }
+    }
+
+    #[test]
+    fn migration_excludes_interrupted_region() {
+        let opt = optimizer(6);
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let p = opt.migration_target(&fixture(), Region::ApNortheast3, &mut rng);
+            assert!(p.is_spot());
+            assert_ne!(p.region(), Region::ApNortheast3);
+        }
+    }
+
+    #[test]
+    fn migration_visits_all_alternatives() {
+        let opt = optimizer(6);
+        let mut rng = SimRng::seed_from_u64(6);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(opt.migration_target(&fixture(), Region::EuNorth1, &mut rng).region());
+        }
+        // The other three tier-A regions plus eu-west-1's replacement slot.
+        assert!(seen.len() >= 3, "random pick should spread: {seen:?}");
+        assert!(!seen.contains(&Region::EuNorth1));
+    }
+
+    #[test]
+    fn migration_falls_back_to_on_demand() {
+        let opt = optimizer(14);
+        let mut rng = SimRng::seed_from_u64(7);
+        let p = opt.migration_target(&fixture(), Region::UsEast1, &mut rng);
+        assert!(!p.is_spot());
+    }
+
+    #[test]
+    fn preferred_regions_filter_applies() {
+        let opt = Optimizer::new(
+            SpotVerseConfig::builder(InstanceType::M5Xlarge)
+                .threshold(5)
+                .preferred_regions(vec![Region::CaCentral1, Region::EuWest3])
+                .build(),
+        );
+        let sel = opt.select_regions(&fixture());
+        let regions: Vec<Region> = sel.iter().map(|a| a.region).collect();
+        assert_eq!(regions, vec![Region::CaCentral1, Region::EuWest3]);
+    }
+
+    #[test]
+    fn exclusion_happens_before_top_r_cap() {
+        // With threshold 4 and R=4, excluding one of the four cheapest must
+        // pull in the 5th-cheapest qualifying region rather than shrinking
+        // the selection to 3.
+        let opt = optimizer(4);
+        let mut rng = SimRng::seed_from_u64(8);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            seen.insert(opt.migration_target(&fixture(), Region::UsEast2, &mut rng).region());
+        }
+        assert!(seen.contains(&Region::CaCentral1), "5th-cheapest should appear: {seen:?}");
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn migration_policies_differ_as_designed() {
+        let opt = optimizer(6);
+        let mut rng = SimRng::seed_from_u64(9);
+        // StayPut relaunches in place.
+        assert_eq!(
+            opt.migration_target_with_policy(
+                &fixture(),
+                Region::CaCentral1,
+                MigrationPolicy::StayPut,
+                &mut rng
+            ),
+            Placement::Spot(Region::CaCentral1)
+        );
+        // CheapestQualifying is deterministic: eu-north-1 is the cheapest
+        // threshold-6 region in the fixture.
+        for _ in 0..10 {
+            assert_eq!(
+                opt.migration_target_with_policy(
+                    &fixture(),
+                    Region::ApNortheast3,
+                    MigrationPolicy::CheapestQualifying,
+                    &mut rng
+                ),
+                Placement::Spot(Region::EuNorth1)
+            );
+        }
+    }
+
+    #[test]
+    fn placement_accessors() {
+        assert!(Placement::Spot(Region::UsEast1).is_spot());
+        assert!(!Placement::OnDemand(Region::UsEast1).is_spot());
+        assert_eq!(Placement::OnDemand(Region::EuWest1).region(), Region::EuWest1);
+        let _ = InitialPlacement::Distributed; // referenced for docs
+    }
+}

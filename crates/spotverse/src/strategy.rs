@@ -1,0 +1,487 @@
+//! Placement strategies: SpotVerse itself plus every baseline the paper
+//! compares against.
+//!
+//! * [`SingleRegionStrategy`] — the traditional deployment: all spot
+//!   instances in one (cheapest) region, relaunch there on interruption.
+//! * [`OnDemandStrategy`] — guaranteed capacity in the cheapest on-demand
+//!   region; never interrupted.
+//! * [`NaiveMultiRegionStrategy`] — the motivational experiment (§2.2):
+//!   a fixed region set, round-robin start, uniform random relaunch.
+//! * [`SkyPilotStrategy`] — the state-of-the-art baseline (§5.2.5):
+//!   always chase the cheapest spot price, automatically relaunching
+//!   interrupted jobs, ignoring stability metrics.
+//! * [`SpotVerseStrategy`] — Algorithm 1 via the [`Optimizer`].
+
+use std::fmt;
+
+use cloud_market::{InstanceType, Region};
+use sim_kernel::{SimRng, SimTime};
+
+use crate::config::{InitialPlacement, SpotVerseConfig};
+use crate::optimizer::{MigrationPolicy, Optimizer, Placement, RegionAssessment};
+
+/// Everything a strategy may look at when deciding a placement.
+///
+/// Assessments come from the Monitor's latest snapshot (or fresh market
+/// reads for baselines); the RNG is the strategy's own deterministic
+/// stream.
+#[derive(Debug)]
+pub struct StrategyContext<'a> {
+    /// The managed instance type.
+    pub instance_type: InstanceType,
+    /// The decision instant.
+    pub now: SimTime,
+    /// Per-region metrics available to the decision.
+    pub assessments: &'a [RegionAssessment],
+    /// The strategy's random stream.
+    pub rng: &'a mut SimRng,
+}
+
+impl StrategyContext<'_> {
+    /// The region with the cheapest spot price.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no assessments.
+    pub fn cheapest_spot_region(&self) -> Region {
+        self.assessments
+            .iter()
+            .min_by(|a, b| {
+                a.spot_price
+                    .rate()
+                    .total_cmp(&b.spot_price.rate())
+                    .then_with(|| a.region.name().cmp(b.region.name()))
+            })
+            .expect("cheapest_spot_region: empty assessments")
+            .region
+    }
+
+    /// The region with the cheapest on-demand price.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no assessments.
+    pub fn cheapest_on_demand_region(&self) -> Region {
+        self.assessments
+            .iter()
+            .min_by(|a, b| {
+                a.on_demand_price
+                    .rate()
+                    .total_cmp(&b.on_demand_price.rate())
+                    .then_with(|| a.region.name().cmp(b.region.name()))
+            })
+            .expect("cheapest_on_demand_region: empty assessments")
+            .region
+    }
+}
+
+/// A placement strategy under experiment.
+pub trait Strategy: fmt::Debug {
+    /// A short display name for reports.
+    fn name(&self) -> &str;
+
+    /// Initial placements for a fleet of `n` workloads.
+    fn initial_placements(&mut self, ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement>;
+
+    /// Where to relaunch a workload that was interrupted (or whose request
+    /// keeps failing) in `previous_region`.
+    fn relocate(&mut self, ctx: &mut StrategyContext<'_>, previous_region: Region) -> Placement;
+}
+
+/// All spot instances in one fixed region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingleRegionStrategy {
+    region: Region,
+}
+
+impl SingleRegionStrategy {
+    /// Creates the strategy pinned to `region`.
+    pub fn new(region: Region) -> Self {
+        SingleRegionStrategy { region }
+    }
+}
+
+impl Strategy for SingleRegionStrategy {
+    fn name(&self) -> &str {
+        "single-region"
+    }
+
+    fn initial_placements(&mut self, _ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
+        vec![Placement::Spot(self.region); n]
+    }
+
+    fn relocate(&mut self, _ctx: &mut StrategyContext<'_>, _previous: Region) -> Placement {
+        Placement::Spot(self.region)
+    }
+}
+
+/// Cheapest on-demand everywhere; never interrupted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OnDemandStrategy {
+    pinned: Option<Region>,
+}
+
+impl OnDemandStrategy {
+    /// Cheapest-on-demand placement.
+    pub fn new() -> Self {
+        OnDemandStrategy { pinned: None }
+    }
+
+    /// On-demand in a fixed region.
+    pub fn pinned(region: Region) -> Self {
+        OnDemandStrategy {
+            pinned: Some(region),
+        }
+    }
+}
+
+impl Strategy for OnDemandStrategy {
+    fn name(&self) -> &str {
+        "on-demand"
+    }
+
+    fn initial_placements(&mut self, ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
+        let region = self.pinned.unwrap_or_else(|| ctx.cheapest_on_demand_region());
+        vec![Placement::OnDemand(region); n]
+    }
+
+    fn relocate(&mut self, ctx: &mut StrategyContext<'_>, _previous: Region) -> Placement {
+        Placement::OnDemand(self.pinned.unwrap_or_else(|| ctx.cheapest_on_demand_region()))
+    }
+}
+
+/// The motivational experiment's naive multi-region strategy: a fixed
+/// region list, round-robin start, uniform random relaunch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveMultiRegionStrategy {
+    regions: Vec<Region>,
+}
+
+impl NaiveMultiRegionStrategy {
+    /// Creates the strategy over a fixed region set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions` is empty.
+    pub fn new(regions: Vec<Region>) -> Self {
+        assert!(!regions.is_empty(), "NaiveMultiRegionStrategy: no regions");
+        NaiveMultiRegionStrategy { regions }
+    }
+
+    /// The motivational experiment's three regions (paper §2.2).
+    pub fn paper_motivational() -> Self {
+        NaiveMultiRegionStrategy::new(vec![
+            Region::ApNortheast3,
+            Region::CaCentral1,
+            Region::EuNorth1,
+        ])
+    }
+}
+
+impl Strategy for NaiveMultiRegionStrategy {
+    fn name(&self) -> &str {
+        "naive-multi-region"
+    }
+
+    fn initial_placements(&mut self, _ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
+        (0..n)
+            .map(|i| Placement::Spot(self.regions[i % self.regions.len()]))
+            .collect()
+    }
+
+    fn relocate(&mut self, ctx: &mut StrategyContext<'_>, _previous: Region) -> Placement {
+        let idx = ctx.rng.pick_index(self.regions.len());
+        Placement::Spot(self.regions[idx])
+    }
+}
+
+/// The SkyPilot-like baseline: cheapest spot price wins, stability ignored.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SkyPilotStrategy;
+
+impl SkyPilotStrategy {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        SkyPilotStrategy
+    }
+}
+
+impl Strategy for SkyPilotStrategy {
+    fn name(&self) -> &str {
+        "skypilot"
+    }
+
+    fn initial_placements(&mut self, ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
+        // SkyPilot provisions each job in the cheapest available market.
+        vec![Placement::Spot(ctx.cheapest_spot_region()); n]
+    }
+
+    fn relocate(&mut self, ctx: &mut StrategyContext<'_>, _previous: Region) -> Placement {
+        // Automatic relaunch, still cheapest-first — possibly the very
+        // region that just reclaimed the instance.
+        Placement::Spot(ctx.cheapest_spot_region())
+    }
+}
+
+/// SpotVerse: Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpotVerseStrategy {
+    optimizer: Optimizer,
+}
+
+impl SpotVerseStrategy {
+    /// Creates the strategy from a configuration.
+    pub fn new(config: SpotVerseConfig) -> Self {
+        SpotVerseStrategy {
+            optimizer: Optimizer::new(config),
+        }
+    }
+
+    /// The underlying optimizer.
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+}
+
+impl Strategy for SpotVerseStrategy {
+    fn name(&self) -> &str {
+        "spotverse"
+    }
+
+    fn initial_placements(&mut self, ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
+        match self.optimizer.config().initial_placement() {
+            InitialPlacement::SingleRegion(region) => vec![Placement::Spot(*region); n],
+            InitialPlacement::Distributed => {
+                self.optimizer.initial_placements(ctx.assessments, n)
+            }
+        }
+    }
+
+    fn relocate(&mut self, ctx: &mut StrategyContext<'_>, previous: Region) -> Placement {
+        self.optimizer
+            .migration_target(ctx.assessments, previous, ctx.rng)
+    }
+}
+
+/// SpotVerse with one Algorithm-1 component knocked out or replaced —
+/// used by the component-ablation bench to attribute the paper's gains to
+/// individual design choices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblatedSpotVerseStrategy {
+    optimizer: Optimizer,
+    policy: MigrationPolicy,
+    name: String,
+}
+
+impl AblatedSpotVerseStrategy {
+    /// Creates the ablated strategy with an explicit migration policy.
+    pub fn new(config: SpotVerseConfig, policy: MigrationPolicy) -> Self {
+        let name = match policy {
+            MigrationPolicy::RandomTopR => "spotverse-ablate-none",
+            MigrationPolicy::CheapestQualifying => "spotverse-ablate-random-pick",
+            MigrationPolicy::StayPut => "spotverse-ablate-migration",
+        };
+        AblatedSpotVerseStrategy {
+            optimizer: Optimizer::new(config),
+            policy,
+            name: name.to_owned(),
+        }
+    }
+
+    /// The migration policy in effect.
+    pub fn policy(&self) -> MigrationPolicy {
+        self.policy
+    }
+}
+
+impl Strategy for AblatedSpotVerseStrategy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn initial_placements(&mut self, ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
+        match self.optimizer.config().initial_placement() {
+            InitialPlacement::SingleRegion(region) => vec![Placement::Spot(*region); n],
+            InitialPlacement::Distributed => self.optimizer.initial_placements(ctx.assessments, n),
+        }
+    }
+
+    fn relocate(&mut self, ctx: &mut StrategyContext<'_>, previous: Region) -> Placement {
+        self.optimizer
+            .migration_target_with_policy(ctx.assessments, previous, self.policy, ctx.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_market::{MarketConfig, SpotMarket};
+
+    use crate::monitor::Monitor;
+
+    fn assessments(at: SimTime) -> Vec<RegionAssessment> {
+        let market = SpotMarket::new(MarketConfig::with_seed(5));
+        Monitor::new(InstanceType::M5Xlarge, Region::UsEast1)
+            .fresh_assessments(&market, at)
+            .unwrap()
+    }
+
+    fn ctx_with<'a>(
+        assessments: &'a [RegionAssessment],
+        rng: &'a mut SimRng,
+    ) -> StrategyContext<'a> {
+        StrategyContext {
+            instance_type: InstanceType::M5Xlarge,
+            now: SimTime::ZERO,
+            assessments,
+            rng,
+        }
+    }
+
+    #[test]
+    fn single_region_never_moves() {
+        let a = assessments(SimTime::ZERO);
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut ctx = ctx_with(&a, &mut rng);
+        let mut s = SingleRegionStrategy::new(Region::CaCentral1);
+        let placements = s.initial_placements(&mut ctx, 5);
+        assert!(placements.iter().all(|p| *p == Placement::Spot(Region::CaCentral1)));
+        assert_eq!(s.relocate(&mut ctx, Region::CaCentral1), Placement::Spot(Region::CaCentral1));
+        assert_eq!(s.name(), "single-region");
+    }
+
+    #[test]
+    fn on_demand_picks_cheapest_or_pin() {
+        let a = assessments(SimTime::ZERO);
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut ctx = ctx_with(&a, &mut rng);
+        let mut s = OnDemandStrategy::new();
+        let placements = s.initial_placements(&mut ctx, 2);
+        assert!(!placements[0].is_spot());
+        // us-east-1/2, us-west-2 share the cheapest multiplier; ties break
+        // alphabetically.
+        assert_eq!(placements[0].region(), Region::UsEast1);
+        let mut pinned = OnDemandStrategy::pinned(Region::EuWest1);
+        assert_eq!(
+            pinned.initial_placements(&mut ctx, 1)[0],
+            Placement::OnDemand(Region::EuWest1)
+        );
+        assert_eq!(pinned.relocate(&mut ctx, Region::EuWest1).region(), Region::EuWest1);
+    }
+
+    #[test]
+    fn naive_multi_region_round_robins_and_randomizes() {
+        let a = assessments(SimTime::ZERO);
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut ctx = ctx_with(&a, &mut rng);
+        let mut s = NaiveMultiRegionStrategy::paper_motivational();
+        let placements = s.initial_placements(&mut ctx, 6);
+        assert_eq!(placements[0].region(), Region::ApNortheast3);
+        assert_eq!(placements[1].region(), Region::CaCentral1);
+        assert_eq!(placements[2].region(), Region::EuNorth1);
+        assert_eq!(placements[3].region(), Region::ApNortheast3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(s.relocate(&mut ctx, Region::CaCentral1).region());
+        }
+        assert_eq!(seen.len(), 3, "random relaunch over all three regions");
+    }
+
+    #[test]
+    fn skypilot_chases_cheapest_spot() {
+        let a = assessments(SimTime::ZERO);
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut ctx = ctx_with(&a, &mut rng);
+        let mut s = SkyPilotStrategy::new();
+        let placements = s.initial_placements(&mut ctx, 3);
+        let cheapest = ctx.cheapest_spot_region();
+        assert!(placements.iter().all(|p| p.region() == cheapest && p.is_spot()));
+        // SkyPilot may relaunch into the interrupted region.
+        assert_eq!(s.relocate(&mut ctx, cheapest).region(), cheapest);
+    }
+
+    #[test]
+    fn spotverse_single_region_start_still_migrates_away() {
+        let a = assessments(SimTime::ZERO);
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut ctx = ctx_with(&a, &mut rng);
+        let config = SpotVerseConfig::builder(InstanceType::M5Xlarge)
+            .initial_placement(InitialPlacement::SingleRegion(Region::CaCentral1))
+            .build();
+        let mut s = SpotVerseStrategy::new(config);
+        let placements = s.initial_placements(&mut ctx, 4);
+        assert!(placements.iter().all(|p| p.region() == Region::CaCentral1));
+        for _ in 0..50 {
+            let target = s.relocate(&mut ctx, Region::CaCentral1);
+            assert_ne!(target.region(), Region::CaCentral1);
+            assert!(target.is_spot());
+        }
+        assert_eq!(s.name(), "spotverse");
+        assert_eq!(s.optimizer().config().threshold(), 6);
+    }
+
+    #[test]
+    fn spotverse_distributed_start_spreads_over_top_regions() {
+        let a = assessments(SimTime::ZERO);
+        let mut rng = SimRng::seed_from_u64(6);
+        let mut ctx = ctx_with(&a, &mut rng);
+        let mut s = SpotVerseStrategy::new(SpotVerseConfig::paper_default(InstanceType::M5Xlarge));
+        let placements = s.initial_placements(&mut ctx, 8);
+        let distinct: std::collections::BTreeSet<Region> =
+            placements.iter().map(|p| p.region()).collect();
+        assert!(distinct.len() >= 3, "distributed start uses several regions: {distinct:?}");
+        assert!(placements.iter().all(|p| p.is_spot()));
+    }
+
+    #[test]
+    fn spotverse_impossible_threshold_goes_on_demand() {
+        let a = assessments(SimTime::ZERO);
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut ctx = ctx_with(&a, &mut rng);
+        let mut s = SpotVerseStrategy::new(
+            SpotVerseConfig::builder(InstanceType::M5Xlarge)
+                .threshold(14)
+                .build(),
+        );
+        assert!(s.initial_placements(&mut ctx, 3).iter().all(|p| !p.is_spot()));
+        assert!(!s.relocate(&mut ctx, Region::UsEast1).is_spot());
+    }
+
+    #[test]
+    #[should_panic(expected = "no regions")]
+    fn naive_strategy_rejects_empty_region_list() {
+        NaiveMultiRegionStrategy::new(vec![]);
+    }
+
+    #[test]
+    fn ablated_stay_put_never_migrates() {
+        let a = assessments(SimTime::ZERO);
+        let mut rng = SimRng::seed_from_u64(8);
+        let mut ctx = ctx_with(&a, &mut rng);
+        let mut s = AblatedSpotVerseStrategy::new(
+            SpotVerseConfig::paper_default(InstanceType::M5Xlarge),
+            crate::optimizer::MigrationPolicy::StayPut,
+        );
+        assert_eq!(
+            s.relocate(&mut ctx, Region::CaCentral1),
+            Placement::Spot(Region::CaCentral1)
+        );
+        assert_eq!(s.name(), "spotverse-ablate-migration");
+        assert_eq!(s.policy(), crate::optimizer::MigrationPolicy::StayPut);
+    }
+
+    #[test]
+    fn ablated_cheapest_is_deterministic() {
+        let a = assessments(SimTime::ZERO);
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut ctx = ctx_with(&a, &mut rng);
+        let mut s = AblatedSpotVerseStrategy::new(
+            SpotVerseConfig::paper_default(InstanceType::M5Xlarge),
+            crate::optimizer::MigrationPolicy::CheapestQualifying,
+        );
+        let first = s.relocate(&mut ctx, Region::CaCentral1);
+        for _ in 0..20 {
+            assert_eq!(s.relocate(&mut ctx, Region::CaCentral1), first);
+        }
+    }
+}

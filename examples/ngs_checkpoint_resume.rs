@@ -1,0 +1,95 @@
+//! Walk through the checkpoint workload's interruption/resume cycle by
+//! hand: an NGS preprocessing invocation runs on a spot instance, receives
+//! a two-minute interruption notice, persists its shard progress to the
+//! KV-backed checkpoint store, and a replacement instance in another
+//! region resumes from the last completed shard — losing at most one
+//! shard of work.
+//!
+//! ```text
+//! cargo run --release -p spotverse-examples --bin ngs_checkpoint_resume
+//! ```
+
+use bio_workloads::ngs_preprocessing::{ngs_preprocessing_workload, DATASET_GIB};
+use cloud_market::Region;
+use galaxy_flow::{CheckpointRecord, CheckpointStore, WorkflowInvocation};
+use sim_kernel::{SimDuration, SimTime};
+use spotverse::KvCheckpointStore;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workflow = ngs_preprocessing_workload(SimDuration::from_hours(10), 20);
+    println!(
+        "workflow `{}`: {} units over {} steps, dataset {DATASET_GIB} GiB",
+        workflow.name(),
+        galaxy_flow::ExecutionPlan::new(&workflow).unit_count(),
+        workflow.len(),
+    );
+
+    let mut store = KvCheckpointStore::new(Region::UsEast1);
+    let workload_id = "ngs-w-00";
+
+    // --- First instance: ca-central-1 spot ------------------------------
+    let mut invocation = WorkflowInvocation::new(&workflow);
+    let boot = SimTime::from_secs(150);
+    let notice_at = boot + SimDuration::from_hours_f64(4.3);
+    let progress = invocation.record_execution(notice_at - boot)?;
+    println!(
+        "\n[ca-central-1] ran {} and completed {} units ({:.0}% done)",
+        SimDuration::from_hours_f64(4.3),
+        progress.units_completed,
+        invocation.fraction_done() * 100.0
+    );
+
+    // Two-minute notice: upload the checkpoint record.
+    store.set_clock(notice_at);
+    store.save(
+        workload_id,
+        CheckpointRecord {
+            units_done: invocation.units_done(),
+            updated_at: notice_at,
+        },
+    )?;
+    println!(
+        "[ca-central-1] interruption notice: checkpointed {} units (1 GiB dataset fits the 2-minute window: {})",
+        invocation.units_done(),
+        cloud_compute::transfer::fits_in_interruption_notice(
+            Region::CaCentral1,
+            Region::UsEast1,
+            DATASET_GIB
+        )
+    );
+    invocation.handle_interruption();
+
+    // A stale writer (the dying instance's duplicate upload) is rejected.
+    let stale = store.save(
+        workload_id,
+        CheckpointRecord {
+            units_done: 1,
+            updated_at: notice_at + SimDuration::from_secs(30),
+        },
+    );
+    println!("[ca-central-1] stale duplicate write rejected: {}", stale.is_err());
+
+    // --- Replacement instance: eu-north-1 spot ---------------------------
+    let record = store.load(workload_id)?.expect("checkpoint persisted");
+    let mut resumed = WorkflowInvocation::new(&workflow);
+    resumed.resume_from(record.units_done)?;
+    println!(
+        "\n[eu-north-1] resumed from checkpoint: {} units done, {} remaining",
+        resumed.units_done(),
+        resumed.remaining_duration()
+    );
+
+    let finish = resumed.record_execution(resumed.remaining_duration())?;
+    assert!(finish.finished);
+    store.clear(workload_id)?;
+    // The only lost work is the partially-completed shard at notice time.
+    let plan = galaxy_flow::ExecutionPlan::new(&workflow);
+    let completed_work = plan.total_duration() - plan.remaining_after(record.units_done);
+    let lost = (notice_at - boot).saturating_sub(completed_work);
+    println!("[eu-north-1] finished; work lost to the interruption: {lost} (< one shard)");
+    println!(
+        "\ncheckpoint store billed ${:.6} for the KV traffic",
+        store.ledger().total().amount()
+    );
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! Galaxy + workloads integration: the bioinformatics workflows install,
+//! validate, and execute end-to-end on a Galaxy instance via Planemo.
+
+use bio_workloads::{paper_fleet, WorkloadKind};
+use galaxy_flow::{
+    ExecutionPlan, GalaxyConfig, GalaxyInstance, PlanemoError, PlanemoRunner, WorkflowInvocation,
+};
+use sim_kernel::{SimDuration, SimRng, SimTime};
+
+fn provisioned_galaxy(kind: WorkloadKind) -> GalaxyInstance {
+    let mut galaxy = GalaxyInstance::new(GalaxyConfig::automated("admin@lab", "key"));
+    let spec = &paper_fleet(kind, 1, &SimRng::seed_from_u64(1))[0];
+    for tool in spec.required_tools() {
+        galaxy.install_tool("admin@lab", tool).expect("fresh install");
+    }
+    galaxy
+}
+
+#[test]
+fn all_three_paper_workloads_run_end_to_end() {
+    for kind in WorkloadKind::ALL {
+        let mut galaxy = provisioned_galaxy(kind);
+        let spec = &paper_fleet(kind, 1, &SimRng::seed_from_u64(2))[0];
+        let workflow = spec.build_workflow();
+        let report = PlanemoRunner::new("key")
+            .run(&mut galaxy, &workflow, SimTime::ZERO)
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        assert_eq!(report.steps.len(), workflow.len(), "{kind}");
+        assert_eq!(report.duration(), workflow.total_duration(), "{kind}");
+        let history = galaxy.history(report.history).unwrap();
+        assert_eq!(history.len(), workflow.len(), "{kind}: one dataset per step");
+    }
+}
+
+#[test]
+fn missing_tool_blocks_the_run() {
+    let mut galaxy = GalaxyInstance::new(GalaxyConfig::automated("admin@lab", "key"));
+    // Install everything except multiqc.
+    let spec = &paper_fleet(WorkloadKind::NgsPreprocessing, 1, &SimRng::seed_from_u64(3))[0];
+    for tool in spec.required_tools() {
+        if tool.id().as_str() != "multiqc" {
+            galaxy.install_tool("admin@lab", tool).unwrap();
+        }
+    }
+    let err = PlanemoRunner::new("key")
+        .run(&mut galaxy, &spec.build_workflow(), SimTime::ZERO)
+        .unwrap_err();
+    assert!(matches!(err, PlanemoError::MissingTool { .. }));
+}
+
+#[test]
+fn invocation_progress_consistent_with_planemo_timeline() {
+    // The event-driven invocation model and the Planemo timeline must agree
+    // on total work.
+    let spec = &paper_fleet(WorkloadKind::GenomeReconstruction, 1, &SimRng::seed_from_u64(4))[0];
+    let workflow = spec.build_workflow();
+    let plan = ExecutionPlan::new(&workflow);
+    assert_eq!(plan.total_duration(), workflow.total_duration());
+
+    let mut galaxy = provisioned_galaxy(WorkloadKind::GenomeReconstruction);
+    let report = PlanemoRunner::new("key")
+        .run(&mut galaxy, &workflow, SimTime::ZERO)
+        .unwrap();
+    assert_eq!(
+        report.finished_at,
+        SimTime::ZERO + plan.total_duration(),
+        "planemo and the execution plan agree"
+    );
+}
+
+#[test]
+fn standard_vs_checkpoint_interruption_semantics() {
+    let standard = paper_fleet(WorkloadKind::GenomeReconstruction, 1, &SimRng::seed_from_u64(5))[0]
+        .build_workflow();
+    let checkpoint =
+        paper_fleet(WorkloadKind::NgsPreprocessing, 1, &SimRng::seed_from_u64(5))[0].build_workflow();
+
+    let mut std_inv = WorkflowInvocation::new(&standard);
+    let mut ckpt_inv = WorkflowInvocation::new(&checkpoint);
+    let four_hours = SimDuration::from_hours(4);
+    std_inv.record_execution(four_hours).unwrap();
+    ckpt_inv.record_execution(four_hours).unwrap();
+    let std_before = std_inv.units_done();
+    let ckpt_before = ckpt_inv.units_done();
+    assert!(std_before > 0, "23-step workflow completes early steps in 4 h");
+    assert!(ckpt_before > 0);
+
+    std_inv.handle_interruption();
+    ckpt_inv.handle_interruption();
+    assert_eq!(std_inv.units_done(), 0, "standard restarts from scratch");
+    assert_eq!(ckpt_inv.units_done(), ckpt_before, "checkpoint resumes");
+    // Checkpoint workload now needs strictly less time than a full run.
+    assert!(ckpt_inv.remaining_duration() < checkpoint.total_duration());
+    assert_eq!(std_inv.remaining_duration(), standard.total_duration());
+}
+
+#[test]
+fn fleet_tools_are_consistent_per_kind() {
+    // Every spec of a kind requires the same tool set, so one AMI serves
+    // the whole fleet (the paper bakes one AMI).
+    let rng = SimRng::seed_from_u64(6);
+    for kind in WorkloadKind::ALL {
+        let fleet = paper_fleet(kind, 5, &rng);
+        let reference: Vec<String> = fleet[0]
+            .required_tools()
+            .iter()
+            .map(|t| t.id().as_str().to_owned())
+            .collect();
+        for spec in &fleet {
+            let tools: Vec<String> = spec
+                .required_tools()
+                .iter()
+                .map(|t| t.id().as_str().to_owned())
+                .collect();
+            assert_eq!(tools, reference, "{kind}");
+        }
+    }
+}
