@@ -1,0 +1,55 @@
+//! The fallible service facade — `aws-stack`'s fault-injection seam.
+//!
+//! Every managed service ([`crate::KvStore`], [`crate::ObjectStore`],
+//! [`crate::FunctionRuntime`]) can carry a [`ServiceFaultInjector`]: a
+//! chaos layer consults it before each call and may turn the call into a
+//! throttling error or add latency to its outcome. Without an injector the
+//! services behave exactly as before — the seam costs nothing on the
+//! fault-free path.
+
+use sim_kernel::{SimDuration, SimTime};
+
+/// The control-plane operation being attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceOp {
+    /// A KV-store read (`get_item`, `scan_prefix`).
+    KvRead,
+    /// A KV-store write (`put_item`, `update_item`, `conditional_put`).
+    KvWrite,
+    /// An object-store download.
+    ObjectGet,
+    /// An object-store upload.
+    ObjectPut,
+    /// A function invocation.
+    FunctionInvoke,
+}
+
+impl std::fmt::Display for ServiceOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ServiceOp::KvRead => "kv-read",
+            ServiceOp::KvWrite => "kv-write",
+            ServiceOp::ObjectGet => "object-get",
+            ServiceOp::ObjectPut => "object-put",
+            ServiceOp::FunctionInvoke => "function-invoke",
+        };
+        f.write_str(name)
+    }
+}
+
+/// What the injector did to one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceFault {
+    /// The call fails with a throttling error.
+    Throttled,
+    /// The call succeeds but its outcome is delayed by this much.
+    Delayed(SimDuration),
+}
+
+/// Decides the fate of each control-plane call. Implementations must be
+/// deterministic functions of their own seeded state and the call sequence.
+pub trait ServiceFaultInjector: std::fmt::Debug + Send {
+    /// Called once per service call; `None` means the call proceeds
+    /// normally.
+    fn intercept(&mut self, op: ServiceOp, at: SimTime) -> Option<ServiceFault>;
+}

@@ -17,6 +17,8 @@ use sim_kernel::{SimDuration, SimTime};
 use cloud_compute::{BillingLedger, ServiceKind};
 use cloud_market::{Region, Usd};
 
+use crate::fault::{ServiceFault, ServiceFaultInjector, ServiceOp};
+
 /// Configuration of a registered function.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FunctionConfig {
@@ -161,12 +163,20 @@ const REQUEST_PRICE: f64 = 2.0e-7;
 pub struct FunctionRuntime {
     functions: BTreeMap<String, (Region, FunctionConfig)>,
     invocations: Vec<InvocationRecord>,
+    injector: Option<Box<dyn ServiceFaultInjector>>,
 }
 
 impl FunctionRuntime {
     /// Creates an empty runtime.
     pub fn new() -> Self {
         FunctionRuntime::default()
+    }
+
+    /// Installs a fault injector consulted before every invocation
+    /// attempt: throttled attempts fail into the retry policy, delayed
+    /// attempts push the completion time out. Chaos-only.
+    pub fn set_fault_injector(&mut self, injector: Box<dyn ServiceFaultInjector>) {
+        self.injector = Some(injector);
     }
 
     /// Registers (or replaces) a function.
@@ -212,6 +222,20 @@ impl FunctionRuntime {
                 clock += policy.backoff_before(attempt - 1);
             }
             self.bill_attempt(region, config, clock, ledger);
+            match self
+                .injector
+                .as_mut()
+                .and_then(|i| i.intercept(ServiceOp::FunctionInvoke, clock))
+            {
+                Some(ServiceFault::Throttled) => {
+                    // The attempt is consumed by the control plane itself.
+                    last_error = format!("invocation of `{name}` throttled");
+                    clock += config.exec_duration.min(config.timeout);
+                    continue;
+                }
+                Some(ServiceFault::Delayed(d)) => clock += d,
+                None => {}
+            }
             clock += config.exec_duration.min(config.timeout);
             match body(attempt) {
                 Ok(value) => {

@@ -14,6 +14,8 @@ use sim_kernel::SimTime;
 use cloud_compute::{BillingLedger, ServiceKind};
 use cloud_market::{Region, Usd};
 
+use crate::fault::{ServiceFault, ServiceFaultInjector, ServiceOp};
+
 /// An attribute value (a small, serde-friendly subset of DynamoDB's types).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AttrValue {
@@ -102,6 +104,12 @@ pub enum KvError {
         /// Item key.
         key: String,
     },
+    /// The call was throttled (injected control-plane degradation);
+    /// retry with backoff.
+    Throttled {
+        /// Table name.
+        table: String,
+    },
 }
 
 impl fmt::Display for KvError {
@@ -111,6 +119,9 @@ impl fmt::Display for KvError {
             KvError::TableExists(t) => write!(f, "table `{t}` already exists"),
             KvError::ConditionFailed { table, key } => {
                 write!(f, "conditional write failed for `{key}` in `{table}`")
+            }
+            KvError::Throttled { table } => {
+                write!(f, "request against `{table}` throttled")
             }
         }
     }
@@ -149,6 +160,7 @@ pub struct KvStore {
     tables: BTreeMap<String, Table>,
     reads: u64,
     writes: u64,
+    injector: Option<Box<dyn ServiceFaultInjector>>,
 }
 
 /// Per-write price (on-demand capacity pricing, approximately).
@@ -160,6 +172,25 @@ impl KvStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         KvStore::default()
+    }
+
+    /// Installs a fault injector consulted before every timed call
+    /// (untimed `scan_prefix` reads stay local). Chaos-only.
+    pub fn set_fault_injector(&mut self, injector: Box<dyn ServiceFaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// Consults the injector; `Err` means the call is throttled. Delays
+    /// are meaningless for the KV store's synchronous reads/writes and are
+    /// ignored.
+    fn check_fault(&mut self, op: ServiceOp, table: &str, at: SimTime) -> Result<(), KvError> {
+        let fault = self.injector.as_mut().and_then(|i| i.intercept(op, at));
+        match fault {
+            Some(ServiceFault::Throttled) => Err(KvError::Throttled {
+                table: table.to_owned(),
+            }),
+            Some(ServiceFault::Delayed(_)) | None => Ok(()),
+        }
     }
 
     /// Creates a table homed in `region`.
@@ -195,6 +226,7 @@ impl KvStore {
         at: SimTime,
         ledger: &mut BillingLedger,
     ) -> Result<(), KvError> {
+        self.check_fault(ServiceOp::KvWrite, table, at)?;
         let t = self
             .tables
             .get_mut(table)
@@ -217,6 +249,7 @@ impl KvStore {
         at: SimTime,
         ledger: &mut BillingLedger,
     ) -> Result<Option<Item>, KvError> {
+        self.check_fault(ServiceOp::KvRead, table, at)?;
         let t = self
             .tables
             .get(table)
@@ -243,6 +276,7 @@ impl KvStore {
     where
         F: FnOnce(&mut Item),
     {
+        self.check_fault(ServiceOp::KvWrite, table, at)?;
         let t = self
             .tables
             .get_mut(table)
@@ -273,6 +307,7 @@ impl KvStore {
     where
         F: FnOnce(Option<&Item>) -> bool,
     {
+        self.check_fault(ServiceOp::KvWrite, table, at)?;
         let t = self
             .tables
             .get_mut(table)

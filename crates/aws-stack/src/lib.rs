@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 mod event_bus;
+pub mod fault;
 mod file_system;
 mod functions;
 mod kv_store;
@@ -48,6 +49,7 @@ mod object_store;
 mod state_machine;
 
 pub use event_bus::{BusEvent, EventBus, EventBusError, Rule};
+pub use fault::{ServiceFault, ServiceFaultInjector, ServiceOp};
 pub use file_system::{
     FileEntry, FileSystemError, FileSystemId, IoOutcome, SharedFileSystem,
 };

@@ -16,6 +16,8 @@ use sim_kernel::SimTime;
 use cloud_compute::{transfer, BillingLedger, ServiceKind};
 use cloud_market::{Region, Usd};
 
+use crate::fault::{ServiceFault, ServiceFaultInjector, ServiceOp};
+
 /// The body of a stored object: real bytes for small control-plane records,
 /// or a synthetic size for bulk scientific data whose contents are
 /// irrelevant to the simulation.
@@ -92,6 +94,12 @@ pub enum ObjectStoreError {
         /// Object key.
         key: String,
     },
+    /// The call was throttled (injected control-plane degradation);
+    /// retry with backoff.
+    Throttled {
+        /// Bucket name.
+        bucket: String,
+    },
 }
 
 impl fmt::Display for ObjectStoreError {
@@ -101,6 +109,9 @@ impl fmt::Display for ObjectStoreError {
             ObjectStoreError::BucketExists(b) => write!(f, "bucket `{b}` already exists"),
             ObjectStoreError::NoSuchKey { bucket, key } => {
                 write!(f, "no such key `{key}` in bucket `{bucket}`")
+            }
+            ObjectStoreError::Throttled { bucket } => {
+                write!(f, "request against bucket `{bucket}` throttled")
             }
         }
     }
@@ -152,12 +163,36 @@ pub struct ObjectStore {
     buckets: BTreeMap<String, Bucket>,
     put_count: u64,
     get_count: u64,
+    injector: Option<Box<dyn ServiceFaultInjector>>,
 }
 
 impl ObjectStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         ObjectStore::default()
+    }
+
+    /// Installs a fault injector consulted before every transfer-bearing
+    /// call. Chaos-only.
+    pub fn set_fault_injector(&mut self, injector: Box<dyn ServiceFaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// Consults the injector; `Err` means throttled, `Ok(delay)` is extra
+    /// latency added to the transfer outcome.
+    fn check_fault(
+        &mut self,
+        op: ServiceOp,
+        bucket: &str,
+        at: SimTime,
+    ) -> Result<sim_kernel::SimDuration, ObjectStoreError> {
+        match self.injector.as_mut().and_then(|i| i.intercept(op, at)) {
+            Some(ServiceFault::Throttled) => Err(ObjectStoreError::Throttled {
+                bucket: bucket.to_owned(),
+            }),
+            Some(ServiceFault::Delayed(d)) => Ok(d),
+            None => Ok(sim_kernel::SimDuration::ZERO),
+        }
     }
 
     /// Creates a bucket homed in `region`.
@@ -211,13 +246,14 @@ impl ObjectStore {
         at: SimTime,
         ledger: &mut BillingLedger,
     ) -> Result<TransferOutcome, ObjectStoreError> {
+        let delay = self.check_fault(ServiceOp::ObjectPut, bucket, at)?;
         let b = self
             .buckets
             .get_mut(bucket)
             .ok_or_else(|| ObjectStoreError::NoSuchBucket(bucket.to_owned()))?;
         let size = body.size_gib();
         let transfer_cost = transfer::transfer_cost(from_region, b.region, size);
-        let completes_at = at + transfer::transfer_time(from_region, b.region, size);
+        let completes_at = at + transfer::transfer_time(from_region, b.region, size) + delay;
         let storage_fee = Usd::new(0.0005 * size);
         ledger.charge(at, ServiceKind::DataTransfer, b.region, transfer_cost);
         ledger.charge(at, ServiceKind::ObjectStorage, b.region, storage_fee);
@@ -250,6 +286,7 @@ impl ObjectStore {
         at: SimTime,
         ledger: &mut BillingLedger,
     ) -> Result<(StoredObject, TransferOutcome), ObjectStoreError> {
+        let delay = self.check_fault(ServiceOp::ObjectGet, bucket, at)?;
         let b = self
             .buckets
             .get(bucket)
@@ -264,7 +301,7 @@ impl ObjectStore {
             .clone();
         let size = obj.body().size_gib();
         let cost = transfer::transfer_cost(b.region, to_region, size);
-        let completes_at = at + transfer::transfer_time(b.region, to_region, size);
+        let completes_at = at + transfer::transfer_time(b.region, to_region, size) + delay;
         ledger.charge(at, ServiceKind::DataTransfer, to_region, cost);
         self.get_count += 1;
         Ok((obj, TransferOutcome { completes_at, cost }))

@@ -1,0 +1,35 @@
+//! # chaos
+//!
+//! Deterministic fault injection for SpotVerse experiments.
+//!
+//! A [`ChaosScenario`] is declarative data — a named schedule of
+//! [`FaultDirective`]s covering five fault classes (spot blackouts,
+//! correlated hazard bursts, lost/late interruption notices,
+//! control-plane degradation, checkpoint corruption). The
+//! [`ChaosEngine`] compiles a scenario against a seed and a start
+//! instant into injection hooks for the substrate seams:
+//!
+//! * [`cloud_compute::FaultInjector`] — spot request denial, hazard
+//!   multipliers, forced reclaims inside blackout windows;
+//! * [`cloud_market::MarketOverlay`] — what the Monitor *observes*
+//!   (placement pins, blackouts) on top of the immutable market;
+//! * [`aws_stack::ServiceFaultInjector`] — throttling and latency on
+//!   KV, object-store, and function calls;
+//! * controller policies — notice shortening and checkpoint-corruption
+//!   verdicts, queried by the experiment loop itself.
+//!
+//! Identical scenario + seed ⇒ identical event trace; an engine with no
+//! active fault consumes no randomness, leaving fault-free runs
+//! untouched.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod scenario;
+
+pub use engine::ChaosEngine;
+pub use scenario::{
+    by_name, correlated_crunch, flaky_checkpoints, library, notice_loss, region_blackout,
+    throttle_storm, ChaosScenario, FaultDirective, RegionScope, SCENARIO_NAMES,
+};

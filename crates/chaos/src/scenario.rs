@@ -1,0 +1,264 @@
+//! Declarative chaos scenarios.
+//!
+//! A [`ChaosScenario`] is a named schedule of [`FaultDirective`]s. All
+//! times are offsets **relative to the experiment start**, so the same
+//! scenario can be replayed against any experiment window. Scenarios are
+//! pure data: the [`crate::engine::ChaosEngine`] compiles them against a
+//! seed and a concrete start instant into deterministic injection hooks.
+
+use cloud_market::Region;
+use serde::{Deserialize, Serialize};
+use sim_kernel::SimDuration;
+
+/// Which regions a directive applies to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RegionScope {
+    /// Every region the market offers.
+    All,
+    /// Only the listed regions.
+    Only(Vec<Region>),
+}
+
+impl RegionScope {
+    /// Whether `region` falls under this scope.
+    pub fn covers(&self, region: Region) -> bool {
+        match self {
+            RegionScope::All => true,
+            RegionScope::Only(regions) => regions.contains(&region),
+        }
+    }
+}
+
+/// One declarative fault, active over `[from, until)` offsets from the
+/// experiment start. The five variants are the five supported fault
+/// classes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultDirective {
+    /// Region-wide spot capacity outage: all spot requests in scope fail,
+    /// running spot instances are reclaimed within the window, and the
+    /// region's placement score reads as the minimum (1) while active.
+    SpotBlackout {
+        /// Affected regions.
+        scope: RegionScope,
+        /// Window start offset.
+        from: SimDuration,
+        /// Window end offset.
+        until: SimDuration,
+    },
+    /// Correlated interruption burst: the interruption hazard in scope is
+    /// multiplied while active (stacking with the §5.2.3 crowding effect).
+    HazardBurst {
+        /// Affected regions.
+        scope: RegionScope,
+        /// Window start offset.
+        from: SimDuration,
+        /// Window end offset.
+        until: SimDuration,
+        /// Hazard multiplier (> 1 worsens, < 1 calms).
+        multiplier: f64,
+    },
+    /// Lost or late two-minute notices: with `probability`, an instance
+    /// interrupted in the window gets a shortened warning drawn uniformly
+    /// from `[0, max_notice]` instead of the full 120 s.
+    NoticeDisruption {
+        /// Affected regions.
+        scope: RegionScope,
+        /// Window start offset.
+        from: SimDuration,
+        /// Window end offset.
+        until: SimDuration,
+        /// Chance a notice in the window is disrupted.
+        probability: f64,
+        /// Upper bound of the shortened warning (0 = notice fully lost).
+        max_notice: SimDuration,
+    },
+    /// Control-plane degradation: KV, object-store, and function calls
+    /// are throttled with `throttle_probability`, and successful calls
+    /// gain `added_latency`.
+    ControlPlaneDegradation {
+        /// Window start offset.
+        from: SimDuration,
+        /// Window end offset.
+        until: SimDuration,
+        /// Chance any single call returns a throttling error.
+        throttle_probability: f64,
+        /// Extra latency on calls that do succeed.
+        added_latency: SimDuration,
+    },
+    /// Checkpoint-store corruption: with `probability`, a checkpoint
+    /// generation written in the window reads back invalid, forcing the
+    /// controller to fall back to an older generation or restart.
+    CheckpointCorruption {
+        /// Window start offset.
+        from: SimDuration,
+        /// Window end offset.
+        until: SimDuration,
+        /// Chance a written checkpoint generation is corrupt.
+        probability: f64,
+    },
+}
+
+/// A named, ordered schedule of fault directives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosScenario {
+    name: String,
+    directives: Vec<FaultDirective>,
+}
+
+impl ChaosScenario {
+    /// An empty scenario with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ChaosScenario {
+            name: name.into(),
+            directives: Vec::new(),
+        }
+    }
+
+    /// Adds a directive (builder style).
+    #[must_use]
+    pub fn with(mut self, directive: FaultDirective) -> Self {
+        self.directives.push(directive);
+        self
+    }
+
+    /// The scenario name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fault schedule.
+    pub fn directives(&self) -> &[FaultDirective] {
+        &self.directives
+    }
+}
+
+/// Offset covering any realistic experiment (experiments cap at 30 days).
+fn whole_run() -> SimDuration {
+    SimDuration::from_days(60)
+}
+
+/// `region_blackout`: the cheapest M5 region (the one single-region
+/// baselines gravitate to) loses all spot capacity for a day and a half.
+pub fn region_blackout() -> ChaosScenario {
+    ChaosScenario::new("region_blackout").with(FaultDirective::SpotBlackout {
+        scope: RegionScope::Only(vec![Region::CaCentral1]),
+        from: SimDuration::from_hours(1),
+        until: SimDuration::from_hours(36),
+    })
+}
+
+/// `notice_loss`: interruption notices are lost (0 s warning) for the
+/// whole run with high probability, stressing checkpoint durability.
+pub fn notice_loss() -> ChaosScenario {
+    ChaosScenario::new("notice_loss").with(FaultDirective::NoticeDisruption {
+        scope: RegionScope::All,
+        from: SimDuration::ZERO,
+        until: whole_run(),
+        probability: 0.9,
+        max_notice: SimDuration::ZERO,
+    })
+}
+
+/// `throttle_storm`: the control plane throttles heavily for a day.
+pub fn throttle_storm() -> ChaosScenario {
+    ChaosScenario::new("throttle_storm").with(FaultDirective::ControlPlaneDegradation {
+        from: SimDuration::from_mins(30),
+        until: SimDuration::from_hours(24),
+        throttle_probability: 0.4,
+        added_latency: SimDuration::from_secs(20),
+    })
+}
+
+/// `correlated_crunch`: a correlated capacity crunch multiplies the
+/// interruption hazard across every region for ten hours.
+pub fn correlated_crunch() -> ChaosScenario {
+    ChaosScenario::new("correlated_crunch").with(FaultDirective::HazardBurst {
+        scope: RegionScope::All,
+        from: SimDuration::from_hours(2),
+        until: SimDuration::from_hours(12),
+        multiplier: 8.0,
+    })
+}
+
+/// `flaky_checkpoints`: the checkpoint store corrupts more than half of
+/// everything written to it, for the whole run.
+pub fn flaky_checkpoints() -> ChaosScenario {
+    ChaosScenario::new("flaky_checkpoints").with(FaultDirective::CheckpointCorruption {
+        from: SimDuration::ZERO,
+        until: whole_run(),
+        probability: 0.6,
+    })
+}
+
+/// Names of every scenario in the shipped library, in display order.
+pub const SCENARIO_NAMES: [&str; 5] = [
+    "region_blackout",
+    "notice_loss",
+    "throttle_storm",
+    "correlated_crunch",
+    "flaky_checkpoints",
+];
+
+/// The full shipped scenario library.
+pub fn library() -> Vec<ChaosScenario> {
+    vec![
+        region_blackout(),
+        notice_loss(),
+        throttle_storm(),
+        correlated_crunch(),
+        flaky_checkpoints(),
+    ]
+}
+
+/// Looks a library scenario up by name.
+pub fn by_name(name: &str) -> Option<ChaosScenario> {
+    library().into_iter().find(|s| s.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_matches_names() {
+        let lib = library();
+        assert_eq!(lib.len(), SCENARIO_NAMES.len());
+        for (scenario, name) in lib.iter().zip(SCENARIO_NAMES) {
+            assert_eq!(scenario.name(), name);
+            assert!(!scenario.directives().is_empty());
+        }
+    }
+
+    #[test]
+    fn by_name_finds_each() {
+        for name in SCENARIO_NAMES {
+            assert!(by_name(name).is_some(), "{name} missing from library");
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scope_covers() {
+        assert!(RegionScope::All.covers(Region::UsEast1));
+        let only = RegionScope::Only(vec![Region::CaCentral1]);
+        assert!(only.covers(Region::CaCentral1));
+        assert!(!only.covers(Region::UsEast1));
+    }
+
+    #[test]
+    fn builder_appends() {
+        let s = ChaosScenario::new("custom")
+            .with(FaultDirective::SpotBlackout {
+                scope: RegionScope::All,
+                from: SimDuration::ZERO,
+                until: SimDuration::from_hours(1),
+            })
+            .with(FaultDirective::CheckpointCorruption {
+                from: SimDuration::ZERO,
+                until: SimDuration::from_hours(2),
+                probability: 1.0,
+            });
+        assert_eq!(s.directives().len(), 2);
+        assert_eq!(s.name(), "custom");
+    }
+}

@@ -6,6 +6,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use bio_workloads::{paper_fleet, WorkloadKind};
+use chaos::ChaosScenario;
 use cloud_market::history::{archive_to_csv, collect_archive};
 use cloud_market::{InstanceType, Region, SpotMarket};
 use sim_kernel::{SimDuration, SimRng, SimTime};
@@ -55,6 +56,8 @@ USAGE:
 COMMANDS:
     simulate    run one strategy over a workload fleet and print its report
     compare     run every strategy on the same market and print a table
+    chaos       fault-injection matrix: strategies × scenarios, with the
+                degradation vs the fault-free run
     advisor     show per-region scores (Algorithm 1's inputs) at an instant
     traces      export a SpotLake-style market archive as CSV
     workflow    export one of the paper's workflows as a Galaxy .ga document
@@ -72,6 +75,12 @@ SIMULATE FLAGS:
                              skypilot | naive-multi     (default spotverse)
     --threshold <t>          Algorithm 1 threshold      (default 6)
     --region <name>          region for single-region   (default ca-central-1)
+
+CHAOS FLAGS:
+    --scenario <name>        region_blackout | notice_loss | throttle_storm |
+                             correlated_crunch | flaky_checkpoints | all
+                                                        (default all)
+    --strategy <name>        as simulate, or `all`      (default all)
 
 ADVISOR / TRACES FLAGS:
     --day <d>                advisor snapshot day       (default 1)
@@ -208,6 +217,89 @@ pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `spotverse chaos`: the strategy × scenario degradation matrix. Every
+/// cell runs the same fleet on the same market with a fault scenario
+/// compiled against the experiment seed, and is compared against that
+/// strategy's fault-free run.
+pub fn chaos_matrix(args: &ParsedArgs) -> Result<String, CliError> {
+    let common = common_config(args)?;
+    let threshold = args.u8_or("threshold", 6)?;
+    let region = parse_region(args.str_or("region", "ca-central-1"))?;
+    let scenario_arg = args.str_or("scenario", "all");
+    let strategy_arg = args.str_or("strategy", "all");
+    let scenarios: Vec<ChaosScenario> = if scenario_arg == "all" {
+        chaos::library()
+    } else {
+        vec![chaos::by_name(scenario_arg).ok_or_else(|| {
+            CliError::BadInput(format!(
+                "unknown scenario `{scenario_arg}` (expected {} | all)",
+                chaos::SCENARIO_NAMES.join(" | ")
+            ))
+        })?]
+    };
+    let strategies: Vec<&str> = if strategy_arg == "all" {
+        vec!["single-region", "skypilot", "spotverse"]
+    } else {
+        vec![strategy_arg]
+    };
+    let market = Arc::new(SpotMarket::new(common.config.market));
+    let fleet = common.config.workloads.len();
+    let mut out = format!(
+        "chaos degradation matrix  (seed {}, fleet {fleet})\n\
+         {:<14} {:<19} {:>9} {:>11} {:>12} {:>10} {:>11} {:>6} {:>6}\n",
+        common.config.seed,
+        "strategy",
+        "scenario",
+        "completed",
+        "makespan",
+        "Δmakespan",
+        "cost",
+        "Δcost",
+        "torn",
+        "corrupt",
+    );
+    for name in &strategies {
+        let strategy = build_strategy(name, common.instance_type, threshold, region)?;
+        let baseline = run_experiment_on(Arc::clone(&market), common.config.clone(), strategy);
+        out.push_str(&format!(
+            "{:<14} {:<19} {:>6}/{:<2} {:>11} {:>12} {:>10} {:>11} {:>6} {:>6}\n",
+            baseline.strategy,
+            "(fault-free)",
+            baseline.completed,
+            baseline.workloads,
+            baseline.makespan.to_string(),
+            "-",
+            baseline.cost.total.to_string(),
+            "-",
+            baseline.checkpoints.torn_writes,
+            baseline.checkpoints.corrupt_reads,
+        ));
+        for scenario in &scenarios {
+            let strategy = build_strategy(name, common.instance_type, threshold, region)?;
+            let mut config = common.config.clone();
+            config.chaos = Some(scenario.clone());
+            let report = run_experiment_on(Arc::clone(&market), config, strategy);
+            let added_makespan =
+                report.makespan.as_hours_f64() - baseline.makespan.as_hours_f64();
+            let added_cost = report.cost.total.amount() - baseline.cost.total.amount();
+            out.push_str(&format!(
+                "{:<14} {:<19} {:>6}/{:<2} {:>11} {:>+11.1}h {:>10} {:>+11.2} {:>6} {:>6}\n",
+                report.strategy,
+                scenario.name(),
+                report.completed,
+                report.workloads,
+                report.makespan.to_string(),
+                added_makespan,
+                report.cost.total.to_string(),
+                added_cost,
+                report.checkpoints.torn_writes,
+                report.checkpoints.corrupt_reads,
+            ));
+        }
+    }
+    Ok(out)
+}
+
 /// `spotverse advisor`.
 pub fn advisor(args: &ParsedArgs) -> Result<String, CliError> {
     let seed = args.u64_or("seed", 2024)?;
@@ -294,6 +386,17 @@ pub fn schema(command: &str) -> &'static [&'static str] {
             "threshold",
             "region",
         ],
+        "chaos" => &[
+            "seed",
+            "instances",
+            "instance-type",
+            "workload",
+            "start-day",
+            "strategy",
+            "threshold",
+            "region",
+            "scenario",
+        ],
         "advisor" => &["seed", "instance-type", "day"],
         "traces" => &["seed", "instance-type", "days"],
         "workflow" => &["workload", "duration-hours"],
@@ -320,6 +423,7 @@ where
     match command.as_str() {
         "simulate" => simulate(&ParsedArgs::parse(rest, schema("simulate"))?),
         "compare" => compare(&ParsedArgs::parse(rest, schema("compare"))?),
+        "chaos" => chaos_matrix(&ParsedArgs::parse(rest, schema("chaos"))?),
         "advisor" => advisor(&ParsedArgs::parse(rest, schema("advisor"))?),
         "traces" => traces(&ParsedArgs::parse(rest, schema("traces"))?),
         "workflow" => workflow(&ParsedArgs::parse(rest, schema("workflow"))?),
@@ -401,6 +505,36 @@ mod tests {
         let genome = run(["workflow"]).unwrap();
         assert_eq!(galaxy_flow::from_ga_json(&genome).unwrap().len(), 23);
         assert!(run(["workflow", "--duration-hours", "0"]).is_err());
+    }
+
+    #[test]
+    fn chaos_cell_is_deterministic() {
+        let argv = [
+            "chaos",
+            "--scenario",
+            "region_blackout",
+            "--strategy",
+            "spotverse",
+            "--seed",
+            "7",
+            "--instances",
+            "3",
+            "--workload",
+            "ngs",
+        ];
+        let a = run(argv).unwrap();
+        let b = run(argv).unwrap();
+        assert_eq!(a, b, "same seed must give byte-identical reports");
+        assert!(a.contains("(fault-free)"));
+        assert!(a.contains("region_blackout"));
+        assert!(a.contains("spotverse"));
+    }
+
+    #[test]
+    fn chaos_rejects_unknown_scenario() {
+        let err = run(["chaos", "--scenario", "meteor-strike"]).unwrap_err();
+        assert!(err.to_string().contains("meteor-strike"));
+        assert!(err.to_string().contains("region_blackout"));
     }
 
     #[test]

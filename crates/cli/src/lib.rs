@@ -5,6 +5,7 @@
 //!
 //! * `simulate` — run one strategy over a workload fleet,
 //! * `compare`  — run every strategy on the identical market,
+//! * `chaos`    — strategy × fault-scenario degradation matrix,
 //! * `advisor`  — print Algorithm 1's per-region score inputs,
 //! * `traces`   — export a SpotLake-style market archive as CSV.
 //!
@@ -19,4 +20,6 @@ mod args;
 mod commands;
 
 pub use args::{ArgError, ParsedArgs};
-pub use commands::{advisor, compare, run, schema, simulate, traces, usage, CliError};
+pub use commands::{
+    advisor, chaos_matrix, compare, run, schema, simulate, traces, usage, CliError,
+};

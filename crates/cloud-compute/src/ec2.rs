@@ -21,6 +21,37 @@ use crate::instance::{InstanceId, InstanceRecord, PurchaseModel, TerminationReas
 /// The two-minute interruption notice AWS gives spot instances.
 pub const INTERRUPTION_NOTICE: SimDuration = SimDuration::from_secs(120);
 
+/// An injection seam over the spot request lifecycle and interruption
+/// engine. A chaos layer implements this to force capacity outages,
+/// correlated interruption bursts, and forced reclaims; with no injector
+/// installed (or with the default no-op answers) behavior is byte-for-byte
+/// identical to the fault-free control plane.
+pub trait FaultInjector: std::fmt::Debug + Send {
+    /// Whether spot capacity in `region` is forced unavailable at `at`
+    /// (the request stays open, as if the market had no capacity).
+    fn spot_blocked(&self, region: Region, at: SimTime) -> bool {
+        let _ = (region, at);
+        false
+    }
+
+    /// Extra multiplier applied to the interruption hazard of an instance
+    /// launched in `region` at `at` (stacks with crowding). `1.0` is
+    /// neutral.
+    fn hazard_multiplier(&self, region: Region, at: SimTime) -> f64 {
+        let _ = (region, at);
+        1.0
+    }
+
+    /// If a capacity outage will reclaim every running spot instance in
+    /// `region`, the `[from, until)` window of the first such outage
+    /// ending after `at`. Instances launched before `until` are reclaimed
+    /// inside the window.
+    fn forced_reclaim_window(&self, region: Region, at: SimTime) -> Option<(SimTime, SimTime)> {
+        let _ = (region, at);
+        None
+    }
+}
+
 /// Configuration of the compute control plane.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ec2Config {
@@ -133,6 +164,7 @@ pub struct Ec2 {
     next_instance: u64,
     spot_attempts: u64,
     spot_fulfillments: u64,
+    injector: Option<Box<dyn FaultInjector>>,
 }
 
 impl Ec2 {
@@ -147,7 +179,15 @@ impl Ec2 {
             next_instance: 1,
             spot_attempts: 0,
             spot_fulfillments: 0,
+            injector: None,
         }
+    }
+
+    /// Installs a fault injector over the request lifecycle and
+    /// interruption engine. Chaos-only: fault-free experiments never call
+    /// this, so their RNG streams are untouched.
+    pub fn set_fault_injector(&mut self, injector: Box<dyn FaultInjector>) {
+        self.injector = Some(injector);
     }
 
     /// The market this control plane trades against.
@@ -177,21 +217,45 @@ impl Ec2 {
         at: SimTime,
     ) -> Result<SpotRequestOutcome, Ec2Error> {
         self.spot_attempts += 1;
+        if self
+            .injector
+            .as_ref()
+            .is_some_and(|i| i.spot_blocked(region, at))
+        {
+            return Ok(SpotRequestOutcome::OpenNoCapacity);
+        }
         if !self.market.try_fulfill(region, instance_type, at, &mut self.rng)? {
             return Ok(SpotRequestOutcome::OpenNoCapacity);
         }
         self.spot_fulfillments += 1;
         let id = self.fresh_id();
         let ready_at = at + self.config.boot_delay;
-        let crowding = self.crowding_multiplier(region, instance_type);
-        let interruption_at = self
+        let hazard = self
+            .injector
+            .as_ref()
+            .map_or(1.0, |i| i.hazard_multiplier(region, at));
+        let crowding = self.crowding_multiplier(region, instance_type) * hazard;
+        let mut interruption_at = self
             .market
             .sample_interruption_delay_scaled(region, instance_type, at, crowding, &mut self.rng)?
-            .map(|d| at + d)
-            // An interruption during boot is indistinguishable from a failed
-            // request at the workload level; keep it anyway (realism), but
-            // never earlier than the notice period after launch.
-            .map(|t| t.max(at + INTERRUPTION_NOTICE));
+            .map(|d| at + d);
+        // A region-wide capacity outage reclaims this instance inside the
+        // outage window, whatever the sampled hazard said.
+        if let Some((from, until)) = self
+            .injector
+            .as_ref()
+            .and_then(|i| i.forced_reclaim_window(region, at))
+        {
+            let window_start = from.max(at);
+            let span = (until - window_start).as_secs().max(1);
+            let jitter = SimDuration::from_secs(self.rng.uniform_u64(span.min(600)));
+            let forced = window_start + jitter;
+            interruption_at = Some(interruption_at.map_or(forced, |t| t.min(forced)));
+        }
+        // An interruption during boot is indistinguishable from a failed
+        // request at the workload level; keep it anyway (realism), but
+        // never earlier than the notice period after launch.
+        let interruption_at = interruption_at.map(|t| t.max(at + INTERRUPTION_NOTICE));
         self.instances.insert(
             id,
             InstanceRecord::new(id, region, instance_type, PurchaseModel::Spot, at, ready_at),

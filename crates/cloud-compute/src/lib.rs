@@ -48,5 +48,7 @@ pub mod transfer;
 
 pub use ami::{Ami, AmiCatalog, AmiError, AmiId};
 pub use billing::{BillingLedger, LineItem, ServiceKind};
-pub use ec2::{Ec2, Ec2Config, Ec2Error, LaunchedSpot, SpotRequestOutcome, INTERRUPTION_NOTICE};
+pub use ec2::{
+    Ec2, Ec2Config, Ec2Error, FaultInjector, LaunchedSpot, SpotRequestOutcome, INTERRUPTION_NOTICE,
+};
 pub use instance::{InstanceId, InstanceRecord, InstanceState, PurchaseModel, TerminationReason};

@@ -134,6 +134,9 @@ impl std::error::Error for ScoreOutOfRange {}
 pub struct StabilityScore(u8);
 
 impl StabilityScore {
+    /// The worst (most interruption-prone) score.
+    pub const MIN: StabilityScore = StabilityScore(1);
+
     /// Creates a score, validating the 1–3 range.
     ///
     /// # Errors
@@ -179,6 +182,9 @@ impl fmt::Display for StabilityScore {
 pub struct PlacementScore(u8);
 
 impl PlacementScore {
+    /// The worst score — what a blacked-out region advertises.
+    pub const MIN: PlacementScore = PlacementScore(1);
+
     /// Creates a score, validating the 1–10 range.
     ///
     /// # Errors

@@ -35,6 +35,7 @@ pub mod history;
 mod instance;
 mod market;
 mod money;
+pub mod overlay;
 pub mod profiles;
 mod region;
 pub mod traces;
@@ -45,6 +46,7 @@ pub use advisor::{
 pub use instance::{InstanceFamily, InstanceSize, InstanceType, ParseInstanceTypeError};
 pub use market::{MarketConfig, MarketError, SpotMarket, Weekday};
 pub use money::{Usd, UsdPerHour};
+pub use overlay::{MarketOverlay, OverlayWindow};
 pub use profiles::{
     cheapest_on_demand_region, cheapest_spot_region_at_start, on_demand_price, MarketProfile,
     PriceSurge,

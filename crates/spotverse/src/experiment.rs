@@ -22,10 +22,11 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use aws_stack::{
-    FileSystemId, FunctionConfig, FunctionRuntime, KvStore, MetricsService, ObjectBody,
-    ObjectStore, RetryPolicy, SharedFileSystem,
+    FileSystemId, FunctionConfig, FunctionRuntime, KvError, KvStore, MetricsService, ObjectBody,
+    ObjectStore, ObjectStoreError, RetryPolicy, SharedFileSystem,
 };
 use bio_workloads::WorkloadSpec;
+use chaos::{ChaosEngine, ChaosScenario};
 use cloud_compute::{
     Ec2, Ec2Config, InstanceId, ServiceKind, SpotRequestOutcome,
     TerminationReason, INTERRUPTION_NOTICE,
@@ -36,8 +37,9 @@ use sim_kernel::{
     CumulativeCounter, Model, Scheduler, SimDuration, SimRng, SimTime, Simulation, TimeSeries,
 };
 
-use crate::monitor::Monitor;
+use crate::monitor::{Monitor, MonitorError};
 use crate::optimizer::{Placement, RegionAssessment};
+use crate::resilience::{retry_with_backoff, BackoffPolicy};
 use crate::strategy::{Strategy, StrategyContext};
 
 /// Name of the interruption-handler function (paper §4).
@@ -83,6 +85,9 @@ pub struct ExperimentConfig {
     pub monitor_pipeline: bool,
     /// Where checkpoint working sets are persisted.
     pub checkpoint_backend: CheckpointBackend,
+    /// Optional fault-injection scenario, compiled against `seed` and
+    /// `start`. `None` runs fault-free.
+    pub chaos: Option<ChaosScenario>,
 }
 
 impl ExperimentConfig {
@@ -100,6 +105,7 @@ impl ExperimentConfig {
             max_runtime: SimDuration::from_days(30),
             monitor_pipeline: true,
             checkpoint_backend: CheckpointBackend::ObjectStore,
+            chaos: None,
         }
     }
 }
@@ -117,6 +123,25 @@ pub struct CostBreakdown {
     pub data_transfer: Usd,
     /// Shared serverless services (functions, KV, metrics, storage fees).
     pub shared_services: Usd,
+}
+
+/// Checkpoint-durability and resilience counters. All zeros on a
+/// fault-free run: the hardened Controller only exercises these paths
+/// when faults are injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointTelemetry {
+    /// Checkpoint write attempts (notice-window uploads).
+    pub writes: u64,
+    /// Writes still in flight at reclaim — torn, never trusted.
+    pub torn_writes: u64,
+    /// Durable generations that read back corrupt.
+    pub corrupt_reads: u64,
+    /// Reclaims resolved by falling back to an older durable generation.
+    pub generation_fallbacks: u64,
+    /// Reclaims that lost all durable progress and restarted from scratch.
+    pub scratch_restarts: u64,
+    /// Control-plane retries taken after throttling errors.
+    pub throttled_retries: u64,
 }
 
 /// The result of one experiment run.
@@ -150,6 +175,8 @@ pub struct ExperimentReport {
     pub spot_attempts: u64,
     /// Spot requests fulfilled.
     pub spot_fulfillments: u64,
+    /// Checkpoint-durability and resilience counters.
+    pub checkpoints: CheckpointTelemetry,
 }
 
 impl ExperimentReport {
@@ -180,6 +207,34 @@ struct RunningInstance {
     ready_at: SimTime,
 }
 
+/// A checkpoint generation that finished uploading before its instance
+/// was reclaimed.
+#[derive(Debug, Clone, Copy)]
+struct DurableCheckpoint {
+    generation: u64,
+    units: usize,
+    written_at: SimTime,
+}
+
+/// A checkpoint upload still being judged: durable only if it completed
+/// before the reclaim and its KV record landed.
+#[derive(Debug, Clone, Copy)]
+struct PendingCheckpoint {
+    generation: u64,
+    units: usize,
+    completes_at: SimTime,
+    recorded: bool,
+}
+
+/// Per-workload checkpoint ledger: the durable generations (newest last)
+/// and the write currently in flight.
+#[derive(Debug, Default)]
+struct CheckpointLog {
+    durable: Vec<DurableCheckpoint>,
+    pending: Option<PendingCheckpoint>,
+    next_generation: u64,
+}
+
 #[derive(Debug)]
 struct WorkloadRuntime {
     spec: WorkloadSpec,
@@ -188,6 +243,7 @@ struct WorkloadRuntime {
     running: Option<RunningInstance>,
     completed_at: Option<SimTime>,
     launches: u32,
+    checkpoints: CheckpointLog,
 }
 
 struct ExperimentModel {
@@ -211,6 +267,10 @@ struct ExperimentModel {
     launches_by_region: BTreeMap<Region, u64>,
     deadline: SimTime,
     aborted: bool,
+    chaos: Option<ChaosEngine>,
+    telemetry: CheckpointTelemetry,
+    backoff_rng: SimRng,
+    monitor_backoff: u32,
 }
 
 impl std::fmt::Debug for ExperimentModel {
@@ -229,16 +289,34 @@ impl ExperimentModel {
     }
 
     /// Current optimizer inputs: the Monitor's latest persisted snapshot
-    /// when the pipeline is enabled, fresh market reads otherwise.
+    /// when the pipeline is enabled, fresh market reads otherwise. Either
+    /// way decisions observe the market *through* any active fault
+    /// overlay (the snapshot was collected through it; fresh reads apply
+    /// it directly).
     fn assessments(&self, now: SimTime) -> Vec<RegionAssessment> {
         if self.config.monitor_pipeline {
             if let Ok(snapshot) = self.monitor.latest_assessments(&self.kv) {
                 return snapshot;
             }
         }
+        let overlay = self.chaos.as_ref().map(|c| c.overlay());
         self.monitor
-            .fresh_assessments(&self.market, now)
+            .fresh_assessments_with_overlay(&self.market, overlay, now)
             .expect("market assessments within horizon")
+    }
+
+    /// One monitor collection cycle, observed through the fault overlay.
+    fn run_monitor_collection(&mut self, now: SimTime) -> Result<usize, MonitorError> {
+        let overlay = self.chaos.as_ref().map(|c| c.overlay());
+        self.monitor.collect_with_overlay(
+            &self.market,
+            overlay,
+            now,
+            &mut self.functions,
+            &mut self.kv,
+            &mut self.metrics,
+            self.ec2.ledger_mut(),
+        )
     }
 
     fn relocate(&mut self, now: SimTime, previous: Region) -> Placement {
@@ -253,17 +331,12 @@ impl ExperimentModel {
     }
 
     fn handle_start(&mut self, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
-        // Prime the Monitor so the first decision has a snapshot.
-        self.monitor
-            .collect(
-                &self.market,
-                now,
-                &mut self.functions,
-                &mut self.kv,
-                &mut self.metrics,
-                self.ec2.ledger_mut(),
-            )
-            .expect("initial monitor collection");
+        // Prime the Monitor so the first decision has a snapshot. Under a
+        // throttle storm the collection may fail; decisions then fall back
+        // to fresh market reads until a tick succeeds.
+        if self.run_monitor_collection(now).is_err() {
+            self.telemetry.throttled_retries += 1;
+        }
         scheduler.schedule_in(self.config.monitor_period, Event::MonitorTick);
 
         let assessments = self.assessments(now);
@@ -298,7 +371,12 @@ impl ExperimentModel {
                     // The Controller's periodic sweep picks it back up.
                     scheduler.schedule_in(self.config.retry_interval, Event::Retry(w));
                 }
-                Err(e) => panic!("spot request failed fatally: {e}"),
+                // A failed request (e.g. a region knocked out from under
+                // an in-flight placement) also lands on the retry sweep
+                // instead of killing the run.
+                Err(_) => {
+                    scheduler.schedule_in(self.config.retry_interval, Event::Retry(w));
+                }
             },
             Placement::OnDemand(region) => {
                 let launch = self
@@ -355,7 +433,15 @@ impl ExperimentModel {
         });
         match interruption_at {
             Some(at) if at < completion_at => {
-                let notice_at = (at - INTERRUPTION_NOTICE).max(now);
+                // Chaos may shorten or lose the two-minute warning; a
+                // zero-length notice still fires at the reclaim instant,
+                // before the Reclaim event (FIFO), so the upload starts —
+                // but can never finish in time and is judged torn.
+                let warning = match self.chaos.as_mut() {
+                    Some(c) => c.notice_duration(region, at),
+                    None => INTERRUPTION_NOTICE,
+                };
+                let notice_at = (at - warning).max(now);
                 scheduler.schedule_at(notice_at, Event::Notice(w, instance));
                 scheduler.schedule_at(at, Event::Reclaim(w, instance));
             }
@@ -367,6 +453,27 @@ impl ExperimentModel {
 
     fn note_launch(&mut self, region: Region) {
         *self.launches_by_region.entry(region).or_insert(0) += 1;
+    }
+
+    /// The retry sweep. If the pending placement's region has since been
+    /// blacked out, re-ask the strategy for a target before requesting
+    /// again — otherwise a migration aimed at a now-dead region would
+    /// spin on it until the blackout lifts.
+    fn handle_retry(&mut self, w: usize, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
+        if self.workloads[w].completed_at.is_some() || self.workloads[w].running.is_some() {
+            return;
+        }
+        if let Placement::Spot(region) = self.workloads[w].placement {
+            if self
+                .chaos
+                .as_ref()
+                .is_some_and(|c| c.is_blackout(region, now))
+            {
+                let placement = self.relocate(now, region);
+                self.workloads[w].placement = placement;
+            }
+        }
+        self.handle_launch(w, now, scheduler);
     }
 
     fn handle_notice(&mut self, w: usize, instance: InstanceId, now: SimTime) {
@@ -385,32 +492,58 @@ impl ExperimentModel {
                 .invocation
                 .plan()
                 .units_completed_within(self.workloads[w].invocation.units_done(), elapsed);
-        // Persist the progress record and upload the ≤1 GiB working set —
-        // both must fit the two-minute notice (they do; see
-        // cloud_compute::transfer tests).
+        // Persist the progress record and upload the working set. Neither
+        // write is trusted yet: durability is judged at the reclaim —
+        // an upload still in flight then is torn and never resumed from.
         let spec_id = self.workloads[w].spec.id.clone();
-        let ledger = self.ec2.ledger_mut();
-        self.kv
-            .update_item("spotverse-checkpoints", &spec_id, now, ledger, |item| {
-                item.insert("units_done".into(), aws_stack::AttrValue::N(units_done as f64));
-                item.insert("at".into(), aws_stack::AttrValue::N(now.as_secs() as f64));
-            })
-            .expect("checkpoint table exists");
+        let generation = self.workloads[w].checkpoints.next_generation;
+        self.workloads[w].checkpoints.next_generation += 1;
+        self.telemetry.writes += 1;
+        let policy = BackoffPolicy::default();
+
+        // KV progress record, retried with jittered backoff when throttled.
+        let (kv, ec2, rng) = (&mut self.kv, &mut self.ec2, &mut self.backoff_rng);
+        let record = retry_with_backoff(
+            &policy,
+            rng,
+            now,
+            |e| matches!(e, KvError::Throttled { .. }),
+            |at| {
+                kv.update_item("spotverse-checkpoints", &spec_id, at, ec2.ledger_mut(), |item| {
+                    item.insert("units_done".into(), aws_stack::AttrValue::N(units_done as f64));
+                    item.insert("generation".into(), aws_stack::AttrValue::N(generation as f64));
+                    item.insert("at".into(), aws_stack::AttrValue::N(at.as_secs() as f64));
+                })
+            },
+        );
+        self.telemetry.throttled_retries += u64::from(record.retries);
+        let recorded = record.result.is_ok();
+
+        // The working-set upload starts once the record attempt settled.
         let key = format!("checkpoints/{spec_id}/dataset");
-        match self.config.checkpoint_backend {
+        let completes_at = match self.config.checkpoint_backend {
             CheckpointBackend::ObjectStore => {
-                self.s3
-                    .put_object(
-                        LOG_BUCKET,
-                        key,
-                        ObjectBody::Synthetic {
-                            size_gib: bio_workloads::ngs_preprocessing::DATASET_GIB,
-                        },
-                        region,
-                        now,
-                        self.ec2.ledger_mut(),
-                    )
-                    .expect("log bucket exists");
+                let (s3, ec2, rng) = (&mut self.s3, &mut self.ec2, &mut self.backoff_rng);
+                let put = retry_with_backoff(
+                    &policy,
+                    rng,
+                    record.finished_at,
+                    |e| matches!(e, ObjectStoreError::Throttled { .. }),
+                    |at| {
+                        s3.put_object(
+                            LOG_BUCKET,
+                            key.clone(),
+                            ObjectBody::Synthetic {
+                                size_gib: bio_workloads::ngs_preprocessing::DATASET_GIB,
+                            },
+                            region,
+                            at,
+                            ec2.ledger_mut(),
+                        )
+                    },
+                );
+                self.telemetry.throttled_retries += u64::from(put.retries);
+                put.result.ok().map(|outcome| outcome.completes_at)
             }
             CheckpointBackend::SharedFileSystem => {
                 let fs = self.efs_id.expect("efs provisioned for this backend");
@@ -420,17 +553,74 @@ impl ExperimentModel {
                         key,
                         bio_workloads::ngs_preprocessing::DATASET_GIB,
                         region,
-                        now,
+                        record.finished_at,
                         self.ec2.ledger_mut(),
                     )
-                    .expect("efs mounted everywhere");
+                    .ok()
+                    .map(|outcome| outcome.completes_at)
+            }
+        };
+        match completes_at {
+            Some(completes_at) => {
+                self.workloads[w].checkpoints.pending = Some(PendingCheckpoint {
+                    generation,
+                    units: units_done,
+                    completes_at,
+                    recorded,
+                });
+            }
+            // Throttled out before the upload even started: nothing to
+            // judge at reclaim, the generation is simply lost.
+            None => self.telemetry.torn_writes += 1,
+        }
+    }
+
+    /// Judges the in-flight checkpoint at a reclaim and pins the
+    /// invocation to the newest durable, uncorrupted generation.
+    ///
+    /// A pending upload only becomes durable if it finished before the
+    /// reclaim *and* its KV record landed — a 0-second notice starts the
+    /// upload at the reclaim instant, so it is always torn. Durable
+    /// generations that read back corrupt are discarded in favour of
+    /// older ones; with none left the workload restarts from scratch.
+    fn settle_checkpoints(&mut self, w: usize, now: SimTime) {
+        if let Some(p) = self.workloads[w].checkpoints.pending.take() {
+            if p.recorded && p.completes_at <= now {
+                self.workloads[w].checkpoints.durable.push(DurableCheckpoint {
+                    generation: p.generation,
+                    units: p.units,
+                    written_at: p.completes_at,
+                });
+            } else {
+                self.telemetry.torn_writes += 1;
             }
         }
-        // Pin the invocation's progress to the checkpointed frontier: work
-        // between notice and reclaim is not persisted.
+        let prior = self.workloads[w].invocation.units_done();
+        let mut dropped = 0u64;
+        let resume_units = loop {
+            let Some(top) = self.workloads[w].checkpoints.durable.last().copied() else {
+                break 0;
+            };
+            let corrupt = self.chaos.as_ref().is_some_and(|c| {
+                c.checkpoint_corrupted(&self.workloads[w].spec.id, top.generation, top.written_at)
+            });
+            if corrupt {
+                dropped += 1;
+                self.workloads[w].checkpoints.durable.pop();
+            } else {
+                break top.units;
+            }
+        };
+        self.telemetry.corrupt_reads += dropped;
+        if dropped > 0 && resume_units > 0 {
+            self.telemetry.generation_fallbacks += 1;
+        }
+        if resume_units == 0 && prior > 0 {
+            self.telemetry.scratch_restarts += 1;
+        }
         self.workloads[w]
             .invocation
-            .resume_from(units_done)
+            .resume_from(resume_units)
             .expect("checkpoint within plan");
     }
 
@@ -455,9 +645,11 @@ impl ExperimentModel {
         self.interruptions.increment(now);
         *self.interruptions_by_region.entry(region).or_insert(0) += 1;
 
-        // Progress bookkeeping: checkpoint workloads were already pinned at
-        // the notice; standard workloads lose everything.
-        if !self.workloads[w].spec.kind.is_checkpointable() {
+        // Progress bookkeeping: checkpoint workloads resume from the last
+        // *durable, valid* generation; standard workloads lose everything.
+        if self.workloads[w].spec.kind.is_checkpointable() {
+            self.settle_checkpoints(w, now);
+        } else {
             let elapsed = now.saturating_duration_since(ready_at);
             let _ = self.workloads[w].invocation.record_execution(elapsed);
         }
@@ -468,7 +660,10 @@ impl ExperimentModel {
             .terminate(instance, now, TerminationReason::Interrupted)
             .expect("reclaimed instance was running");
         let log_key = format!("interruptions/{}/{}", self.workloads[w].spec.id, instance);
-        self.s3
+        // Activity logging is best-effort: a throttled put loses the log
+        // line, never the run.
+        if self
+            .s3
             .put_object(
                 LOG_BUCKET,
                 log_key,
@@ -477,7 +672,10 @@ impl ExperimentModel {
                 now,
                 self.ec2.ledger_mut(),
             )
-            .expect("log bucket exists");
+            .is_err()
+        {
+            self.telemetry.throttled_retries += 1;
+        }
 
         // The interruption handler (EventBridge → Step Functions → Lambda)
         // picks the migration target and issues the new request.
@@ -533,17 +731,29 @@ impl ExperimentModel {
         if self.done() {
             return;
         }
-        self.monitor
-            .collect(
-                &self.market,
-                now,
-                &mut self.functions,
-                &mut self.kv,
-                &mut self.metrics,
-                self.ec2.ledger_mut(),
-            )
-            .expect("monitor collection within horizon");
-        scheduler.schedule_in(self.config.monitor_period, Event::MonitorTick);
+        match self.run_monitor_collection(now) {
+            Ok(_) => {
+                self.monitor_backoff = 0;
+                scheduler.schedule_in(self.config.monitor_period, Event::MonitorTick);
+            }
+            Err(MonitorError::Kv(KvError::Throttled { .. })) => {
+                // Back off with jitter, bounded by the normal period, and
+                // try the collection again — decisions meanwhile run on
+                // the last good snapshot.
+                self.telemetry.throttled_retries += 1;
+                let policy = BackoffPolicy {
+                    max_attempts: u32::MAX,
+                    base: SimDuration::from_secs(30),
+                    cap: SimDuration::from_mins(8),
+                };
+                let delay = policy
+                    .delay(self.monitor_backoff, &mut self.backoff_rng)
+                    .min(self.config.monitor_period);
+                self.monitor_backoff = (self.monitor_backoff + 1).min(8);
+                scheduler.schedule_in(delay, Event::MonitorTick);
+            }
+            Err(e) => panic!("monitor collection failed: {e}"),
+        }
     }
 }
 
@@ -557,7 +767,8 @@ impl Model for ExperimentModel {
         }
         match event {
             Event::Start => self.handle_start(now, scheduler),
-            Event::Launch(w) | Event::Retry(w) => self.handle_launch(w, now, scheduler),
+            Event::Launch(w) => self.handle_launch(w, now, scheduler),
+            Event::Retry(w) => self.handle_retry(w, now, scheduler),
             Event::Notice(w, instance) => self.handle_notice(w, instance, now),
             Event::Reclaim(w, instance) => self.handle_reclaim(w, instance, now, scheduler),
             Event::Complete(w, instance) => self.handle_complete(w, instance, now),
@@ -592,8 +803,15 @@ pub fn run_experiment_on(
     assert!(!config.workloads.is_empty(), "empty workload fleet");
 
     let root_rng = SimRng::seed_from_u64(config.seed);
-    let ec2 = Ec2::new(Arc::clone(&market), Ec2Config::default(), root_rng.fork("ec2"));
+    let mut ec2 = Ec2::new(Arc::clone(&market), Ec2Config::default(), root_rng.fork("ec2"));
     let monitor = Monitor::new(config.instance_type, Region::UsEast1);
+    let chaos_engine = config
+        .chaos
+        .as_ref()
+        .map(|scenario| ChaosEngine::new(scenario, config.seed, config.start));
+    if let Some(engine) = &chaos_engine {
+        ec2.set_fault_injector(engine.compute_injector());
+    }
 
     let mut model = ExperimentModel {
         market,
@@ -619,6 +837,7 @@ pub fn run_experiment_on(
                     running: None,
                     completed_at: None,
                     launches: 0,
+                    checkpoints: CheckpointLog::default(),
                 }
             })
             .collect(),
@@ -629,8 +848,21 @@ pub fn run_experiment_on(
         launches_by_region: BTreeMap::new(),
         deadline: config.start + config.max_runtime,
         aborted: false,
+        chaos: chaos_engine,
+        telemetry: CheckpointTelemetry::default(),
+        backoff_rng: root_rng.fork("backoff"),
+        monitor_backoff: 0,
         config,
     };
+
+    // Hand each managed service its own seeded fault stream.
+    if let Some(engine) = &model.chaos {
+        model.kv.set_fault_injector(engine.service_injector("kv"));
+        model.s3.set_fault_injector(engine.service_injector("s3"));
+        model
+            .functions
+            .set_fault_injector(engine.service_injector("fn"));
+    }
 
     // Provision the serverless stack.
     model.monitor.provision(&mut model.functions, &mut model.kv);
@@ -721,6 +953,7 @@ pub fn run_experiment_on(
         instance_hours,
         spot_attempts: model.ec2.spot_attempts(),
         spot_fulfillments: model.ec2.spot_fulfillments(),
+        checkpoints: model.telemetry,
     }
 }
 

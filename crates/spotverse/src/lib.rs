@@ -55,14 +55,16 @@ mod optimizer;
 mod provider;
 mod report;
 mod repetitions;
+pub mod resilience;
 mod strategy;
 
 pub use checkpointing::{KvCheckpointStore, CHECKPOINT_TABLE};
 pub use config::{InitialPlacement, SpotVerseConfig, SpotVerseConfigBuilder};
 pub use experiment::{
-    run_experiment, run_experiment_on, CheckpointBackend, CostBreakdown, ExperimentConfig,
-    ExperimentReport, INTERRUPTION_HANDLER, LOG_BUCKET,
+    run_experiment, run_experiment_on, CheckpointBackend, CheckpointTelemetry, CostBreakdown,
+    ExperimentConfig, ExperimentReport, INTERRUPTION_HANDLER, LOG_BUCKET,
 };
+pub use resilience::{retry_with_backoff, BackoffPolicy, RetryOutcome};
 pub use monitor::{Monitor, MonitorError, COLLECTOR_FUNCTION, METRICS_TABLE};
 pub use deadline::{DeadlineAwareStrategy, DeadlinePolicy};
 pub use forecast::{ForecastingSpotVerseStrategy, HoltSmoother, MetricForecaster};

@@ -11,7 +11,8 @@
 use aws_stack::{AttrValue, FunctionConfig, FunctionRuntime, Item, KvError, KvStore, MetricKey, MetricsService, RetryPolicy};
 use cloud_compute::BillingLedger;
 use cloud_market::{
-    InstanceType, MarketError, PlacementScore, Region, SpotMarket, StabilityScore, UsdPerHour,
+    InstanceType, MarketError, MarketOverlay, PlacementScore, Region, SpotMarket, StabilityScore,
+    UsdPerHour,
 };
 use sim_kernel::SimTime;
 
@@ -112,14 +113,41 @@ impl Monitor {
         metrics: &mut MetricsService,
         ledger: &mut BillingLedger,
     ) -> Result<usize, MonitorError> {
+        self.collect_with_overlay(market, None, at, functions, kv, metrics, ledger)
+    }
+
+    /// Like [`collect`](Monitor::collect), but observing the market through
+    /// a fault overlay: blacked-out or degraded regions report their pinned
+    /// (capped) scores, so the persisted snapshot — and every decision made
+    /// from it — sees the fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::Market`] or [`MonitorError::Kv`] on substrate
+    /// failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn collect_with_overlay(
+        &self,
+        market: &SpotMarket,
+        overlay: Option<&MarketOverlay>,
+        at: SimTime,
+        functions: &mut FunctionRuntime,
+        kv: &mut KvStore,
+        metrics: &mut MetricsService,
+        ledger: &mut BillingLedger,
+    ) -> Result<usize, MonitorError> {
         let regions = market.regions_offering(self.instance_type);
         // Gather outside the function body so market errors surface typed.
         let mut rows = Vec::with_capacity(regions.len());
         for region in regions {
             let spot = market.spot_price(region, self.instance_type, at)?;
             let od = market.on_demand_price(region, self.instance_type);
-            let placement = market.placement_score(region, self.instance_type, at)?;
-            let stability = market.stability_score(region, self.instance_type, at)?;
+            let mut placement = market.placement_score(region, self.instance_type, at)?;
+            let mut stability = market.stability_score(region, self.instance_type, at)?;
+            if let Some(overlay) = overlay {
+                placement = overlay.placement_score(region, at, placement);
+                stability = overlay.stability_score(region, at, stability);
+            }
             rows.push((region, spot, od, placement, stability));
         }
         // The Lambda invocation (billed; retried by the runtime on demand).
@@ -207,12 +235,33 @@ impl Monitor {
         market: &SpotMarket,
         at: SimTime,
     ) -> Result<Vec<RegionAssessment>, MonitorError> {
+        self.fresh_assessments_with_overlay(market, None, at)
+    }
+
+    /// Like [`fresh_assessments`](Monitor::fresh_assessments), observed
+    /// through a fault overlay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::Market`] for market failures.
+    pub fn fresh_assessments_with_overlay(
+        &self,
+        market: &SpotMarket,
+        overlay: Option<&MarketOverlay>,
+        at: SimTime,
+    ) -> Result<Vec<RegionAssessment>, MonitorError> {
         let mut out = Vec::new();
         for region in market.regions_offering(self.instance_type) {
+            let mut placement = market.placement_score(region, self.instance_type, at)?;
+            let mut stability = market.stability_score(region, self.instance_type, at)?;
+            if let Some(overlay) = overlay {
+                placement = overlay.placement_score(region, at, placement);
+                stability = overlay.stability_score(region, at, stability);
+            }
             out.push(RegionAssessment {
                 region,
-                placement: market.placement_score(region, self.instance_type, at)?,
-                stability: market.stability_score(region, self.instance_type, at)?,
+                placement,
+                stability,
                 spot_price: market.spot_price(region, self.instance_type, at)?,
                 on_demand_price: market.on_demand_price(region, self.instance_type),
             });

@@ -86,15 +86,14 @@ where
     assert!(reps > 0, "run_repetitions: need at least one repetition");
     let configs: Vec<ExperimentConfig> = (0..reps).map(|r| repetition_config(base, r)).collect();
     let mut slots: Vec<Option<ExperimentReport>> = (0..reps).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, config) in slots.iter_mut().zip(configs) {
             let factory = &strategy_factory;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(run_experiment(config, factory()));
             });
         }
-    })
-    .expect("repetition thread panicked");
+    });
     let runs: Vec<ExperimentReport> = slots
         .into_iter()
         .map(|s| s.expect("every repetition produced a report"))

@@ -97,6 +97,7 @@ mod tests {
             instance_hours: 0.0,
             spot_attempts: 0,
             spot_fulfillments: 0,
+            checkpoints: Default::default(),
         }
     }
 

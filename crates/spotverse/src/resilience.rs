@@ -1,0 +1,190 @@
+//! Bounded exponential backoff with jitter for throttled control-plane
+//! calls.
+//!
+//! Under chaos scenarios the managed services can return throttling
+//! errors; the hardened Controller retries those with capped exponential
+//! backoff and equal jitter instead of panicking. On the fault-free path
+//! the first attempt succeeds and **no randomness is consumed**, so
+//! installing the policy changes nothing.
+
+use sim_kernel::{SimDuration, SimRng, SimTime};
+
+/// A bounded exponential-backoff policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Total attempts (first try + retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: SimDuration,
+    /// Upper bound on any single backoff.
+    pub cap: SimDuration,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            max_attempts: 4,
+            base: SimDuration::from_secs(2),
+            cap: SimDuration::from_secs(30),
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The jittered backoff before retry number `retry` (0-based):
+    /// half the capped exponential deterministically, half drawn
+    /// uniformly ("equal jitter").
+    pub fn delay(&self, retry: u32, rng: &mut SimRng) -> SimDuration {
+        let exp = self
+            .base
+            .as_secs()
+            .saturating_mul(1u64.checked_shl(retry).unwrap_or(u64::MAX))
+            .min(self.cap.as_secs())
+            .max(1);
+        let half = exp / 2;
+        SimDuration::from_secs(half + rng.uniform_u64(exp - half + 1))
+    }
+}
+
+/// The result of a retried call.
+#[derive(Debug)]
+pub struct RetryOutcome<T, E> {
+    /// The final attempt's result.
+    pub result: Result<T, E>,
+    /// When the final attempt ran (`now` + accumulated backoff).
+    pub finished_at: SimTime,
+    /// How many retries were taken (0 on first-attempt success).
+    pub retries: u32,
+}
+
+/// Calls `call` at `now`, retrying with jittered exponential backoff
+/// while `retryable` holds for the error, up to the policy's attempt
+/// budget. Each retry advances the effective call time by the backoff.
+pub fn retry_with_backoff<T, E>(
+    policy: &BackoffPolicy,
+    rng: &mut SimRng,
+    now: SimTime,
+    mut retryable: impl FnMut(&E) -> bool,
+    mut call: impl FnMut(SimTime) -> Result<T, E>,
+) -> RetryOutcome<T, E> {
+    let mut at = now;
+    let mut retries = 0;
+    loop {
+        match call(at) {
+            Ok(v) => {
+                return RetryOutcome {
+                    result: Ok(v),
+                    finished_at: at,
+                    retries,
+                }
+            }
+            Err(e) => {
+                if retries + 1 >= policy.max_attempts || !retryable(&e) {
+                    return RetryOutcome {
+                        result: Err(e),
+                        finished_at: at,
+                        retries,
+                    };
+                }
+                at += policy.delay(retries, rng);
+                retries += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn first_attempt_success_consumes_no_rng() {
+        let mut r = rng();
+        let before = r.clone().next_u64();
+        let out = retry_with_backoff(
+            &BackoffPolicy::default(),
+            &mut r,
+            SimTime::from_hours(1),
+            |_: &&str| true,
+            Ok::<_, &str>,
+        );
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.finished_at, SimTime::from_hours(1));
+        assert_eq!(r.clone().next_u64(), before);
+    }
+
+    #[test]
+    fn retries_until_success_advancing_time() {
+        let mut r = rng();
+        let mut calls = 0;
+        let out = retry_with_backoff(
+            &BackoffPolicy::default(),
+            &mut r,
+            SimTime::ZERO,
+            |_: &&str| true,
+            |at| {
+                calls += 1;
+                if calls < 3 {
+                    Err("throttled")
+                } else {
+                    Ok(at)
+                }
+            },
+        );
+        assert_eq!(out.retries, 2);
+        assert!(out.result.is_ok());
+        assert!(out.finished_at > SimTime::ZERO);
+    }
+
+    #[test]
+    fn gives_up_after_attempt_budget() {
+        let mut r = rng();
+        let mut calls = 0;
+        let out = retry_with_backoff(
+            &BackoffPolicy::default(),
+            &mut r,
+            SimTime::ZERO,
+            |_: &&str| true,
+            |_| -> Result<(), &str> {
+                calls += 1;
+                Err("throttled")
+            },
+        );
+        assert_eq!(calls, 4);
+        assert!(out.result.is_err());
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_fast() {
+        let mut r = rng();
+        let mut calls = 0;
+        let out = retry_with_backoff(
+            &BackoffPolicy::default(),
+            &mut r,
+            SimTime::ZERO,
+            |e: &&str| *e == "throttled",
+            |_| -> Result<(), &str> {
+                calls += 1;
+                Err("no such table")
+            },
+        );
+        assert_eq!(calls, 1);
+        assert_eq!(out.retries, 0);
+        assert!(out.result.is_err());
+    }
+
+    #[test]
+    fn delay_is_bounded_by_cap() {
+        let policy = BackoffPolicy::default();
+        let mut r = rng();
+        for retry in 0..10 {
+            let d = policy.delay(retry, &mut r);
+            assert!(d <= policy.cap);
+            assert!(d >= SimDuration::ZERO);
+        }
+    }
+}

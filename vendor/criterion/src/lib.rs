@@ -1,0 +1,195 @@
+//! In-tree stand-in for `criterion` so benches build and run offline.
+//!
+//! Implements the subset the workspace's micro-benchmarks use: groups,
+//! `bench_function`, `iter`, `iter_batched`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a simple calibrated loop around
+//! `std::time::Instant` — good enough for relative regression spotting,
+//! with none of the statistical machinery of the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLES: usize = 20;
+/// Target wall-clock spent per sample while calibrating iteration counts.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup between routine calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: setup runs once per routine invocation.
+    SmallInput,
+    /// Large inputs: identical behavior in this stand-in.
+    LargeInput,
+    /// One setup per iteration: identical behavior in this stand-in.
+    PerIteration,
+}
+
+/// Measures one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over calibrated batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until one batch takes a measurable slice.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= TARGET_SAMPLE || batch >= 1 << 20 {
+                self.samples.push(took / batch as u32);
+                break;
+            }
+            batch = batch.saturating_mul(4);
+        }
+        for _ in 1..DEFAULT_SAMPLES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+
+    /// Times `routine` with fresh `setup` output per call, excluding the
+    /// setup from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..DEFAULT_SAMPLES {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<48} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let best = sorted[0];
+        println!(
+            "{name:<48} median {median:>12?}   best {best:>12?}   ({} samples)",
+            sorted.len()
+        );
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API parity; the stand-in keeps
+    /// its fixed schedule).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts CLI args for parity; filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Final summary hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(1u64 + 1));
+        assert_eq!(b.samples.len(), DEFAULT_SAMPLES);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut b = Bencher::default();
+        let mut setups = 0;
+        b.iter_batched(
+            || {
+                setups += 1;
+                7u64
+            },
+            |x| x * 2,
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, DEFAULT_SAMPLES);
+    }
+}

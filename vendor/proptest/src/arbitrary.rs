@@ -1,0 +1,85 @@
+//! `any::<T>()` support for the primitive types the workspace uses.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range generation rule.
+pub trait ArbitraryValue {
+    /// Generates one arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// The canonical strategy for `T`: full range for integers, fair coin for
+/// bool.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {
+        $(
+            impl ArbitraryValue for $ty {
+                fn arbitrary_value(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        // Bounded uniform: plenty for tests without NaN/Inf surprises.
+        (rng.unit_f64() - 0.5) * 2e9
+    }
+}
+
+impl ArbitraryValue for char {
+    fn arbitrary_value(rng: &mut TestRng) -> char {
+        let printable = 0x20u32..0x7F;
+        char::from_u32(printable.start + rng.below(u64::from(printable.end - printable.start)) as u32)
+            .expect("printable ASCII is valid char")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_hits_both_sides() {
+        let mut rng = TestRng::for_case("any_bool", 0);
+        let draws: Vec<bool> = (0..64).map(|_| any::<bool>().generate(&mut rng)).collect();
+        assert!(draws.iter().any(|&b| b) && draws.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn u64_varies() {
+        let mut rng = TestRng::for_case("any_u64", 0);
+        let a = any::<u64>().generate(&mut rng);
+        let b = any::<u64>().generate(&mut rng);
+        assert_ne!(a, b);
+    }
+}

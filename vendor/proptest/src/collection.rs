@@ -1,0 +1,145 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A size range for generated collections (half-open internally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.usize_below(self.max_exclusive - self.min)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors of `element` values with length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a target size drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        // Duplicates don't grow the set; bound the attempts so small
+        // alphabets can't loop forever.
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target * 50 + 50 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// Generates ordered sets of `element` values with size in `size` (best
+/// effort when the value space is smaller than the requested size).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::for_case("vec", 0);
+        for _ in 0..100 {
+            let v = vec(0u64..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn btree_set_is_distinct_and_bounded() {
+        let mut rng = TestRng::for_case("set", 0);
+        for _ in 0..50 {
+            let s = btree_set("[a-c]{1,6}", 1..30).generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 30);
+        }
+    }
+
+    #[test]
+    fn vec_of_strings_uses_pattern() {
+        let mut rng = TestRng::for_case("vecstr", 0);
+        let v = vec("[a-b]{1,3}", 1..10).generate(&mut rng);
+        assert!(v
+            .iter()
+            .all(|s| (1..=3).contains(&s.len()) && s.chars().all(|c| c == 'a' || c == 'b')));
+    }
+}

@@ -1,0 +1,117 @@
+//! In-tree stand-in for `proptest` so the workspace tests run offline.
+//!
+//! Implements the subset of the proptest surface this workspace uses:
+//! the `proptest!` / `prop_assert*` macros, `Strategy` with `prop_map`,
+//! integer/float range strategies, a mini-regex string strategy,
+//! tuple strategies, `any::<T>()`, and `prop::collection::{vec, btree_set}`.
+//! Generation is deterministic: each test case derives its RNG from the
+//! test's module path and the case index, so failures reproduce exactly.
+//! There is no shrinking — failing cases report their inputs instead.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use arbitrary::{any, Any, ArbitraryValue};
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// expands to a plain test that runs the body over `config.cases`
+/// deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {case}: {e}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the harness can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)*);
+    }};
+}

@@ -1,0 +1,185 @@
+//! Mini-regex string generation for `&'static str` strategies.
+//!
+//! Supports the pattern subset the workspace's property tests use:
+//! character classes `[a-z0-9/]` (ranges and literals), the any-char dot
+//! `.`, and the quantifiers `{m}`, `{m,n}`, `*`, `+`, and `?` applied to
+//! the preceding atom. Everything else is treated as a literal character.
+
+use crate::test_runner::TestRng;
+
+/// The pool `.` draws from: printable ASCII plus a few multibyte
+/// characters so UTF-8 handling gets exercised (newline excluded, as in
+/// real regex `.`).
+const DOT_POOL: &[char] = &[
+    ' ', '!', '"', '#', '$', '%', '&', '\'', '(', ')', '*', '+', ',', '-', '.', '/', '0', '1',
+    '2', '3', '4', '5', '6', '7', '8', '9', ':', ';', '<', '=', '>', '?', '@', 'A', 'B', 'C',
+    'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R', 'S', 'T', 'U',
+    'V', 'W', 'X', 'Y', 'Z', '[', '\\', ']', '^', '_', '`', 'a', 'b', 'c', 'd', 'e', 'f', 'g',
+    'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's', 't', 'u', 'v', 'w', 'x', 'y',
+    'z', '{', '|', '}', '~', 'é', 'ß', 'λ', '中',
+];
+
+/// Upper repetition bound used for the open-ended `*` and `+` quantifiers.
+const UNBOUNDED_MAX: u32 = 16;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Dot,
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '[' => {
+                i += 1;
+                let mut class = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "invalid class range {lo}-{hi} in {pattern:?}");
+                        for c in lo..=hi {
+                            class.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        class.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // consume ']'
+                assert!(!class.is_empty(), "empty class in pattern {pattern:?}");
+                Atom::Class(class)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_MAX)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_MAX)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier min"),
+                        hi.trim().parse().expect("quantifier max"),
+                    ),
+                    None => {
+                        let n: u32 = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Dot => DOT_POOL[rng.usize_below(DOT_POOL.len())],
+        Atom::Class(chars) => chars[rng.usize_below(chars.len())],
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = piece.min + rng.below(u64::from(piece.max - piece.min) + 1) as u32;
+        for _ in 0..count {
+            out.push(generate_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string", 0)
+    }
+
+    #[test]
+    fn class_with_quantifier_stays_in_alphabet() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z0-9/]{1,16}", &mut rng);
+            assert!((1..=16).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '/'));
+        }
+    }
+
+    #[test]
+    fn dot_excludes_newline_and_roundtrips_utf8() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern(".{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn star_and_exact_counts() {
+        let mut rng = rng();
+        let s = generate_from_pattern("[a-c]{4}", &mut rng);
+        assert_eq!(s.chars().count(), 4);
+        for _ in 0..50 {
+            let s = generate_from_pattern("x*", &mut rng);
+            assert!(s.chars().all(|c| c == 'x'));
+            assert!(s.len() <= UNBOUNDED_MAX as usize);
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = rng();
+        assert_eq!(generate_from_pattern("abc", &mut rng), "abc");
+    }
+}

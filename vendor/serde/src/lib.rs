@@ -1,0 +1,37 @@
+//! In-tree stand-in for `serde` so the workspace builds with no network.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as forward-compatibility
+//! markers only — nothing is actually serialized through serde yet (the
+//! repo's on-disk formats go through `galaxy_flow::json`). This shim keeps
+//! the derive surface compiling: the traits are empty markers with blanket
+//! implementations, and the derive macros (re-exported from the in-tree
+//! `serde_derive`) expand to nothing. Swapping the real serde back in later
+//! is a one-line change in the workspace manifest.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirrors `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirrors `serde::ser` for symmetric imports.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,22 @@
+//! In-tree stand-in for `serde_derive` so the workspace builds offline.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! forward-compatibility marker: no code path serializes anything yet, no
+//! type carries `#[serde(...)]` attributes, and no API is bounded on the
+//! serde traits. The derives therefore expand to nothing; the marker traits
+//! they would implement live in the companion in-tree `serde` crate and are
+//! blanket-implemented there.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
