@@ -89,7 +89,7 @@ fn main() {
         let regions = market.regions_offering(itype);
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
-        for r in regions {
+        for &r in regions {
             let mut sum = 0.0;
             for day in 0..DAYS {
                 sum += f64::from(

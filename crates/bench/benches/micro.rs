@@ -1,17 +1,20 @@
-//! Criterion micro-benchmarks for the hot paths: market construction,
-//! Algorithm 1 region selection, interruption sampling, and end-to-end
-//! experiment throughput.
+//! Criterion micro-benchmarks for the hot paths: market construction
+//! (serial vs parallel), Algorithm 1 region selection, interruption
+//! sampling, sweep-engine market caching, memoized monitor collection,
+//! and end-to-end experiment throughput.
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use bio_workloads::{paper_fleet, WorkloadKind};
+use cloud_compute::BillingLedger;
 use cloud_market::{InstanceType, MarketConfig, Region, SpotMarket};
+use aws_stack::{FunctionRuntime, KvStore, MetricsService};
 use sim_kernel::{SimRng, SimTime};
 use spotverse::{
-    run_experiment_on, ExperimentConfig, Monitor, Optimizer, SingleRegionStrategy,
-    SpotVerseConfig,
+    run_experiment_on, ExperimentConfig, MarketCache, Monitor, Optimizer,
+    SingleRegionStrategy, SnapshotMemo, SpotVerseConfig,
 };
 
 fn bench_market_build(c: &mut Criterion) {
@@ -20,7 +23,79 @@ fn bench_market_build(c: &mut Criterion) {
     group.bench_function("spot_market_build_210_days", |b| {
         b.iter(|| SpotMarket::new(MarketConfig::with_seed(std::hint::black_box(7))));
     });
+    group.bench_function("spot_market_build_210_days_serial", |b| {
+        b.iter(|| SpotMarket::new_serial(MarketConfig::with_seed(std::hint::black_box(7))));
+    });
     group.finish();
+}
+
+fn bench_market_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("market_cache");
+    group.sample_size(10);
+    // Miss: every iteration builds a fresh market through a cold cache.
+    group.bench_function("miss_cold_cache", |b| {
+        b.iter_batched(
+            MarketCache::new,
+            |cache| cache.get_or_build(MarketConfig::with_seed(std::hint::black_box(7))),
+            BatchSize::SmallInput,
+        );
+    });
+    // Hit: the steady state of a same-seed sweep — an Arc clone plus a
+    // hash lookup.
+    let warm = MarketCache::new();
+    warm.get_or_build(MarketConfig::with_seed(7));
+    group.bench_function("hit_warm_cache", |b| {
+        b.iter(|| warm.get_or_build(MarketConfig::with_seed(std::hint::black_box(7))));
+    });
+    group.finish();
+}
+
+fn bench_monitor_memoization(c: &mut Criterion) {
+    let market = SpotMarket::new(MarketConfig::with_seed(7));
+    let monitor = Monitor::new(InstanceType::M5Xlarge, Region::UsEast1);
+    let mut functions = FunctionRuntime::new();
+    let mut kv = KvStore::new();
+    monitor.provision(&mut functions, &mut kv);
+    let mut metrics = MetricsService::new(Region::UsEast1);
+    let mut ledger = BillingLedger::new();
+    let at = SimTime::from_hours(30);
+    c.bench_function("monitor_collect_unmemoized", |b| {
+        b.iter(|| {
+            monitor
+                .collect(
+                    &market,
+                    std::hint::black_box(at),
+                    &mut functions,
+                    &mut kv,
+                    &mut metrics,
+                    &mut ledger,
+                )
+                .unwrap()
+        });
+    });
+    // Same-epoch path: one collection primes the memo, the rest reuse it.
+    let mut memo = SnapshotMemo::new();
+    monitor
+        .collect_memoized(
+            &market, None, at, &mut memo, &mut functions, &mut kv, &mut metrics, &mut ledger,
+        )
+        .unwrap();
+    c.bench_function("monitor_collect_memoized_same_epoch", |b| {
+        b.iter(|| {
+            monitor
+                .collect_memoized(
+                    &market,
+                    None,
+                    std::hint::black_box(at),
+                    &mut memo,
+                    &mut functions,
+                    &mut kv,
+                    &mut metrics,
+                    &mut ledger,
+                )
+                .unwrap()
+        });
+    });
 }
 
 fn bench_optimizer(c: &mut Criterion) {
@@ -88,6 +163,8 @@ fn bench_experiment(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_market_build,
+    bench_market_cache,
+    bench_monitor_memoization,
     bench_optimizer,
     bench_interruption_sampling,
     bench_experiment

@@ -11,9 +11,10 @@ use cloud_market::history::{archive_to_csv, collect_archive};
 use cloud_market::{InstanceType, Region, SpotMarket};
 use sim_kernel::{SimDuration, SimRng, SimTime};
 use spotverse::{
-    run_experiment_on, summary_line, ExperimentConfig, ExperimentReport, Monitor,
-    NaiveMultiRegionStrategy, OnDemandStrategy, SingleRegionStrategy, SkyPilotStrategy,
-    SpotVerseConfig, SpotVerseStrategy, Strategy,
+    resolve_jobs, run_experiment_on, run_matrix, summary_line, ExperimentConfig,
+    ExperimentReport, MarketCache, Monitor, NaiveMultiRegionStrategy, OnDemandStrategy,
+    SingleRegionStrategy, SkyPilotStrategy, SpotVerseConfig, SpotVerseStrategy, Strategy,
+    SweepCell,
 };
 
 use crate::args::{ArgError, ParsedArgs};
@@ -76,6 +77,12 @@ SIMULATE FLAGS:
     --threshold <t>          Algorithm 1 threshold      (default 6)
     --region <name>          region for single-region   (default ca-central-1)
 
+COMPARE / CHAOS FLAGS:
+    --jobs <n>               sweep worker threads; falls back to the
+                             SPOTVERSE_JOBS env var, then
+                             min(cells, CPU cores). Output is identical
+                             for any value.
+
 CHAOS FLAGS:
     --scenario <name>        region_blackout | notice_loss | throttle_storm |
                              correlated_crunch | flaky_checkpoints | all
@@ -112,6 +119,21 @@ fn parse_instance_type(name: &str) -> Result<InstanceType, CliError> {
 fn parse_region(name: &str) -> Result<Region, CliError> {
     name.parse()
         .map_err(|e| CliError::BadInput(format!("{e}")))
+}
+
+/// The `--jobs` flag: absent means "resolve from the environment".
+fn parse_jobs(args: &ParsedArgs) -> Result<Option<usize>, CliError> {
+    match args.opt_str("jobs") {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .map(Some)
+            .ok_or_else(|| {
+                CliError::BadInput(format!("--jobs: `{raw}` is not a positive integer"))
+            }),
+    }
 }
 
 /// Shared experiment scaffolding from common flags.
@@ -201,17 +223,28 @@ pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(render_report(&report))
 }
 
-/// `spotverse compare`.
+/// `spotverse compare`: every strategy on the same market, one sweep cell
+/// per strategy, executed on the parallel sweep engine. All cells share a
+/// single cached market construction.
 pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
     let common = common_config(args)?;
     let threshold = args.u8_or("threshold", 6)?;
     let region = parse_region(args.str_or("region", "ca-central-1"))?;
-    let market = Arc::new(SpotMarket::new(common.config.market));
+    let jobs_flag = parse_jobs(args)?;
+    let names = ["single-region", "naive-multi", "skypilot", "spotverse", "on-demand"];
+    let cells: Vec<SweepCell> = names
+        .iter()
+        .map(|name| SweepCell::new(*name, *name, common.config.clone()))
+        .collect();
+    let cache = MarketCache::new();
+    let jobs = resolve_jobs(jobs_flag, cells.len());
+    let reports = run_matrix(&cells, jobs, &cache, |cell| {
+        build_strategy(&cell.strategy, common.instance_type, threshold, region)
+            .expect("compare strategy names are from the fixed list")
+    });
     let mut out = String::new();
-    for name in ["single-region", "naive-multi", "skypilot", "spotverse", "on-demand"] {
-        let strategy = build_strategy(name, common.instance_type, threshold, region)?;
-        let report = run_experiment_on(Arc::clone(&market), common.config.clone(), strategy);
-        out.push_str(&summary_line(&report));
+    for report in &reports {
+        out.push_str(&summary_line(report));
         out.push('\n');
     }
     Ok(out)
@@ -240,10 +273,40 @@ pub fn chaos_matrix(args: &ParsedArgs) -> Result<String, CliError> {
     let strategies: Vec<&str> = if strategy_arg == "all" {
         vec!["single-region", "skypilot", "spotverse"]
     } else {
+        // Validate a user-supplied name up front so the sweep closure can
+        // rely on it.
+        build_strategy(strategy_arg, common.instance_type, threshold, region)?;
         vec![strategy_arg]
     };
-    let market = Arc::new(SpotMarket::new(common.config.market));
+    let jobs_flag = parse_jobs(args)?;
     let fleet = common.config.workloads.len();
+    // Strategy-major cells: per strategy one fault-free baseline followed
+    // by one cell per scenario. All cells share one cached market — chaos
+    // faults overlay on the read path and never mutate the base market.
+    let group = 1 + scenarios.len();
+    let mut cells: Vec<SweepCell> = Vec::with_capacity(strategies.len() * group);
+    for name in &strategies {
+        cells.push(SweepCell::new(
+            format!("{name}/fault-free"),
+            *name,
+            common.config.clone(),
+        ));
+        for scenario in &scenarios {
+            let mut config = common.config.clone();
+            config.chaos = Some(scenario.clone());
+            cells.push(SweepCell::new(
+                format!("{name}/{}", scenario.name()),
+                *name,
+                config,
+            ));
+        }
+    }
+    let cache = MarketCache::new();
+    let jobs = resolve_jobs(jobs_flag, cells.len());
+    let reports = run_matrix(&cells, jobs, &cache, |cell| {
+        build_strategy(&cell.strategy, common.instance_type, threshold, region)
+            .expect("chaos strategy names validated before the sweep")
+    });
     let mut out = format!(
         "chaos degradation matrix  (seed {}, fleet {fleet})\n\
          {:<14} {:<19} {:>9} {:>11} {:>12} {:>10} {:>11} {:>6} {:>6}\n",
@@ -258,9 +321,8 @@ pub fn chaos_matrix(args: &ParsedArgs) -> Result<String, CliError> {
         "torn",
         "corrupt",
     );
-    for name in &strategies {
-        let strategy = build_strategy(name, common.instance_type, threshold, region)?;
-        let baseline = run_experiment_on(Arc::clone(&market), common.config.clone(), strategy);
+    for chunk in reports.chunks(group) {
+        let baseline = &chunk[0];
         out.push_str(&format!(
             "{:<14} {:<19} {:>6}/{:<2} {:>11} {:>12} {:>10} {:>11} {:>6} {:>6}\n",
             baseline.strategy,
@@ -274,11 +336,7 @@ pub fn chaos_matrix(args: &ParsedArgs) -> Result<String, CliError> {
             baseline.checkpoints.torn_writes,
             baseline.checkpoints.corrupt_reads,
         ));
-        for scenario in &scenarios {
-            let strategy = build_strategy(name, common.instance_type, threshold, region)?;
-            let mut config = common.config.clone();
-            config.chaos = Some(scenario.clone());
-            let report = run_experiment_on(Arc::clone(&market), config, strategy);
+        for (scenario, report) in scenarios.iter().zip(&chunk[1..]) {
             let added_makespan =
                 report.makespan.as_hours_f64() - baseline.makespan.as_hours_f64();
             let added_cost = report.cost.total.amount() - baseline.cost.total.amount();
@@ -385,6 +443,7 @@ pub fn schema(command: &str) -> &'static [&'static str] {
             "start-day",
             "threshold",
             "region",
+            "jobs",
         ],
         "chaos" => &[
             "seed",
@@ -396,6 +455,7 @@ pub fn schema(command: &str) -> &'static [&'static str] {
             "threshold",
             "region",
             "scenario",
+            "jobs",
         ],
         "advisor" => &["seed", "instance-type", "day"],
         "traces" => &["seed", "instance-type", "days"],
@@ -543,5 +603,38 @@ mod tests {
         for name in ["single-region", "naive-multi", "skypilot", "spotverse", "on-demand"] {
             assert!(out.contains(name), "missing {name} in:\n{out}");
         }
+    }
+
+    #[test]
+    fn jobs_count_does_not_change_output() {
+        let base = [
+            "chaos",
+            "--scenario",
+            "throttle_storm",
+            "--seed",
+            "13",
+            "--instances",
+            "3",
+            "--workload",
+            "ngs",
+        ];
+        let serial = run(base.iter().copied().chain(["--jobs", "1"])).unwrap();
+        let parallel = run(base.iter().copied().chain(["--jobs", "4"])).unwrap();
+        assert_eq!(serial, parallel, "jobs must not affect the report");
+
+        let compare_base = ["compare", "--instances", "2", "--seed", "11", "--workload", "ngs"];
+        let c1 = run(compare_base.iter().copied().chain(["--jobs", "1"])).unwrap();
+        let c4 = run(compare_base.iter().copied().chain(["--jobs", "4"])).unwrap();
+        assert_eq!(c1, c4);
+    }
+
+    #[test]
+    fn jobs_flag_rejects_bad_values() {
+        for bad in ["0", "-2", "many", ""] {
+            let err = run(["compare", "--instances", "2", "--jobs", bad]);
+            assert!(err.is_err(), "--jobs {bad} should be rejected");
+        }
+        assert!(run(["chaos", "--scenario", "throttle_storm", "--instances", "2", "--jobs", "x"])
+            .is_err());
     }
 }

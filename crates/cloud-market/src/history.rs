@@ -135,7 +135,7 @@ pub fn collect_archive(
     assert!(from < to, "empty archive window");
     assert!(!granularity.is_zero(), "zero granularity");
     let mut rows = Vec::new();
-    for region in market.regions_offering(instance_type) {
+    for &region in market.regions_offering(instance_type) {
         let mut t = from;
         while t < to {
             rows.push(ArchiveRow {

@@ -18,6 +18,7 @@
 //! run against the same [`MarketConfig`] observes the identical market.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use serde::{Deserialize, Serialize};
 use sim_kernel::{SimDuration, SimRng, SimTime};
@@ -128,7 +129,10 @@ fn quiet_hazard(band: InterruptionBand) -> f64 {
 }
 
 /// Configuration of a market build.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `Eq + Hash` so configs can key shared-market caches (every field is
+/// integral).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MarketConfig {
     /// The master seed all market streams are forked from.
     pub seed: u64,
@@ -191,7 +195,7 @@ impl std::fmt::Display for MarketError {
 impl std::error::Error for MarketError {}
 
 /// One (region, instance type) market's precomputed trajectory.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct MarketState {
     profile: MarketProfile,
     /// Band per day.
@@ -358,28 +362,93 @@ impl MarketState {
 /// let od = market.on_demand_price(Region::CaCentral1, InstanceType::M5Xlarge);
 /// assert!(price < od);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct SpotMarket {
     config: MarketConfig,
     horizon: SimTime,
     states: HashMap<(Region, InstanceType), MarketState>,
+    /// Regions offering each instance type, in catalog order (precomputed
+    /// so the hot `regions_offering` query is allocation-free).
+    offerings: HashMap<InstanceType, Vec<Region>>,
 }
 
 impl SpotMarket {
     /// Builds the market, precomputing all trajectories from the seed.
+    ///
+    /// Per-(region, instance type) trajectories build on parallel threads:
+    /// each forks its own labelled RNG streams from the master seed, so the
+    /// result is bit-identical to [`SpotMarket::new_serial`].
     pub fn new(config: MarketConfig) -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::build(config, workers)
+    }
+
+    /// Builds the market on the calling thread only — the reference
+    /// construction the parallel path must match exactly.
+    pub fn new_serial(config: MarketConfig) -> Self {
+        Self::build(config, 1)
+    }
+
+    fn build(config: MarketConfig, workers: usize) -> Self {
         let rng = SimRng::seed_from_u64(config.seed).fork("spot-market");
-        let mut states = HashMap::new();
-        for itype in InstanceType::ALL {
-            for p in profiles::profiles_for(itype) {
-                let key = (p.region(), itype);
-                states.insert(key, MarketState::build(p, config.horizon_days, &rng));
-            }
-        }
+        let catalog: Vec<(InstanceType, MarketProfile)> = InstanceType::ALL
+            .into_iter()
+            .flat_map(|itype| {
+                profiles::profiles_for(itype).into_iter().map(move |p| (itype, p))
+            })
+            .collect();
+        let workers = workers.clamp(1, catalog.len().max(1));
+        let built: Vec<((Region, InstanceType), MarketState)> = if workers <= 1 {
+            catalog
+                .into_iter()
+                .map(|(itype, p)| {
+                    ((p.region(), itype), MarketState::build(p, config.horizon_days, &rng))
+                })
+                .collect()
+        } else {
+            // Workers claim catalog indices off a shared counter; every
+            // trajectory forks its streams purely from (seed, label), so
+            // which thread builds which market cannot affect the result.
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some((itype, p)) = catalog.get(i) else { break };
+                                local.push((
+                                    (p.region(), *itype),
+                                    MarketState::build(p.clone(), config.horizon_days, &rng),
+                                ));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("market build worker panicked"))
+                    .collect()
+            })
+        };
+        let states: HashMap<(Region, InstanceType), MarketState> = built.into_iter().collect();
+        let offerings = InstanceType::ALL
+            .into_iter()
+            .map(|itype| {
+                let regions: Vec<Region> = Region::ALL
+                    .into_iter()
+                    .filter(|r| states.contains_key(&(*r, itype)))
+                    .collect();
+                (itype, regions)
+            })
+            .collect();
         SpotMarket {
             config,
             horizon: SimTime::from_days(u64::from(config.horizon_days)),
             states,
+            offerings,
         }
     }
 
@@ -394,11 +463,11 @@ impl SpotMarket {
     }
 
     /// Regions where `instance_type` is offered, in catalog order.
-    pub fn regions_offering(&self, instance_type: InstanceType) -> Vec<Region> {
-        Region::ALL
-            .into_iter()
-            .filter(|r| self.states.contains_key(&(*r, instance_type)))
-            .collect()
+    ///
+    /// Precomputed at construction; this is on the Monitor's collection
+    /// hot path, so it must not allocate.
+    pub fn regions_offering(&self, instance_type: InstanceType) -> &[Region] {
+        self.offerings.get(&instance_type).map_or(&[], Vec::as_slice)
     }
 
     /// Whether `instance_type` is offered in `region`.
@@ -658,6 +727,16 @@ mod tests {
                 a.placement_score(region, InstanceType::M5Xlarge, t).unwrap(),
                 b.placement_score(region, InstanceType::M5Xlarge, t).unwrap()
             );
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_exactly() {
+        // Field-for-field equality over every precomputed trajectory:
+        // bands, placement scores, hourly prices, episodes, hazard bounds.
+        for seed in [0, 7, 2024] {
+            let config = MarketConfig { seed, horizon_days: 60 };
+            assert_eq!(SpotMarket::new(config), SpotMarket::new_serial(config), "seed {seed}");
         }
     }
 

@@ -46,7 +46,7 @@ pub fn price_traces(
     days: u32,
 ) -> Result<Vec<DailySeries>, MarketError> {
     let mut out = Vec::new();
-    for region in market.regions_offering(instance_type) {
+    for &region in market.regions_offering(instance_type) {
         for az in region.zones() {
             let mut points = Vec::with_capacity(days as usize);
             for day in 0..days {
@@ -108,7 +108,7 @@ pub fn band_heatmap(
     instance_type: InstanceType,
     days: u32,
 ) -> Result<BandHeatmap, MarketError> {
-    let regions = market.regions_offering(instance_type);
+    let regions = market.regions_offering(instance_type).to_vec();
     let mut cells = Vec::with_capacity(regions.len());
     for &region in &regions {
         let mut row = Vec::with_capacity(days as usize);

@@ -37,7 +37,7 @@ use sim_kernel::{
     CumulativeCounter, Model, Scheduler, SimDuration, SimRng, SimTime, Simulation, TimeSeries,
 };
 
-use crate::monitor::{Monitor, MonitorError};
+use crate::monitor::{CollectOutcome, Monitor, MonitorError, SnapshotMemo};
 use crate::optimizer::{Placement, RegionAssessment};
 use crate::resilience::{retry_with_backoff, BackoffPolicy};
 use crate::strategy::{Strategy, StrategyContext};
@@ -145,7 +145,7 @@ pub struct CheckpointTelemetry {
 }
 
 /// The result of one experiment run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentReport {
     /// Strategy display name.
     pub strategy: String,
@@ -257,6 +257,7 @@ struct ExperimentModel {
     functions: FunctionRuntime,
     metrics: MetricsService,
     monitor: Monitor,
+    monitor_memo: SnapshotMemo,
     strategy: Box<dyn Strategy>,
     strategy_rng: SimRng,
     workloads: Vec<WorkloadRuntime>,
@@ -306,12 +307,16 @@ impl ExperimentModel {
     }
 
     /// One monitor collection cycle, observed through the fault overlay.
-    fn run_monitor_collection(&mut self, now: SimTime) -> Result<usize, MonitorError> {
+    /// Memoized per market epoch: a tick inside the hour of the last
+    /// successful collection (with an unchanged overlay window set) skips
+    /// the redundant market reads and KV writes.
+    fn run_monitor_collection(&mut self, now: SimTime) -> Result<CollectOutcome, MonitorError> {
         let overlay = self.chaos.as_ref().map(|c| c.overlay());
-        self.monitor.collect_with_overlay(
+        self.monitor.collect_memoized(
             &self.market,
             overlay,
             now,
+            &mut self.monitor_memo,
             &mut self.functions,
             &mut self.kv,
             &mut self.metrics,
@@ -823,6 +828,7 @@ pub fn run_experiment_on(
         functions: FunctionRuntime::new(),
         metrics: MetricsService::new(Region::UsEast1),
         monitor,
+        monitor_memo: SnapshotMemo::new(),
         strategy,
         strategy_rng: root_rng.fork("strategy"),
         workloads: config

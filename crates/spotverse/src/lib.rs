@@ -57,6 +57,7 @@ mod report;
 mod repetitions;
 pub mod resilience;
 mod strategy;
+pub mod sweep;
 
 pub use checkpointing::{KvCheckpointStore, CHECKPOINT_TABLE};
 pub use config::{InitialPlacement, SpotVerseConfig, SpotVerseConfigBuilder};
@@ -65,13 +66,19 @@ pub use experiment::{
     ExperimentConfig, ExperimentReport, INTERRUPTION_HANDLER, LOG_BUCKET,
 };
 pub use resilience::{retry_with_backoff, BackoffPolicy, RetryOutcome};
-pub use monitor::{Monitor, MonitorError, COLLECTOR_FUNCTION, METRICS_TABLE};
+pub use monitor::{
+    CollectOutcome, Monitor, MonitorError, SnapshotMemo, COLLECTOR_FUNCTION, METRICS_TABLE,
+};
 pub use deadline::{DeadlineAwareStrategy, DeadlinePolicy};
 pub use forecast::{ForecastingSpotVerseStrategy, HoltSmoother, MetricForecaster};
 pub use optimizer::{MigrationPolicy, Optimizer, Placement, RegionAssessment};
 pub use provider::{degrade_assessments, MetricAvailability, ProviderAdaptedStrategy};
 pub use report::{compare, normalized_cost, summary_line, Comparison};
-pub use repetitions::{repetition_config, run_repetitions, AggregateReport};
+pub use repetitions::{
+    repetition_config, repetition_config_shared_market, run_repetitions,
+    run_repetitions_shared_market, AggregateReport,
+};
+pub use sweep::{resolve_jobs, run_matrix, MarketCache, SweepCell, JOBS_ENV};
 pub use strategy::{
     AblatedSpotVerseStrategy, NaiveMultiRegionStrategy, OnDemandStrategy, SingleRegionStrategy,
     SkyPilotStrategy, SpotVerseStrategy, Strategy, StrategyContext,

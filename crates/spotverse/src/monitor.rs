@@ -66,6 +66,78 @@ impl From<KvError> for MonitorError {
     }
 }
 
+/// Epoch memo for the Monitor's collection cycle.
+///
+/// Market metrics cannot change within an hour (prices step hourly; bands
+/// and placement scores daily), so a 15-minute `MonitorTick` that lands in
+/// the same *epoch* as the last successful collection would persist an
+/// identical snapshot. The memo records the epoch key of the latest
+/// durable snapshot — (market hour, active-overlay fingerprint) — and
+/// [`Monitor::collect_memoized`] skips the market reads, function
+/// invocation, and KV writes entirely when the key matches. The key
+/// changes on every hour boundary and whenever the chaos overlay's active
+/// window set mutates, so faulted snapshots are never reused across a
+/// fault edge.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotMemo {
+    key: Option<(u64, u64)>,
+    hits: u64,
+    refreshes: u64,
+}
+
+impl SnapshotMemo {
+    /// An empty memo (first collection always runs).
+    pub fn new() -> Self {
+        SnapshotMemo::default()
+    }
+
+    /// Collections skipped because the persisted snapshot was still
+    /// epoch-fresh.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Collections that actually re-read the market.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Drops the memoized epoch so the next collection runs in full.
+    pub fn invalidate(&mut self) {
+        self.key = None;
+    }
+}
+
+/// What a memoized collection cycle did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectOutcome {
+    /// The market was re-read and `n` regions persisted.
+    Fresh(usize),
+    /// The persisted snapshot was still epoch-fresh; nothing was touched.
+    Reused,
+}
+
+/// Fingerprints the overlay's *active* override set as observed by
+/// `regions` at `at`. Two instants with identical active windows per
+/// region produce identical monitor rows, so they may share an epoch. An
+/// absent or empty overlay fingerprints to zero.
+fn overlay_fingerprint(overlay: Option<&MarketOverlay>, at: SimTime, regions: &[Region]) -> u64 {
+    let Some(overlay) = overlay else { return 0 };
+    if overlay.windows().is_empty() {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (wi, window) in overlay.windows().iter().enumerate() {
+        for (ri, &region) in regions.iter().enumerate() {
+            if window.applies(region, at) {
+                h ^= ((wi as u64) << 8) | ri as u64 | 1 << 63;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
 /// The Monitor component.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Monitor {
@@ -139,7 +211,7 @@ impl Monitor {
         let regions = market.regions_offering(self.instance_type);
         // Gather outside the function body so market errors surface typed.
         let mut rows = Vec::with_capacity(regions.len());
-        for region in regions {
+        for &region in regions {
             let spot = market.spot_price(region, self.instance_type, at)?;
             let od = market.on_demand_price(region, self.instance_type);
             let mut placement = market.placement_score(region, self.instance_type, at)?;
@@ -182,6 +254,42 @@ impl Monitor {
             );
         }
         Ok(count)
+    }
+
+    /// Like [`collect_with_overlay`](Monitor::collect_with_overlay), but
+    /// memoized per market epoch: when the persisted snapshot is still
+    /// epoch-fresh (same market hour, same active overlay windows), the
+    /// cycle is skipped entirely — no market reads, no collector
+    /// invocation, no KV writes — because it would persist byte-identical
+    /// rows. The memo is only advanced on a *successful* collection, so a
+    /// throttled cycle retries in full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::Market`] or [`MonitorError::Kv`] on substrate
+    /// failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn collect_memoized(
+        &self,
+        market: &SpotMarket,
+        overlay: Option<&MarketOverlay>,
+        at: SimTime,
+        memo: &mut SnapshotMemo,
+        functions: &mut FunctionRuntime,
+        kv: &mut KvStore,
+        metrics: &mut MetricsService,
+        ledger: &mut BillingLedger,
+    ) -> Result<CollectOutcome, MonitorError> {
+        let regions = market.regions_offering(self.instance_type);
+        let key = (at.as_secs() / 3600, overlay_fingerprint(overlay, at, regions));
+        if memo.key == Some(key) {
+            memo.hits += 1;
+            return Ok(CollectOutcome::Reused);
+        }
+        let n = self.collect_with_overlay(market, overlay, at, functions, kv, metrics, ledger)?;
+        memo.key = Some(key);
+        memo.refreshes += 1;
+        Ok(CollectOutcome::Fresh(n))
     }
 
     /// Reads the latest persisted snapshot as optimizer inputs.
@@ -251,7 +359,7 @@ impl Monitor {
         at: SimTime,
     ) -> Result<Vec<RegionAssessment>, MonitorError> {
         let mut out = Vec::new();
-        for region in market.regions_offering(self.instance_type) {
+        for &region in market.regions_offering(self.instance_type) {
             let mut placement = market.placement_score(region, self.instance_type, at)?;
             let mut stability = market.stability_score(region, self.instance_type, at)?;
             if let Some(overlay) = overlay {
@@ -373,6 +481,92 @@ mod tests {
         f.monitor.provision(&mut f.functions, &mut f.kv);
         f.monitor.provision(&mut f.functions, &mut f.kv);
         assert!(f.functions.is_registered(COLLECTOR_FUNCTION));
+    }
+
+    #[test]
+    fn memoized_collection_skips_within_an_epoch() {
+        let mut f = fixture();
+        let mut memo = SnapshotMemo::new();
+        let collect_at = |f: &mut Fixture, memo: &mut SnapshotMemo, at| {
+            f.monitor
+                .collect_memoized(
+                    &f.market,
+                    None,
+                    at,
+                    memo,
+                    &mut f.functions,
+                    &mut f.kv,
+                    &mut f.metrics,
+                    &mut f.ledger,
+                )
+                .unwrap()
+        };
+        // Four 15-minute ticks inside hour 24: one fresh read, three hits.
+        let base = SimTime::from_days(1);
+        assert_eq!(collect_at(&mut f, &mut memo, base), CollectOutcome::Fresh(12));
+        for tick in 1..4 {
+            let at = base + sim_kernel::SimDuration::from_mins(15 * tick);
+            assert_eq!(collect_at(&mut f, &mut memo, at), CollectOutcome::Reused);
+        }
+        assert_eq!(f.functions.invocation_count(), 1, "reused ticks must not invoke");
+        assert_eq!((memo.refreshes(), memo.hits()), (1, 3));
+        // Crossing the hour boundary refreshes.
+        let next_hour = base + sim_kernel::SimDuration::from_hours(1);
+        assert_eq!(collect_at(&mut f, &mut memo, next_hour), CollectOutcome::Fresh(12));
+        assert_eq!(f.functions.invocation_count(), 2);
+        // Reused ticks leave the persisted snapshot untouched and valid.
+        let snapshot = f.monitor.latest_assessments(&f.kv).unwrap();
+        let fresh = f.monitor.fresh_assessments(&f.market, next_hour).unwrap();
+        for (p, fr) in snapshot.iter().zip(fresh.iter()) {
+            assert_eq!(p.placement, fr.placement);
+            assert!((p.spot_price.rate() - fr.spot_price.rate()).abs() < 1e-12);
+        }
+        // Explicit invalidation forces a full cycle even in-epoch.
+        memo.invalidate();
+        assert_eq!(collect_at(&mut f, &mut memo, next_hour), CollectOutcome::Fresh(12));
+    }
+
+    #[test]
+    fn overlay_edges_invalidate_the_memo_epoch() {
+        use cloud_market::OverlayWindow;
+        let mut f = fixture();
+        let mut overlay = MarketOverlay::new();
+        // A window opening mid-hour: same market hour, different active set.
+        let open = SimTime::from_hours(24) + sim_kernel::SimDuration::from_mins(30);
+        let mut w = OverlayWindow::new(Some(vec![Region::UsEast1]), open, SimTime::from_days(2));
+        w.placement_cap = Some(cloud_market::PlacementScore::MIN);
+        overlay.push(w);
+        let mut memo = SnapshotMemo::new();
+        let collect_at = |f: &mut Fixture, memo: &mut SnapshotMemo, at| {
+            f.monitor
+                .collect_memoized(
+                    &f.market,
+                    Some(&overlay),
+                    at,
+                    memo,
+                    &mut f.functions,
+                    &mut f.kv,
+                    &mut f.metrics,
+                    &mut f.ledger,
+                )
+                .unwrap()
+        };
+        let before = SimTime::from_hours(24);
+        assert_eq!(collect_at(&mut f, &mut memo, before), CollectOutcome::Fresh(12));
+        // 15 minutes later, still pre-window: reused.
+        let still_before = before + sim_kernel::SimDuration::from_mins(15);
+        assert_eq!(collect_at(&mut f, &mut memo, still_before), CollectOutcome::Reused);
+        // The window opens inside the same hour: must re-collect so the
+        // snapshot observes the fault.
+        assert_eq!(collect_at(&mut f, &mut memo, open), CollectOutcome::Fresh(12));
+        let pinned = f
+            .monitor
+            .latest_assessments(&f.kv)
+            .unwrap()
+            .into_iter()
+            .find(|a| a.region == Region::UsEast1)
+            .unwrap();
+        assert_eq!(pinned.placement, cloud_market::PlacementScore::MIN);
     }
 
     #[test]

@@ -2,14 +2,17 @@
 //!
 //! The paper repeats every experiment three times "to account for potential
 //! cloud performance and pricing variations" (§5.1.2). Here each repetition
-//! re-seeds both the market and the decision streams; repetitions run on
-//! parallel threads (they share nothing mutable).
+//! re-seeds both the market and the decision streams; repetitions execute
+//! as a one-column sweep through [`run_matrix`](crate::sweep::run_matrix),
+//! so they ride the bounded worker pool and share markets through a
+//! [`MarketCache`] whenever their configs coincide.
 
 use cloud_market::MarketConfig;
 use sim_kernel::RunningStats;
 
-use crate::experiment::{run_experiment, ExperimentConfig, ExperimentReport};
+use crate::experiment::{ExperimentConfig, ExperimentReport};
 use crate::strategy::Strategy;
+use crate::sweep::{resolve_jobs, run_matrix, MarketCache, SweepCell};
 
 /// Aggregate statistics over repetitions.
 #[derive(Debug, Clone)]
@@ -71,7 +74,38 @@ pub fn repetition_config(base: &ExperimentConfig, rep: u32) -> ExperimentConfig 
     }
 }
 
-/// Runs `reps` repetitions of an experiment in parallel, one thread each.
+/// The configuration for repetition `rep` with the *market held fixed*:
+/// only the decision streams (strategy, backoff, compute RNGs) re-seed.
+/// Sweeps built this way sample strategy variance on one price history —
+/// and perform exactly one market construction through a [`MarketCache`].
+pub fn repetition_config_shared_market(base: &ExperimentConfig, rep: u32) -> ExperimentConfig {
+    let seed = base.seed.wrapping_add(u64::from(rep).wrapping_mul(0x9E37_79B9));
+    ExperimentConfig {
+        seed,
+        market: base.market,
+        workloads: base.workloads.clone(),
+        ..base.clone()
+    }
+}
+
+fn run_repetition_cells<C, F>(base: &ExperimentConfig, per_rep: C, strategy_factory: F, reps: u32) -> AggregateReport
+where
+    C: Fn(&ExperimentConfig, u32) -> ExperimentConfig,
+    F: Fn() -> Box<dyn Strategy> + Sync,
+{
+    assert!(reps > 0, "run_repetitions: need at least one repetition");
+    let cells: Vec<SweepCell> = (0..reps)
+        .map(|r| SweepCell::new(format!("rep-{r}"), String::new(), per_rep(base, r)))
+        .collect();
+    let cache = MarketCache::new();
+    let jobs = resolve_jobs(None, cells.len());
+    let runs = run_matrix(&cells, jobs, &cache, |_| strategy_factory());
+    AggregateReport::from_runs(runs)
+}
+
+/// Runs `reps` repetitions of an experiment on the sweep engine's worker
+/// pool, re-seeding both the market and the decision streams per
+/// repetition (the paper's protocol).
 ///
 /// The factory builds a fresh strategy per repetition (strategies may hold
 /// state).
@@ -83,22 +117,25 @@ pub fn run_repetitions<F>(base: &ExperimentConfig, strategy_factory: F, reps: u3
 where
     F: Fn() -> Box<dyn Strategy> + Sync,
 {
-    assert!(reps > 0, "run_repetitions: need at least one repetition");
-    let configs: Vec<ExperimentConfig> = (0..reps).map(|r| repetition_config(base, r)).collect();
-    let mut slots: Vec<Option<ExperimentReport>> = (0..reps).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (slot, config) in slots.iter_mut().zip(configs) {
-            let factory = &strategy_factory;
-            scope.spawn(move || {
-                *slot = Some(run_experiment(config, factory()));
-            });
-        }
-    });
-    let runs: Vec<ExperimentReport> = slots
-        .into_iter()
-        .map(|s| s.expect("every repetition produced a report"))
-        .collect();
-    AggregateReport::from_runs(runs)
+    run_repetition_cells(base, repetition_config, strategy_factory, reps)
+}
+
+/// Like [`run_repetitions`], but holding the market fixed across
+/// repetitions ([`repetition_config_shared_market`]): all cells share one
+/// cached market construction and only decision randomness varies.
+///
+/// # Panics
+///
+/// Panics if `reps` is zero or a repetition thread panics.
+pub fn run_repetitions_shared_market<F>(
+    base: &ExperimentConfig,
+    strategy_factory: F,
+    reps: u32,
+) -> AggregateReport
+where
+    F: Fn() -> Box<dyn Strategy> + Sync,
+{
+    run_repetition_cells(base, repetition_config_shared_market, strategy_factory, reps)
 }
 
 #[cfg(test)]
@@ -142,6 +179,23 @@ mod tests {
         assert_ne!(r1.seed, r0.seed);
         assert_eq!(r1.market.seed, r1.seed);
         assert_eq!(r1.workloads, base.workloads);
+    }
+
+    #[test]
+    fn shared_market_repetitions_vary_decisions_only() {
+        let base = base(4, 33);
+        let r1 = repetition_config_shared_market(&base, 1);
+        assert_eq!(r1.market, base.market, "market config must stay fixed");
+        assert_ne!(r1.seed, base.seed, "decision seed must move");
+        let agg = run_repetitions_shared_market(
+            &base,
+            || Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
+            3,
+        );
+        assert_eq!(agg.repetitions(), 3);
+        // Decision streams differ, so repetitions still vary.
+        let costs: Vec<f64> = agg.runs.iter().map(|r| r.cost.total.amount()).collect();
+        assert!(costs.windows(2).any(|w| w[0] != w[1]), "{costs:?}");
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! The parallel sweep engine: deterministic concurrent execution of
+//! (strategy × scenario × repetition) experiment matrices.
+//!
+//! Every table and figure in the paper's evaluation is a *sweep* — the
+//! same fleet run cell-by-cell under varying strategies, fault scenarios,
+//! or repetition seeds. Cells share nothing mutable, so they parallelize
+//! perfectly; what they *can* share is the market: building a 12-region
+//! precomputed trajectory dominates small-cell runtime, and every cell at
+//! the same [`MarketConfig`] observes the identical market by
+//! construction. The engine therefore couples a bounded worker pool
+//! ([`run_matrix`]) with a config-keyed [`MarketCache`] handing out
+//! `Arc<SpotMarket>` clones, so a whole matrix at one seed performs
+//! exactly one market construction.
+//!
+//! Determinism contract: the report vector is in cell order and each cell
+//! is a pure function of its [`ExperimentConfig`] and strategy, so the
+//! output is bit-identical for any `jobs` value (covered by integration
+//! tests).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cloud_market::{MarketConfig, SpotMarket};
+
+use crate::experiment::{run_experiment_on, ExperimentConfig, ExperimentReport};
+use crate::strategy::Strategy;
+
+/// Environment variable overriding the default sweep parallelism (a
+/// `--jobs` flag, when present, wins over it).
+pub const JOBS_ENV: &str = "SPOTVERSE_JOBS";
+
+/// A market cache shared across sweep cells: one [`SpotMarket`] per
+/// distinct [`MarketConfig`], built at most once no matter how many cells
+/// (or worker threads) ask for it concurrently.
+///
+/// Chaos cells layer their faults through `MarketOverlay`s on the *read*
+/// path, so faulted and fault-free cells at the same seed share the same
+/// clean base market.
+#[derive(Debug, Default)]
+pub struct MarketCache {
+    markets: Mutex<HashMap<MarketConfig, Arc<OnceLock<Arc<SpotMarket>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MarketCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MarketCache::default()
+    }
+
+    /// The market for `config`, building it on first request. Concurrent
+    /// same-config requests block on the single in-flight build instead of
+    /// duplicating it; distinct configs build independently.
+    pub fn get_or_build(&self, config: MarketConfig) -> Arc<SpotMarket> {
+        let cell = {
+            let mut markets = self.markets.lock().expect("market cache poisoned");
+            Arc::clone(markets.entry(config).or_default())
+        };
+        let mut built = false;
+        let market = cell.get_or_init(|| {
+            built = true;
+            Arc::new(SpotMarket::new(config))
+        });
+        if built {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(market)
+    }
+
+    /// Requests served from an already-built market.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that performed a market construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct markets held.
+    pub fn len(&self) -> usize {
+        self.markets.lock().expect("market cache poisoned").len()
+    }
+
+    /// Whether the cache holds no markets yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One cell of an experiment matrix.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Display label (e.g. `"spotverse/region_blackout"`).
+    pub label: String,
+    /// Strategy selector the cell's strategy factory keys on.
+    pub strategy: String,
+    /// The full experiment configuration, chaos scenario included.
+    pub config: ExperimentConfig,
+}
+
+impl SweepCell {
+    /// A cell running `strategy` under `config`, labelled `label`.
+    pub fn new(
+        label: impl Into<String>,
+        strategy: impl Into<String>,
+        config: ExperimentConfig,
+    ) -> Self {
+        SweepCell {
+            label: label.into(),
+            strategy: strategy.into(),
+            config,
+        }
+    }
+}
+
+/// Resolves the worker count for a sweep of `cells` cells: an explicit
+/// request (`--jobs`) wins, then the [`JOBS_ENV`] environment variable,
+/// then `min(cells, available_parallelism)`. Always at least 1.
+pub fn resolve_jobs(explicit: Option<usize>, cells: usize) -> usize {
+    let env = std::env::var(JOBS_ENV)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok());
+    resolve_jobs_from(explicit, env, cells)
+}
+
+/// [`resolve_jobs`] with the environment pre-read (pure, for tests).
+fn resolve_jobs_from(explicit: Option<usize>, env: Option<usize>, cells: usize) -> usize {
+    let default = || {
+        std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(cells.max(1))
+    };
+    explicit
+        .filter(|&n| n > 0)
+        .or(env.filter(|&n| n > 0))
+        .unwrap_or_else(default)
+}
+
+fn run_cell<F>(cell: &SweepCell, cache: &MarketCache, strategy_for: &F) -> ExperimentReport
+where
+    F: Fn(&SweepCell) -> Box<dyn Strategy> + Sync,
+{
+    let market = cache.get_or_build(cell.config.market);
+    run_experiment_on(market, cell.config.clone(), strategy_for(cell))
+}
+
+/// Runs every cell of a matrix on a bounded worker pool and returns the
+/// reports **in cell order**, regardless of which thread finished first.
+///
+/// `strategy_for` builds a fresh strategy per cell (strategies may hold
+/// state); it runs on the worker thread executing the cell. Markets are
+/// shared through `cache`, so all cells at one seed reuse a single
+/// construction.
+///
+/// Output is bit-identical for any `jobs ≥ 1`: each cell derives every
+/// random stream from its own config seed and shares nothing mutable
+/// with its neighbours.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero or a cell panics.
+pub fn run_matrix<F>(
+    cells: &[SweepCell],
+    jobs: usize,
+    cache: &MarketCache,
+    strategy_for: F,
+) -> Vec<ExperimentReport>
+where
+    F: Fn(&SweepCell) -> Box<dyn Strategy> + Sync,
+{
+    assert!(jobs > 0, "run_matrix: need at least one worker");
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let jobs = jobs.min(cells.len());
+    if jobs == 1 {
+        return cells.iter().map(|c| run_cell(c, cache, &strategy_for)).collect();
+    }
+    // Workers claim cells off a shared counter and tag results with the
+    // cell index; sorting restores deterministic matrix order.
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, ExperimentReport)> = std::thread::scope(|scope| {
+        let strategy_for = &strategy_for;
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(cell) = cells.get(i) else { break };
+                        local.push((i, run_cell(cell, cache, strategy_for)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, report)| report).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bio_workloads::{paper_fleet, WorkloadKind};
+    use cloud_market::{InstanceType, Region};
+    use sim_kernel::SimRng;
+
+    use crate::strategy::SingleRegionStrategy;
+
+    fn config(seed: u64, n: usize) -> ExperimentConfig {
+        let rng = SimRng::seed_from_u64(seed);
+        ExperimentConfig::new(
+            seed,
+            InstanceType::M5Xlarge,
+            paper_fleet(WorkloadKind::GenomeReconstruction, n, &rng),
+        )
+    }
+
+    #[test]
+    fn cache_builds_each_config_once() {
+        let cache = MarketCache::new();
+        let a = cache.get_or_build(MarketConfig::with_seed(5));
+        let b = cache.get_or_build(MarketConfig::with_seed(5));
+        let c = cache.get_or_build(MarketConfig::with_seed(6));
+        assert!(Arc::ptr_eq(&a, &b), "same config must share one market");
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!((cache.misses(), cache.hits()), (2, 1));
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_same_config_requests_share_one_build() {
+        let cache = MarketCache::new();
+        let markets: Vec<Arc<SpotMarket>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| cache.get_or_build(MarketConfig::with_seed(9))))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.misses(), 1, "exactly one construction");
+        assert_eq!(cache.hits(), 3);
+        assert!(markets.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+    }
+
+    #[test]
+    fn matrix_reports_come_back_in_cell_order() {
+        let cache = MarketCache::new();
+        let cells: Vec<SweepCell> = (0..4)
+            .map(|i| SweepCell::new(format!("cell-{i}"), "single-region", config(40 + i, 2)))
+            .collect();
+        let reports = run_matrix(&cells, 4, &cache, |_| {
+            Box::new(SingleRegionStrategy::new(Region::CaCentral1))
+        });
+        assert_eq!(reports.len(), 4);
+        // Distinct seeds give distinct outcomes; order must match cells.
+        let serial = run_matrix(&cells, 1, &MarketCache::new(), |_| {
+            Box::new(SingleRegionStrategy::new(Region::CaCentral1))
+        });
+        for (p, s) in reports.iter().zip(serial.iter()) {
+            assert_eq!(p.makespan, s.makespan);
+            assert_eq!(p.cost.total, s.cost.total);
+        }
+    }
+
+    #[test]
+    fn same_seed_cells_share_one_market() {
+        let cache = MarketCache::new();
+        let cells: Vec<SweepCell> = (0..6)
+            .map(|i| SweepCell::new(format!("rep-{i}"), "single-region", config(7, 2)))
+            .collect();
+        let _ = run_matrix(&cells, 3, &cache, |_| {
+            Box::new(SingleRegionStrategy::new(Region::ApNortheast3))
+        });
+        assert_eq!(cache.misses(), 1, "one construction for the whole sweep");
+        assert_eq!(cache.hits(), 5);
+    }
+
+    #[test]
+    fn empty_matrix_is_a_no_op() {
+        let cache = MarketCache::new();
+        assert!(run_matrix(&[], 4, &cache, |_| -> Box<dyn Strategy> {
+            unreachable!("no cells to build for")
+        })
+        .is_empty());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn jobs_resolution_precedence() {
+        // Explicit flag beats env beats default.
+        assert_eq!(resolve_jobs_from(Some(3), Some(8), 16), 3);
+        assert_eq!(resolve_jobs_from(None, Some(8), 16), 8);
+        let auto = resolve_jobs_from(None, None, 16);
+        assert!(auto >= 1);
+        // Default is bounded by the cell count.
+        assert_eq!(resolve_jobs_from(None, None, 1), 1);
+        // Zero requests are corrected to a sane floor.
+        assert_eq!(resolve_jobs_from(Some(0), None, 4), resolve_jobs_from(None, None, 4));
+    }
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Performance snapshot: the criterion micro benches plus the sweep-engine
+# macro bench, which writes BENCH_sweep.json at the repo root
+# (market-build time, cells/sec serial vs parallel, monitor-tick rate,
+# market-cache hit counters). Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> micro: cargo bench --bench micro"
+cargo bench -p spotverse-bench --bench micro
+
+echo "==> sweep: cargo bench --bench sweep_perf"
+cargo bench -p spotverse-bench --bench sweep_perf
+
+echo "==> BENCH_sweep.json"
+cat BENCH_sweep.json

@@ -1,0 +1,90 @@
+//! Sweep-engine determinism: the parallel paths introduced for the sweep
+//! engine (parallel market construction, the bounded worker pool, the
+//! shared market cache) must be invisible in the output — bit-identical
+//! reports for any worker count, faulted or fault-free.
+
+use bio_workloads::{paper_fleet, WorkloadKind};
+use chaos::ChaosScenario;
+use cloud_market::{InstanceType, MarketConfig, SpotMarket};
+use sim_kernel::SimRng;
+use spotverse::{
+    run_matrix, ExperimentConfig, ExperimentReport, MarketCache, SpotVerseConfig,
+    SpotVerseStrategy, Strategy, SweepCell,
+};
+
+fn fleet_config(seed: u64, n: usize) -> ExperimentConfig {
+    let rng = SimRng::seed_from_u64(seed);
+    ExperimentConfig::new(
+        seed,
+        InstanceType::M5Xlarge,
+        paper_fleet(WorkloadKind::NgsPreprocessing, n, &rng),
+    )
+}
+
+fn spotverse_strategy() -> Box<dyn Strategy> {
+    Box::new(SpotVerseStrategy::new(SpotVerseConfig::paper_default(
+        InstanceType::M5Xlarge,
+    )))
+}
+
+#[test]
+fn parallel_market_construction_matches_serial() {
+    for seed in [1, 2024, 0xDEAD] {
+        let config = MarketConfig {
+            seed,
+            horizon_days: 45,
+        };
+        assert_eq!(
+            SpotMarket::new(config),
+            SpotMarket::new_serial(config),
+            "seed {seed}: parallel build must be field-for-field identical"
+        );
+    }
+}
+
+#[test]
+fn run_matrix_is_jobs_invariant() {
+    // strategy × scenario matrix (incl. fault-free cells), all one seed.
+    let base = fleet_config(404, 4);
+    let scenarios: Vec<Option<ChaosScenario>> = std::iter::once(None)
+        .chain(chaos::library().into_iter().map(Some))
+        .collect();
+    let cells: Vec<SweepCell> = scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, scenario)| {
+            let mut config = base.clone();
+            config.chaos = scenario.clone();
+            SweepCell::new(format!("cell-{i}"), "spotverse", config)
+        })
+        .collect();
+    let run = |jobs: usize| -> Vec<ExperimentReport> {
+        let cache = MarketCache::new();
+        let reports = run_matrix(&cells, jobs, &cache, |_| spotverse_strategy());
+        // Chaos overlays live on the read path: every cell shares the one
+        // clean base market, so the whole matrix builds exactly one.
+        assert_eq!(cache.misses(), 1, "jobs={jobs}");
+        assert_eq!(cache.hits(), cells.len() as u64 - 1, "jobs={jobs}");
+        reports
+    };
+    let serial = run(1);
+    for jobs in [2, 4, 8] {
+        assert_eq!(run(jobs), serial, "jobs={jobs} must match jobs=1 exactly");
+    }
+}
+
+#[test]
+fn distinct_seeds_build_distinct_markets() {
+    let cells: Vec<SweepCell> = (0..3)
+        .map(|i| SweepCell::new(format!("seed-{i}"), "spotverse", fleet_config(100 + i, 2)))
+        .collect();
+    let cache = MarketCache::new();
+    let reports = run_matrix(&cells, 3, &cache, |_| spotverse_strategy());
+    assert_eq!(reports.len(), 3);
+    assert_eq!(cache.misses(), 3, "three seeds, three constructions");
+    assert_eq!(cache.hits(), 0);
+    assert!(
+        reports[0] != reports[1] || reports[1] != reports[2],
+        "different seeds should not all coincide"
+    );
+}
