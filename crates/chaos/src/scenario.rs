@@ -190,13 +190,44 @@ pub fn flaky_checkpoints() -> ChaosScenario {
     })
 }
 
+/// `telemetry_blackout`: the control plane rejects *every* call for eight
+/// hours straight, so no fresh advisor snapshot can be collected — the
+/// controller must serve stale assessments and eventually degrade to
+/// on-demand placement once the snapshot ages past its TTL.
+pub fn telemetry_blackout() -> ChaosScenario {
+    ChaosScenario::new("telemetry_blackout").with(FaultDirective::ControlPlaneDegradation {
+        from: SimDuration::from_hours(1),
+        until: SimDuration::from_hours(9),
+        throttle_probability: 1.0,
+        added_latency: SimDuration::from_secs(30),
+    })
+}
+
+/// `region_flap`: a top-tier region (one Algorithm 1 actually selects)
+/// loses spot capacity in three short bursts. Each flap rejects launches
+/// and reclaims running instances, feeding the circuit breaker enough
+/// strikes to quarantine the region between bursts.
+pub fn region_flap() -> ChaosScenario {
+    let flap = |from_h: u64, until_h: u64| FaultDirective::SpotBlackout {
+        scope: RegionScope::Only(vec![Region::ApNortheast3]),
+        from: SimDuration::from_hours(from_h),
+        until: SimDuration::from_hours(until_h),
+    };
+    ChaosScenario::new("region_flap")
+        .with(flap(1, 4))
+        .with(flap(6, 9))
+        .with(flap(11, 14))
+}
+
 /// Names of every scenario in the shipped library, in display order.
-pub const SCENARIO_NAMES: [&str; 5] = [
+pub const SCENARIO_NAMES: [&str; 7] = [
     "region_blackout",
     "notice_loss",
     "throttle_storm",
     "correlated_crunch",
     "flaky_checkpoints",
+    "telemetry_blackout",
+    "region_flap",
 ];
 
 /// The full shipped scenario library.
@@ -207,6 +238,8 @@ pub fn library() -> Vec<ChaosScenario> {
         throttle_storm(),
         correlated_crunch(),
         flaky_checkpoints(),
+        telemetry_blackout(),
+        region_flap(),
     ]
 }
 

@@ -11,7 +11,7 @@ use cloud_market::history::{archive_to_csv, collect_archive};
 use cloud_market::{InstanceType, Region, SpotMarket};
 use sim_kernel::{SimDuration, SimRng, SimTime};
 use spotverse::{
-    resolve_jobs, run_experiment_on, run_matrix, summary_line, ExperimentConfig,
+    resolve_jobs, run_experiment_on, run_matrix, summary_line, CellOutcome, ExperimentConfig,
     ExperimentReport, MarketCache, Monitor, NaiveMultiRegionStrategy, OnDemandStrategy,
     SingleRegionStrategy, SkyPilotStrategy, SpotVerseConfig, SpotVerseStrategy, Strategy,
     SweepCell,
@@ -85,7 +85,8 @@ COMPARE / CHAOS FLAGS:
 
 CHAOS FLAGS:
     --scenario <name>        region_blackout | notice_loss | throttle_storm |
-                             correlated_crunch | flaky_checkpoints | all
+                             correlated_crunch | flaky_checkpoints |
+                             telemetry_blackout | region_flap | all
                                                         (default all)
     --strategy <name>        as simulate, or `all`      (default all)
 
@@ -238,16 +239,53 @@ pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
         .collect();
     let cache = MarketCache::new();
     let jobs = resolve_jobs(jobs_flag, cells.len());
-    let reports = run_matrix(&cells, jobs, &cache, |cell| {
+    let outcomes = run_matrix(&cells, jobs, &cache, |cell| {
         build_strategy(&cell.strategy, common.instance_type, threshold, region)
             .expect("compare strategy names are from the fixed list")
     });
     let mut out = String::new();
-    for report in &reports {
-        out.push_str(&summary_line(report));
-        out.push('\n');
+    for outcome in &outcomes {
+        match &outcome.result {
+            Ok(report) => {
+                out.push_str(&summary_line(report));
+                out.push('\n');
+            }
+            Err(e) => out.push_str(&format!("{:<20} FAILED: {e}\n", outcome.strategy)),
+        }
     }
     Ok(out)
+}
+
+/// One row of the chaos table. A failed cell renders as a FAILED line with
+/// the captured panic/error message; deltas print as `-` when there is no
+/// fault-free baseline to compare against.
+fn chaos_row(label: &str, outcome: &CellOutcome, baseline: Option<&ExperimentReport>) -> String {
+    match &outcome.result {
+        Err(e) => format!("{:<14} {:<19} FAILED: {e}\n", outcome.strategy, label),
+        Ok(r) => {
+            let (added_makespan, added_cost) = match baseline {
+                Some(b) => (
+                    format!("{:>+11.1}h", r.makespan.as_hours_f64() - b.makespan.as_hours_f64()),
+                    format!("{:>+11.2}", r.cost.total.amount() - b.cost.total.amount()),
+                ),
+                None => (format!("{:>12}", "-"), format!("{:>11}", "-")),
+            };
+            format!(
+                "{:<14} {:<19} {:>6}/{:<2} {:>11} {added_makespan} {:>10} {added_cost} {:>6} {:>6} {:>6} {:>6} {:>7.1}\n",
+                r.strategy,
+                label,
+                r.completed,
+                r.workloads,
+                r.makespan.to_string(),
+                r.cost.total.to_string(),
+                r.checkpoints.torn_writes,
+                r.checkpoints.corrupt_reads,
+                r.resilience.breaker_trips,
+                r.resilience.freshness.stale_serves,
+                r.resilience.freshness.degraded_time.as_hours_f64(),
+            )
+        }
+    }
 }
 
 /// `spotverse chaos`: the strategy × scenario degradation matrix. Every
@@ -303,13 +341,13 @@ pub fn chaos_matrix(args: &ParsedArgs) -> Result<String, CliError> {
     }
     let cache = MarketCache::new();
     let jobs = resolve_jobs(jobs_flag, cells.len());
-    let reports = run_matrix(&cells, jobs, &cache, |cell| {
+    let outcomes = run_matrix(&cells, jobs, &cache, |cell| {
         build_strategy(&cell.strategy, common.instance_type, threshold, region)
             .expect("chaos strategy names validated before the sweep")
     });
     let mut out = format!(
         "chaos degradation matrix  (seed {}, fleet {fleet})\n\
-         {:<14} {:<19} {:>9} {:>11} {:>12} {:>10} {:>11} {:>6} {:>6}\n",
+         {:<14} {:<19} {:>9} {:>11} {:>12} {:>10} {:>11} {:>6} {:>6} {:>6} {:>6} {:>7}\n",
         common.config.seed,
         "strategy",
         "scenario",
@@ -320,40 +358,20 @@ pub fn chaos_matrix(args: &ParsedArgs) -> Result<String, CliError> {
         "Δcost",
         "torn",
         "corrupt",
+        "trips",
+        "stale",
+        "degr-h",
     );
-    for chunk in reports.chunks(group) {
-        let baseline = &chunk[0];
-        out.push_str(&format!(
-            "{:<14} {:<19} {:>6}/{:<2} {:>11} {:>12} {:>10} {:>11} {:>6} {:>6}\n",
-            baseline.strategy,
-            "(fault-free)",
-            baseline.completed,
-            baseline.workloads,
-            baseline.makespan.to_string(),
-            "-",
-            baseline.cost.total.to_string(),
-            "-",
-            baseline.checkpoints.torn_writes,
-            baseline.checkpoints.corrupt_reads,
-        ));
-        for (scenario, report) in scenarios.iter().zip(&chunk[1..]) {
-            let added_makespan =
-                report.makespan.as_hours_f64() - baseline.makespan.as_hours_f64();
-            let added_cost = report.cost.total.amount() - baseline.cost.total.amount();
-            out.push_str(&format!(
-                "{:<14} {:<19} {:>6}/{:<2} {:>11} {:>+11.1}h {:>10} {:>+11.2} {:>6} {:>6}\n",
-                report.strategy,
-                scenario.name(),
-                report.completed,
-                report.workloads,
-                report.makespan.to_string(),
-                added_makespan,
-                report.cost.total.to_string(),
-                added_cost,
-                report.checkpoints.torn_writes,
-                report.checkpoints.corrupt_reads,
-            ));
+    for chunk in outcomes.chunks(group) {
+        let baseline = chunk[0].report();
+        out.push_str(&chaos_row("(fault-free)", &chunk[0], None));
+        for (scenario, outcome) in scenarios.iter().zip(&chunk[1..]) {
+            out.push_str(&chaos_row(scenario.name(), outcome, baseline));
         }
+    }
+    let recovered = outcomes.iter().filter(|c| c.recovered()).count();
+    if recovered > 0 {
+        out.push_str(&format!("({recovered} cell(s) recovered after one retry)\n"));
     }
     Ok(out)
 }

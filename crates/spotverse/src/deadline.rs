@@ -179,6 +179,7 @@ mod tests {
             instance_type: InstanceType::M5Xlarge,
             now: SimTime::from_hours(2),
             assessments: &a,
+            quarantined: &[],
             rng: &mut rng,
         };
         let mut s = DeadlineAwareStrategy::new(
@@ -198,6 +199,7 @@ mod tests {
             instance_type: InstanceType::M5Xlarge,
             now: SimTime::from_hours(14), // slack 10 h < 12 h needed
             assessments: &a,
+            quarantined: &[],
             rng: &mut rng,
         };
         let mut s = DeadlineAwareStrategy::new(
@@ -218,6 +220,7 @@ mod tests {
             instance_type: InstanceType::M5Xlarge,
             now: SimTime::from_hours(20),
             assessments: &a,
+            quarantined: &[],
             rng: &mut rng,
         };
         let mut s = DeadlineAwareStrategy::new(

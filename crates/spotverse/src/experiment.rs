@@ -37,6 +37,7 @@ use sim_kernel::{
     CumulativeCounter, Model, Scheduler, SimDuration, SimRng, SimTime, Simulation, TimeSeries,
 };
 
+use crate::health::{HealthConfig, RegionHealth, ResilienceTelemetry, TelemetryFreshness};
 use crate::monitor::{CollectOutcome, Monitor, MonitorError, SnapshotMemo};
 use crate::optimizer::{Placement, RegionAssessment};
 use crate::resilience::{retry_with_backoff, BackoffPolicy};
@@ -88,6 +89,8 @@ pub struct ExperimentConfig {
     /// Optional fault-injection scenario, compiled against `seed` and
     /// `start`. `None` runs fault-free.
     pub chaos: Option<ChaosScenario>,
+    /// Resilience control plane tuning: breaker policy and telemetry TTL.
+    pub health: HealthConfig,
 }
 
 impl ExperimentConfig {
@@ -106,6 +109,7 @@ impl ExperimentConfig {
             monitor_pipeline: true,
             checkpoint_backend: CheckpointBackend::ObjectStore,
             chaos: None,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -177,6 +181,9 @@ pub struct ExperimentReport {
     pub spot_fulfillments: u64,
     /// Checkpoint-durability and resilience counters.
     pub checkpoints: CheckpointTelemetry,
+    /// Region-health control plane counters (breakers, staleness,
+    /// degraded placement). All zeros on a fault-free run.
+    pub resilience: ResilienceTelemetry,
 }
 
 impl ExperimentReport {
@@ -272,6 +279,11 @@ struct ExperimentModel {
     telemetry: CheckpointTelemetry,
     backoff_rng: SimRng,
     monitor_backoff: u32,
+    health: RegionHealth,
+    freshness: TelemetryFreshness,
+    quarantined_decisions: u64,
+    collect_failing: bool,
+    degraded_since: Option<SimTime>,
 }
 
 impl std::fmt::Debug for ExperimentModel {
@@ -289,21 +301,64 @@ impl ExperimentModel {
         self.completed == self.workloads.len() || self.aborted
     }
 
-    /// Current optimizer inputs: the Monitor's latest persisted snapshot
-    /// when the pipeline is enabled, fresh market reads otherwise. Either
-    /// way decisions observe the market *through* any active fault
-    /// overlay (the snapshot was collected through it; fresh reads apply
-    /// it directly).
-    fn assessments(&self, now: SimTime) -> Vec<RegionAssessment> {
+    /// Current optimizer inputs plus whether the decision must *degrade*.
+    ///
+    /// With the pipeline enabled, the Monitor's latest persisted snapshot
+    /// is served as long as it is within the telemetry TTL; while
+    /// collection is failing, each such serve is a counted *stale serve*
+    /// of last-good data. Past the TTL the snapshot is still returned but
+    /// flagged degraded: the caller places cheapest-on-demand instead of
+    /// trusting expired metrics. Without the pipeline (or before the
+    /// first snapshot) decisions read the market directly — either way
+    /// they observe it *through* any active fault overlay.
+    fn decision_inputs(&mut self, now: SimTime) -> (Vec<RegionAssessment>, bool) {
         if self.config.monitor_pipeline {
-            if let Ok(snapshot) = self.monitor.latest_assessments(&self.kv) {
-                return snapshot;
+            let ttl = self.config.health.telemetry_ttl;
+            match self.monitor.assessments_no_older_than(&self.kv, now, ttl) {
+                Ok((snapshot, age)) => {
+                    if self.collect_failing {
+                        self.freshness.stale_serves += 1;
+                        self.freshness.max_staleness = self.freshness.max_staleness.max(age);
+                    }
+                    return (snapshot, false);
+                }
+                Err(MonitorError::Stale { .. }) => {
+                    if let Ok((snapshot, age)) =
+                        self.monitor.latest_assessments_with_age(&self.kv, now)
+                    {
+                        self.freshness.degraded_decisions += 1;
+                        self.freshness.max_staleness = self.freshness.max_staleness.max(age);
+                        if self.degraded_since.is_none() {
+                            self.degraded_since = Some(now);
+                        }
+                        return (snapshot, true);
+                    }
+                }
+                Err(_) => {}
             }
         }
         let overlay = self.chaos.as_ref().map(|c| c.overlay());
-        self.monitor
+        let snapshot = self
+            .monitor
             .fresh_assessments_with_overlay(&self.market, overlay, now)
-            .expect("market assessments within horizon")
+            .expect("market assessments within horizon");
+        (snapshot, false)
+    }
+
+    /// Marks the collection pipeline healthy again and settles any open
+    /// degraded-placement interval.
+    fn note_collection_success(&mut self, now: SimTime) {
+        self.collect_failing = false;
+        if let Some(since) = self.degraded_since.take() {
+            self.freshness.degraded_time += now.saturating_duration_since(since);
+        }
+    }
+
+    /// Marks the collection pipeline failing: subsequent decisions served
+    /// from the persisted snapshot count as stale serves.
+    fn note_collection_failure(&mut self) {
+        self.collect_failing = true;
+        self.freshness.collection_failures += 1;
     }
 
     /// One monitor collection cycle, observed through the fault overlay.
@@ -325,11 +380,23 @@ impl ExperimentModel {
     }
 
     fn relocate(&mut self, now: SimTime, previous: Region) -> Placement {
-        let assessments = self.assessments(now);
+        let (assessments, degraded) = self.decision_inputs(now);
+        if degraded {
+            // Expired telemetry: don't trust scores or spot prices, take
+            // guaranteed capacity at the cheapest on-demand rate. Skips
+            // the strategy (and its RNG) entirely — only reachable under
+            // chaos, so fault-free streams are untouched.
+            return Placement::OnDemand(cheapest_on_demand(&assessments));
+        }
+        let quarantined = self.health.quarantined(now);
+        if !quarantined.is_empty() {
+            self.quarantined_decisions += 1;
+        }
         let mut ctx = StrategyContext {
             instance_type: self.config.instance_type,
             now,
             assessments: &assessments,
+            quarantined: &quarantined,
             rng: &mut self.strategy_rng,
         };
         self.strategy.relocate(&mut ctx, previous)
@@ -339,20 +406,33 @@ impl ExperimentModel {
         // Prime the Monitor so the first decision has a snapshot. Under a
         // throttle storm the collection may fail; decisions then fall back
         // to fresh market reads until a tick succeeds.
-        if self.run_monitor_collection(now).is_err() {
-            self.telemetry.throttled_retries += 1;
+        match self.run_monitor_collection(now) {
+            Ok(_) => self.note_collection_success(now),
+            Err(_) => {
+                self.telemetry.throttled_retries += 1;
+                self.note_collection_failure();
+            }
         }
         scheduler.schedule_in(self.config.monitor_period, Event::MonitorTick);
 
-        let assessments = self.assessments(now);
+        let (assessments, degraded) = self.decision_inputs(now);
         let n = self.workloads.len();
-        let mut ctx = StrategyContext {
-            instance_type: self.config.instance_type,
-            now,
-            assessments: &assessments,
-            rng: &mut self.strategy_rng,
+        let placements = if degraded {
+            vec![Placement::OnDemand(cheapest_on_demand(&assessments)); n]
+        } else {
+            let quarantined = self.health.quarantined(now);
+            if !quarantined.is_empty() {
+                self.quarantined_decisions += 1;
+            }
+            let mut ctx = StrategyContext {
+                instance_type: self.config.instance_type,
+                now,
+                assessments: &assessments,
+                quarantined: &quarantined,
+                rng: &mut self.strategy_rng,
+            };
+            self.strategy.initial_placements(&mut ctx, n)
         };
-        let placements = self.strategy.initial_placements(&mut ctx, n);
         debug_assert_eq!(placements.len(), n);
         for (w, placement) in placements.into_iter().enumerate() {
             self.workloads[w].placement = placement;
@@ -370,9 +450,24 @@ impl ExperimentModel {
             Placement::Spot(region) => match self.ec2.request_spot(region, itype, now) {
                 Ok(SpotRequestOutcome::Fulfilled(launch)) => {
                     self.note_launch(region);
+                    // Heals breaker strikes / closes a half-open probe; a
+                    // structural no-op when the region has no breaker
+                    // entry, i.e. on every fault-free run.
+                    self.health.record_fulfillment(region, now);
                     self.start_execution(w, region, launch.instance, launch.ready_at, launch.interruption_at, now, scheduler);
                 }
                 Ok(SpotRequestOutcome::OpenNoCapacity) => {
+                    // Natural no-capacity and blackout-blocked requests are
+                    // indistinguishable at the API; only chaos-attributed
+                    // rejections strike the breaker, so fault-free runs
+                    // never grow a ledger entry.
+                    if self
+                        .chaos
+                        .as_ref()
+                        .is_some_and(|c| c.is_blackout(region, now))
+                    {
+                        self.health.record_rejection(region, now);
+                    }
                     // The Controller's periodic sweep picks it back up.
                     scheduler.schedule_in(self.config.retry_interval, Event::Retry(w));
                 }
@@ -380,6 +475,9 @@ impl ExperimentModel {
                 // an in-flight placement) also lands on the retry sweep
                 // instead of killing the run.
                 Err(_) => {
+                    if self.chaos.is_some() {
+                        self.health.record_rejection(region, now);
+                    }
                     scheduler.schedule_in(self.config.retry_interval, Event::Retry(w));
                 }
             },
@@ -461,19 +559,19 @@ impl ExperimentModel {
     }
 
     /// The retry sweep. If the pending placement's region has since been
-    /// blacked out, re-ask the strategy for a target before requesting
-    /// again — otherwise a migration aimed at a now-dead region would
-    /// spin on it until the blackout lifts.
+    /// blacked out or quarantined by its breaker, re-ask the strategy for
+    /// a target before requesting again — otherwise a migration aimed at
+    /// a now-dead region would spin on it until the fault lifts.
     fn handle_retry(&mut self, w: usize, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
         if self.workloads[w].completed_at.is_some() || self.workloads[w].running.is_some() {
             return;
         }
         if let Placement::Spot(region) = self.workloads[w].placement {
-            if self
+            let blacked_out = self
                 .chaos
                 .as_ref()
-                .is_some_and(|c| c.is_blackout(region, now))
-            {
+                .is_some_and(|c| c.is_blackout(region, now));
+            if blacked_out || self.health.is_quarantined(region, now) {
                 let placement = self.relocate(now, region);
                 self.workloads[w].placement = placement;
             }
@@ -649,6 +747,15 @@ impl ExperimentModel {
         // Account the interruption.
         self.interruptions.increment(now);
         *self.interruptions_by_region.entry(region).or_insert(0) += 1;
+        // Interruptions strike the breaker only while the region is under
+        // active chaos stress (blackout or hazard inflation) — natural
+        // market interruptions are the paper's normal operating regime,
+        // not a health signal, and must not perturb fault-free runs.
+        if self.chaos.as_ref().is_some_and(|c| {
+            c.is_blackout(region, now) || c.overlay().hazard_multiplier(region, now) != 1.0
+        }) {
+            self.health.record_interruption(region, now);
+        }
 
         // Progress bookkeeping: checkpoint workloads resume from the last
         // *durable, valid* generation; standard workloads lose everything.
@@ -738,13 +845,15 @@ impl ExperimentModel {
         }
         match self.run_monitor_collection(now) {
             Ok(_) => {
+                self.note_collection_success(now);
                 self.monitor_backoff = 0;
                 scheduler.schedule_in(self.config.monitor_period, Event::MonitorTick);
             }
-            Err(MonitorError::Kv(KvError::Throttled { .. })) => {
+            Err(e) if e.is_retryable() => {
                 // Back off with jitter, bounded by the normal period, and
                 // try the collection again — decisions meanwhile run on
                 // the last good snapshot.
+                self.note_collection_failure();
                 self.telemetry.throttled_retries += 1;
                 let policy = BackoffPolicy {
                     max_attempts: u32::MAX,
@@ -757,7 +866,14 @@ impl ExperimentModel {
                 self.monitor_backoff = (self.monitor_backoff + 1).min(8);
                 scheduler.schedule_in(delay, Event::MonitorTick);
             }
-            Err(e) => panic!("monitor collection failed: {e}"),
+            // Non-retryable failures (the market refusing a read) don't
+            // kill the run either: decisions keep serving the last good
+            // snapshot — degrading past the TTL — and the next scheduled
+            // tick tries again.
+            Err(_) => {
+                self.note_collection_failure();
+                scheduler.schedule_in(self.config.monitor_period, Event::MonitorTick);
+            }
         }
     }
 }
@@ -780,6 +896,22 @@ impl Model for ExperimentModel {
             Event::MonitorTick => self.handle_monitor_tick(now, scheduler),
         }
     }
+}
+
+/// The degraded-mode placement: the cheapest on-demand region by price,
+/// ties broken by region name. On-demand prices are static catalog data,
+/// so they stay trustworthy even when every dynamic metric has expired.
+fn cheapest_on_demand(assessments: &[RegionAssessment]) -> Region {
+    assessments
+        .iter()
+        .min_by(|a, b| {
+            a.on_demand_price
+                .rate()
+                .total_cmp(&b.on_demand_price.rate())
+                .then_with(|| a.region.name().cmp(b.region.name()))
+        })
+        .expect("assessments cover at least one region")
+        .region
 }
 
 /// Runs one experiment, building a fresh market from the config.
@@ -858,6 +990,11 @@ pub fn run_experiment_on(
         telemetry: CheckpointTelemetry::default(),
         backoff_rng: root_rng.fork("backoff"),
         monitor_backoff: 0,
+        health: RegionHealth::new(config.health.breaker.clone(), config.seed),
+        freshness: TelemetryFreshness::default(),
+        quarantined_decisions: 0,
+        collect_failing: false,
+        degraded_since: None,
         config,
     };
 
@@ -896,7 +1033,19 @@ pub fn run_experiment_on(
     sim.schedule_at(start, Event::Start);
     sim.run_until(|m| m.done());
     let final_time = sim.now();
-    let model = sim.into_model();
+    let mut model = sim.into_model();
+
+    // A run that ends while still degraded closes its interval here.
+    if let Some(since) = model.degraded_since.take() {
+        model.freshness.degraded_time += final_time.saturating_duration_since(since);
+    }
+    let resilience = ResilienceTelemetry {
+        breaker_trips: model.health.trips(),
+        half_open_probes: model.health.probes(),
+        probe_failures: model.health.probe_failures(),
+        quarantined_decisions: model.quarantined_decisions,
+        freshness: model.freshness,
+    };
 
     // Assemble the report.
     let completed_times: Vec<SimDuration> = model
@@ -960,6 +1109,7 @@ pub fn run_experiment_on(
         spot_attempts: model.ec2.spot_attempts(),
         spot_fulfillments: model.ec2.spot_fulfillments(),
         checkpoints: model.telemetry,
+        resilience,
     }
 }
 
@@ -1111,6 +1261,19 @@ mod tests {
             Some(report.completed)
         );
         assert_eq!(report.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn fault_free_runs_never_engage_the_control_plane() {
+        // Plenty of natural interruptions in ca-central-1, yet no chaos:
+        // the breakers, staleness counters, and degraded mode must all
+        // stay at zero.
+        let report = run_experiment(
+            small_fleet(WorkloadKind::GenomeReconstruction, 8, 12),
+            Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
+        );
+        assert!(report.interruptions > 0);
+        assert_eq!(report.resilience, ResilienceTelemetry::default());
     }
 
     #[test]

@@ -265,6 +265,7 @@ mod tests {
             instance_type: InstanceType::M5Xlarge,
             now: sim_kernel::SimTime::ZERO,
             assessments: &assessments,
+            quarantined: &[],
             rng: &mut rng,
         };
         let placements = strategy.initial_placements(&mut ctx, 4);

@@ -50,6 +50,7 @@ mod config;
 mod deadline;
 mod experiment;
 mod forecast;
+pub mod health;
 mod monitor;
 mod optimizer;
 mod provider;
@@ -66,6 +67,10 @@ pub use experiment::{
     ExperimentConfig, ExperimentReport, INTERRUPTION_HANDLER, LOG_BUCKET,
 };
 pub use resilience::{retry_with_backoff, BackoffPolicy, RetryOutcome};
+pub use health::{
+    BreakerPolicy, BreakerState, HealthConfig, RegionHealth, ResilienceTelemetry,
+    TelemetryFreshness,
+};
 pub use monitor::{
     CollectOutcome, Monitor, MonitorError, SnapshotMemo, COLLECTOR_FUNCTION, METRICS_TABLE,
 };
@@ -73,12 +78,12 @@ pub use deadline::{DeadlineAwareStrategy, DeadlinePolicy};
 pub use forecast::{ForecastingSpotVerseStrategy, HoltSmoother, MetricForecaster};
 pub use optimizer::{MigrationPolicy, Optimizer, Placement, RegionAssessment};
 pub use provider::{degrade_assessments, MetricAvailability, ProviderAdaptedStrategy};
-pub use report::{compare, normalized_cost, summary_line, Comparison};
+pub use report::{compare, normalized_cost, resilience_summary, summary_line, Comparison};
 pub use repetitions::{
     repetition_config, repetition_config_shared_market, run_repetitions,
     run_repetitions_shared_market, AggregateReport,
 };
-pub use sweep::{resolve_jobs, run_matrix, MarketCache, SweepCell, JOBS_ENV};
+pub use sweep::{resolve_jobs, run_matrix, CellOutcome, MarketCache, SweepCell, JOBS_ENV};
 pub use strategy::{
     AblatedSpotVerseStrategy, NaiveMultiRegionStrategy, OnDemandStrategy, SingleRegionStrategy,
     SkyPilotStrategy, SpotVerseStrategy, Strategy, StrategyContext,

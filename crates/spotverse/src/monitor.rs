@@ -14,7 +14,7 @@ use cloud_market::{
     InstanceType, MarketError, MarketOverlay, PlacementScore, Region, SpotMarket, StabilityScore,
     UsdPerHour,
 };
-use sim_kernel::SimTime;
+use sim_kernel::{SimDuration, SimTime};
 
 use crate::optimizer::RegionAssessment;
 
@@ -32,6 +32,22 @@ pub enum MonitorError {
     Kv(KvError),
     /// No snapshot has been collected yet.
     NoSnapshot,
+    /// The latest snapshot is older than the caller's freshness bound.
+    Stale {
+        /// Snapshot age in whole hours.
+        age_hours: u64,
+    },
+}
+
+impl MonitorError {
+    /// Whether retrying the same operation later can plausibly succeed
+    /// without any other intervention. Only transient throttling
+    /// qualifies: market rejections, missing snapshots, and staleness
+    /// need a different response (degrade, wait for a collection), not a
+    /// blind retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, MonitorError::Kv(KvError::Throttled { .. }))
+    }
 }
 
 impl std::fmt::Display for MonitorError {
@@ -40,6 +56,9 @@ impl std::fmt::Display for MonitorError {
             MonitorError::Market(e) => write!(f, "market: {e}"),
             MonitorError::Kv(e) => write!(f, "kv store: {e}"),
             MonitorError::NoSnapshot => write!(f, "no metrics snapshot collected yet"),
+            MonitorError::Stale { age_hours } => {
+                write!(f, "metrics snapshot is stale ({age_hours} h old)")
+            }
         }
     }
 }
@@ -49,7 +68,7 @@ impl std::error::Error for MonitorError {
         match self {
             MonitorError::Market(e) => Some(e),
             MonitorError::Kv(e) => Some(e),
-            MonitorError::NoSnapshot => None,
+            MonitorError::NoSnapshot | MonitorError::Stale { .. } => None,
         }
     }
 }
@@ -302,11 +321,62 @@ impl Monitor {
         &self,
         kv: &KvStore,
     ) -> Result<Vec<RegionAssessment>, MonitorError> {
+        self.read_snapshot(kv).map(|(out, _)| out)
+    }
+
+    /// Reads the latest persisted snapshot along with its age at `now` —
+    /// how long ago its oldest row was collected. The Optimizer uses the
+    /// age to decide whether stale metrics are still trustworthy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::NoSnapshot`] before the first collection and
+    /// [`MonitorError::Kv`] on store failures.
+    pub fn latest_assessments_with_age(
+        &self,
+        kv: &KvStore,
+        now: SimTime,
+    ) -> Result<(Vec<RegionAssessment>, SimDuration), MonitorError> {
+        let (out, collected_at) = self.read_snapshot(kv)?;
+        Ok((out, now.saturating_duration_since(collected_at)))
+    }
+
+    /// Like [`latest_assessments_with_age`](Monitor::latest_assessments_with_age),
+    /// but enforcing a freshness bound: a snapshot older than `ttl` is
+    /// refused with [`MonitorError::Stale`] so the caller degrades
+    /// deliberately instead of trusting expired metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::Stale`] past the TTL, plus everything
+    /// [`latest_assessments_with_age`](Monitor::latest_assessments_with_age)
+    /// returns.
+    pub fn assessments_no_older_than(
+        &self,
+        kv: &KvStore,
+        now: SimTime,
+        ttl: SimDuration,
+    ) -> Result<(Vec<RegionAssessment>, SimDuration), MonitorError> {
+        let (out, age) = self.latest_assessments_with_age(kv, now)?;
+        if age > ttl {
+            return Err(MonitorError::Stale { age_hours: age.as_secs() / 3600 });
+        }
+        Ok((out, age))
+    }
+
+    /// The shared snapshot read: parsed assessments in catalog order plus
+    /// the oldest `collected_at` stamp across the rows.
+    fn read_snapshot(
+        &self,
+        kv: &KvStore,
+    ) -> Result<(Vec<RegionAssessment>, SimTime), MonitorError> {
         let prefix = format!("{}/", self.instance_type);
         let rows = kv.scan_prefix(METRICS_TABLE, &prefix)?;
         if rows.is_empty() {
             return Err(MonitorError::NoSnapshot);
         }
+        let mut collected_at = SimTime::ZERO;
+        let mut first = true;
         let mut out = Vec::with_capacity(rows.len());
         for (key, item) in rows {
             let region: Region = key[prefix.len()..]
@@ -317,6 +387,11 @@ impl Monitor {
                     .and_then(AttrValue::as_number)
                     .expect("monitor wrote numeric attributes")
             };
+            let row_at = SimTime::from_secs(get("collected_at") as u64);
+            if first || row_at < collected_at {
+                collected_at = row_at;
+                first = false;
+            }
             out.push(RegionAssessment {
                 region,
                 placement: PlacementScore::new(get("placement_score") as u8)
@@ -329,7 +404,7 @@ impl Monitor {
         }
         // Present in catalog order, matching fresh_assessments.
         out.sort_by_key(|a| Region::ALL.iter().position(|r| *r == a.region));
-        Ok(out)
+        Ok((out, collected_at))
     }
 
     /// Builds fresh assessments straight from the market (bypassing the
@@ -464,6 +539,33 @@ mod tests {
             .zip(later_fresh.iter())
             .any(|(a, b)| (a.spot_price.rate() - b.spot_price.rate()).abs() > 1e-9);
         assert!(moved, "prices should drift over 39 days");
+    }
+
+    #[test]
+    fn snapshot_age_is_tracked_and_ttl_enforced() {
+        let mut f = fixture();
+        let collected = SimTime::from_hours(10);
+        f.monitor
+            .collect(&f.market, collected, &mut f.functions, &mut f.kv, &mut f.metrics, &mut f.ledger)
+            .unwrap();
+        let now = SimTime::from_hours(13);
+        let (set, age) = f.monitor.latest_assessments_with_age(&f.kv, now).unwrap();
+        assert_eq!(set.len(), 12);
+        assert_eq!(age, SimDuration::from_hours(3));
+        // Within the bound: served with its age.
+        let (_, age) = f
+            .monitor
+            .assessments_no_older_than(&f.kv, now, SimDuration::from_hours(4))
+            .unwrap();
+        assert_eq!(age, SimDuration::from_hours(3));
+        // Past the bound: refused as stale, and staleness is not retryable.
+        let err = f
+            .monitor
+            .assessments_no_older_than(&f.kv, now, SimDuration::from_hours(2))
+            .unwrap_err();
+        assert_eq!(err, MonitorError::Stale { age_hours: 3 });
+        assert!(!err.is_retryable());
+        assert!(MonitorError::Kv(KvError::Throttled { table: "t".into() }).is_retryable());
     }
 
     #[test]

@@ -94,8 +94,22 @@ impl Optimizer {
     /// `SelectRegions`: admissible regions with combined score ≥ T, sorted
     /// by spot price ascending and capped at `R`.
     pub fn select_regions(&self, assessments: &[RegionAssessment]) -> Vec<RegionAssessment> {
+        self.select_regions_excluding(assessments, &[])
+    }
+
+    /// [`select_regions`](Optimizer::select_regions) with a health
+    /// exclusion list: quarantined regions are dropped *before* the
+    /// threshold/top-R selection, so the selection refills from the next
+    /// qualifying region instead of silently shrinking. With an empty
+    /// list this is exactly `select_regions`.
+    pub fn select_regions_excluding(
+        &self,
+        assessments: &[RegionAssessment],
+        excluded: &[Region],
+    ) -> Vec<RegionAssessment> {
         let mut selected: Vec<RegionAssessment> = assessments
             .iter()
+            .filter(|a| !excluded.contains(&a.region))
             .filter(|a| self.config.allows_region(a.region))
             .filter(|a| a.combined().meets(self.config.threshold()))
             .copied()
@@ -133,7 +147,21 @@ impl Optimizer {
     /// Initial placement for `n` workloads: round-robin over the selected
     /// regions, or all-on-demand when the threshold filters everything out.
     pub fn initial_placements(&self, assessments: &[RegionAssessment], n: usize) -> Vec<Placement> {
-        let selected = self.select_regions(assessments);
+        self.initial_placements_excluding(assessments, n, &[])
+    }
+
+    /// [`initial_placements`](Optimizer::initial_placements) with a
+    /// health exclusion list. The on-demand fallback is deliberately
+    /// *not* filtered: when every qualifying region is quarantined, a
+    /// guaranteed-capacity launch in a sick-for-spot region beats not
+    /// launching at all.
+    pub fn initial_placements_excluding(
+        &self,
+        assessments: &[RegionAssessment],
+        n: usize,
+        excluded: &[Region],
+    ) -> Vec<Placement> {
+        let selected = self.select_regions_excluding(assessments, excluded);
         if selected.is_empty() {
             let od = self.cheapest_on_demand(assessments);
             return vec![Placement::OnDemand(od); n];
@@ -170,6 +198,29 @@ impl Optimizer {
         policy: MigrationPolicy,
         rng: &mut SimRng,
     ) -> Placement {
+        self.migration_target_with_policy_excluding(
+            assessments,
+            interrupted_region,
+            policy,
+            &[],
+            rng,
+        )
+    }
+
+    /// [`migration_target_with_policy`](Optimizer::migration_target_with_policy)
+    /// with a health exclusion list applied alongside the interrupted
+    /// region. `StayPut` ignores the list by design — that ablation
+    /// measures "no migration at all", quarantine included. With an empty
+    /// list this consumes exactly the same RNG draws as the unexcluded
+    /// form.
+    pub fn migration_target_with_policy_excluding(
+        &self,
+        assessments: &[RegionAssessment],
+        interrupted_region: Region,
+        policy: MigrationPolicy,
+        excluded: &[Region],
+        rng: &mut SimRng,
+    ) -> Placement {
         if policy == MigrationPolicy::StayPut {
             return Placement::Spot(interrupted_region);
         }
@@ -180,7 +231,7 @@ impl Optimizer {
             .filter(|a| a.region != interrupted_region)
             .copied()
             .collect();
-        let selected = self.select_regions(&filtered);
+        let selected = self.select_regions_excluding(&filtered, excluded);
         if selected.is_empty() {
             return Placement::OnDemand(self.cheapest_on_demand(assessments));
         }
@@ -415,6 +466,74 @@ mod tests {
                 ),
                 Placement::Spot(Region::EuNorth1)
             );
+        }
+    }
+
+    #[test]
+    fn quarantine_exclusion_refills_the_selection() {
+        let opt = optimizer(5);
+        // Unexcluded tier-B selection is [ca-central-1, ap-southeast-1,
+        // eu-west-3, eu-west-2]; quarantining the cheapest must pull in the
+        // next-cheapest qualifying region (eu-north-1), not shrink to 3.
+        let sel = opt.select_regions_excluding(&fixture(), &[Region::CaCentral1]);
+        let regions: Vec<Region> = sel.iter().map(|a| a.region).collect();
+        assert_eq!(
+            regions,
+            vec![Region::ApSoutheast1, Region::EuWest3, Region::EuWest2, Region::EuNorth1]
+        );
+        assert_eq!(opt.select_regions_excluding(&fixture(), &[]), opt.select_regions(&fixture()));
+    }
+
+    #[test]
+    fn all_quarantined_falls_back_to_on_demand() {
+        let opt = optimizer(6);
+        let quarantined = vec![
+            Region::EuNorth1,
+            Region::ApNortheast3,
+            Region::UsWest1,
+            Region::EuWest1,
+        ];
+        let placements = opt.initial_placements_excluding(&fixture(), 3, &quarantined);
+        for p in &placements {
+            assert!(!p.is_spot());
+            // The on-demand fallback is not health-filtered.
+            assert_eq!(p.region(), Region::UsEast2);
+        }
+    }
+
+    #[test]
+    fn empty_exclusion_consumes_identical_rng() {
+        let opt = optimizer(6);
+        let mut a = SimRng::seed_from_u64(11);
+        let mut b = SimRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let plain = opt.migration_target(&fixture(), Region::EuNorth1, &mut a);
+            let excluded = opt.migration_target_with_policy_excluding(
+                &fixture(),
+                Region::EuNorth1,
+                MigrationPolicy::RandomTopR,
+                &[],
+                &mut b,
+            );
+            assert_eq!(plain, excluded);
+        }
+    }
+
+    #[test]
+    fn migration_avoids_quarantined_regions() {
+        let opt = optimizer(6);
+        let mut rng = SimRng::seed_from_u64(12);
+        for _ in 0..100 {
+            let p = opt.migration_target_with_policy_excluding(
+                &fixture(),
+                Region::EuNorth1,
+                MigrationPolicy::RandomTopR,
+                &[Region::ApNortheast3],
+                &mut rng,
+            );
+            assert!(p.is_spot());
+            assert_ne!(p.region(), Region::EuNorth1);
+            assert_ne!(p.region(), Region::ApNortheast3);
         }
     }
 

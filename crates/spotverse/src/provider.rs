@@ -203,6 +203,7 @@ mod tests {
             instance_type: InstanceType::M5Xlarge,
             now: SimTime::ZERO,
             assessments: &assessments,
+            quarantined: &[],
             rng: &mut rng,
         };
         let placements = strategy.initial_placements(&mut ctx, 4);
@@ -227,6 +228,7 @@ mod tests {
             instance_type: InstanceType::M5Xlarge,
             now: SimTime::ZERO,
             assessments: &assessments,
+            quarantined: &[],
             rng: &mut rng,
         };
         for _ in 0..50 {

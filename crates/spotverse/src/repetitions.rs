@@ -99,7 +99,12 @@ where
         .collect();
     let cache = MarketCache::new();
     let jobs = resolve_jobs(None, cells.len());
-    let runs = run_matrix(&cells, jobs, &cache, |_| strategy_factory());
+    // Aggregating over a partial repetition set would silently skew the
+    // statistics, so a failed repetition is fatal here (into_report).
+    let runs = run_matrix(&cells, jobs, &cache, |_| strategy_factory())
+        .into_iter()
+        .map(crate::sweep::CellOutcome::into_report)
+        .collect();
     AggregateReport::from_runs(runs)
 }
 
@@ -112,7 +117,7 @@ where
 ///
 /// # Panics
 ///
-/// Panics if `reps` is zero or a repetition thread panics.
+/// Panics if `reps` is zero or any repetition cell fails.
 pub fn run_repetitions<F>(base: &ExperimentConfig, strategy_factory: F, reps: u32) -> AggregateReport
 where
     F: Fn() -> Box<dyn Strategy> + Sync,
@@ -126,7 +131,7 @@ where
 ///
 /// # Panics
 ///
-/// Panics if `reps` is zero or a repetition thread panics.
+/// Panics if `reps` is zero or any repetition cell fails.
 pub fn run_repetitions_shared_market<F>(
     base: &ExperimentConfig,
     strategy_factory: F,

@@ -68,6 +68,24 @@ pub fn summary_line(report: &ExperimentReport) -> String {
     )
 }
 
+/// One-line summary of a run's resilience counters, or `None` when the
+/// control plane never engaged — so fault-free output stays byte-identical
+/// to a build without the control plane.
+pub fn resilience_summary(report: &ExperimentReport) -> Option<String> {
+    let r = &report.resilience;
+    if r == &Default::default() {
+        return None;
+    }
+    Some(format!(
+        "{:<20} trips {:>3}  probes {:>3}  stale {:>4}  degraded {:>6.1} h",
+        report.strategy,
+        r.breaker_trips,
+        r.half_open_probes,
+        r.freshness.stale_serves,
+        r.freshness.degraded_time.as_hours_f64(),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +116,7 @@ mod tests {
             spot_attempts: 0,
             spot_fulfillments: 0,
             checkpoints: Default::default(),
+            resilience: Default::default(),
         }
     }
 
@@ -133,5 +152,16 @@ mod tests {
         assert!(line.contains("69"));
         assert!(line.contains("$41.46"));
         assert!(line.contains("10/10"));
+    }
+
+    #[test]
+    fn resilience_summary_is_silent_until_the_plane_engages() {
+        let mut r = report(10.0, 10, 0);
+        assert_eq!(resilience_summary(&r), None, "all-zero telemetry prints nothing");
+        r.resilience.breaker_trips = 2;
+        r.resilience.freshness.stale_serves = 5;
+        let line = resilience_summary(&r).unwrap();
+        assert!(line.contains("trips   2"));
+        assert!(line.contains("stale    5"));
     }
 }

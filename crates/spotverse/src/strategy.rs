@@ -33,6 +33,10 @@ pub struct StrategyContext<'a> {
     pub now: SimTime,
     /// Per-region metrics available to the decision.
     pub assessments: &'a [RegionAssessment],
+    /// Regions currently quarantined by the health control plane (breaker
+    /// `Open`). Health-aware strategies exclude them from selection;
+    /// baselines ignore the list — always empty on fault-free runs.
+    pub quarantined: &'a [Region],
     /// The strategy's random stream.
     pub rng: &'a mut SimRng,
 }
@@ -251,15 +255,20 @@ impl Strategy for SpotVerseStrategy {
     fn initial_placements(&mut self, ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
         match self.optimizer.config().initial_placement() {
             InitialPlacement::SingleRegion(region) => vec![Placement::Spot(*region); n],
-            InitialPlacement::Distributed => {
-                self.optimizer.initial_placements(ctx.assessments, n)
-            }
+            InitialPlacement::Distributed => self
+                .optimizer
+                .initial_placements_excluding(ctx.assessments, n, ctx.quarantined),
         }
     }
 
     fn relocate(&mut self, ctx: &mut StrategyContext<'_>, previous: Region) -> Placement {
-        self.optimizer
-            .migration_target(ctx.assessments, previous, ctx.rng)
+        self.optimizer.migration_target_with_policy_excluding(
+            ctx.assessments,
+            previous,
+            MigrationPolicy::RandomTopR,
+            ctx.quarantined,
+            ctx.rng,
+        )
     }
 }
 
@@ -302,13 +311,20 @@ impl Strategy for AblatedSpotVerseStrategy {
     fn initial_placements(&mut self, ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
         match self.optimizer.config().initial_placement() {
             InitialPlacement::SingleRegion(region) => vec![Placement::Spot(*region); n],
-            InitialPlacement::Distributed => self.optimizer.initial_placements(ctx.assessments, n),
+            InitialPlacement::Distributed => self
+                .optimizer
+                .initial_placements_excluding(ctx.assessments, n, ctx.quarantined),
         }
     }
 
     fn relocate(&mut self, ctx: &mut StrategyContext<'_>, previous: Region) -> Placement {
-        self.optimizer
-            .migration_target_with_policy(ctx.assessments, previous, self.policy, ctx.rng)
+        self.optimizer.migration_target_with_policy_excluding(
+            ctx.assessments,
+            previous,
+            self.policy,
+            ctx.quarantined,
+            ctx.rng,
+        )
     }
 }
 
@@ -334,6 +350,7 @@ mod tests {
             instance_type: InstanceType::M5Xlarge,
             now: SimTime::ZERO,
             assessments,
+            quarantined: &[],
             rng,
         }
     }

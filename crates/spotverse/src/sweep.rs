@@ -12,10 +12,12 @@
 //! `Arc<SpotMarket>` clones, so a whole matrix at one seed performs
 //! exactly one market construction.
 //!
-//! Determinism contract: the report vector is in cell order and each cell
-//! is a pure function of its [`ExperimentConfig`] and strategy, so the
-//! output is bit-identical for any `jobs` value (covered by integration
-//! tests).
+//! Determinism contract: the [`CellOutcome`] vector is in cell order and
+//! each cell is a pure function of its [`ExperimentConfig`] and strategy,
+//! so the output is bit-identical for any `jobs` value (covered by
+//! integration tests). Cells run under `catch_unwind` with one
+//! deterministic retry, so one panicking cell degrades to a structured
+//! failure instead of poisoning the whole matrix.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -141,6 +143,65 @@ fn resolve_jobs_from(explicit: Option<usize>, env: Option<usize>, cells: usize) 
         .unwrap_or_else(default)
 }
 
+/// The structured result of one matrix cell: either the report, or the
+/// cell's failure message after the deterministic retry was exhausted.
+/// One bad cell never poisons its matrix — neighbours complete and the
+/// caller decides how to surface the failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// The cell's display label.
+    pub label: String,
+    /// The cell's strategy selector.
+    pub strategy: String,
+    /// Retries taken after a panic (0 or 1 — each cell gets exactly one
+    /// deterministic retry).
+    pub retries: u32,
+    /// The report, or the panic message of the final failed attempt.
+    pub result: Result<ExperimentReport, String>,
+}
+
+impl CellOutcome {
+    /// Whether the cell produced a report.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// Whether the cell failed once and then succeeded on its retry.
+    pub fn recovered(&self) -> bool {
+        self.retries > 0 && self.result.is_ok()
+    }
+
+    /// The report, if the cell succeeded.
+    pub fn report(&self) -> Option<&ExperimentReport> {
+        self.result.as_ref().ok()
+    }
+
+    /// Unwraps the report for callers that treat any cell failure as
+    /// fatal (e.g. repetition aggregation, where a missing cell would
+    /// silently skew the statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the cell label and failure message if the cell failed.
+    pub fn into_report(self) -> ExperimentReport {
+        match self.result {
+            Ok(report) => report,
+            Err(e) => panic!("sweep cell {} failed: {e}", self.label),
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "cell panicked".to_owned()
+    }
+}
+
 fn run_cell<F>(cell: &SweepCell, cache: &MarketCache, strategy_for: &F) -> ExperimentReport
 where
     F: Fn(&SweepCell) -> Box<dyn Strategy> + Sync,
@@ -149,13 +210,56 @@ where
     run_experiment_on(market, cell.config.clone(), strategy_for(cell))
 }
 
-/// Runs every cell of a matrix on a bounded worker pool and returns the
-/// reports **in cell order**, regardless of which thread finished first.
+/// Runs one cell with panic isolation and exactly one deterministic
+/// retry. Cells are pure functions of their config, so the retry only
+/// rescues transient host-level failures; a deterministic panic fails
+/// identically twice and is reported as the cell's error.
+fn run_cell_guarded<F>(cell: &SweepCell, cache: &MarketCache, strategy_for: &F) -> CellOutcome
+where
+    F: Fn(&SweepCell) -> Box<dyn Strategy> + Sync,
+{
+    let mut retries = 0;
+    let mut last_error = String::new();
+    for attempt in 0..2u32 {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cell(cell, cache, strategy_for)
+        })) {
+            Ok(report) => {
+                return CellOutcome {
+                    label: cell.label.clone(),
+                    strategy: cell.strategy.clone(),
+                    retries,
+                    result: Ok(report),
+                }
+            }
+            Err(payload) => {
+                last_error = panic_message(payload);
+                if attempt == 0 {
+                    retries = 1;
+                }
+            }
+        }
+    }
+    CellOutcome {
+        label: cell.label.clone(),
+        strategy: cell.strategy.clone(),
+        retries,
+        result: Err(last_error),
+    }
+}
+
+/// Runs every cell of a matrix on a bounded worker pool and returns one
+/// [`CellOutcome`] per cell **in cell order**, regardless of which thread
+/// finished first.
 ///
 /// `strategy_for` builds a fresh strategy per cell (strategies may hold
 /// state); it runs on the worker thread executing the cell. Markets are
 /// shared through `cache`, so all cells at one seed reuse a single
 /// construction.
+///
+/// Each cell is wrapped in `catch_unwind` with one deterministic retry:
+/// a panicking cell becomes a `Failed` outcome while its neighbours run
+/// to completion.
 ///
 /// Output is bit-identical for any `jobs ≥ 1`: each cell derives every
 /// random stream from its own config seed and shares nothing mutable
@@ -163,13 +267,13 @@ where
 ///
 /// # Panics
 ///
-/// Panics if `jobs` is zero or a cell panics.
+/// Panics if `jobs` is zero.
 pub fn run_matrix<F>(
     cells: &[SweepCell],
     jobs: usize,
     cache: &MarketCache,
     strategy_for: F,
-) -> Vec<ExperimentReport>
+) -> Vec<CellOutcome>
 where
     F: Fn(&SweepCell) -> Box<dyn Strategy> + Sync,
 {
@@ -179,12 +283,16 @@ where
     }
     let jobs = jobs.min(cells.len());
     if jobs == 1 {
-        return cells.iter().map(|c| run_cell(c, cache, &strategy_for)).collect();
+        return cells
+            .iter()
+            .map(|c| run_cell_guarded(c, cache, &strategy_for))
+            .collect();
     }
-    // Workers claim cells off a shared counter and tag results with the
-    // cell index; sorting restores deterministic matrix order.
+    // Workers claim cells off a shared counter and file results into
+    // index-addressed slots, restoring deterministic matrix order.
     let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, ExperimentReport)> = std::thread::scope(|scope| {
+    let mut slots: Vec<Option<CellOutcome>> = (0..cells.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
         let strategy_for = &strategy_for;
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
@@ -193,19 +301,35 @@ where
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(cell) = cells.get(i) else { break };
-                        local.push((i, run_cell(cell, cache, strategy_for)));
+                        local.push((i, run_cell_guarded(cell, cache, strategy_for)));
                     }
                     local
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
+        // run_cell_guarded never unwinds, so a join failure means the
+        // worker itself died; its claimed-but-unfiled cells surface as
+        // structured failures below instead of poisoning the matrix.
+        for handle in handles {
+            if let Ok(local) = handle.join() {
+                for (i, outcome) in local {
+                    slots[i] = Some(outcome);
+                }
+            }
+        }
     });
-    tagged.sort_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, report)| report).collect()
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| CellOutcome {
+                label: cells[i].label.clone(),
+                strategy: cells[i].strategy.clone(),
+                retries: 0,
+                result: Err("sweep worker lost".to_owned()),
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -259,18 +383,62 @@ mod tests {
         let cells: Vec<SweepCell> = (0..4)
             .map(|i| SweepCell::new(format!("cell-{i}"), "single-region", config(40 + i, 2)))
             .collect();
-        let reports = run_matrix(&cells, 4, &cache, |_| {
+        let outcomes = run_matrix(&cells, 4, &cache, |_| {
             Box::new(SingleRegionStrategy::new(Region::CaCentral1))
         });
-        assert_eq!(reports.len(), 4);
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes.iter().all(CellOutcome::is_ok));
         // Distinct seeds give distinct outcomes; order must match cells.
         let serial = run_matrix(&cells, 1, &MarketCache::new(), |_| {
             Box::new(SingleRegionStrategy::new(Region::CaCentral1))
         });
-        for (p, s) in reports.iter().zip(serial.iter()) {
+        for (i, (p, s)) in outcomes.iter().zip(serial.iter()).enumerate() {
+            assert_eq!(p.label, format!("cell-{i}"), "outcomes keep cell order");
+            let (p, s) = (p.report().unwrap(), s.report().unwrap());
             assert_eq!(p.makespan, s.makespan);
             assert_eq!(p.cost.total, s.cost.total);
         }
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_and_reported() {
+        let cache = MarketCache::new();
+        let cells = vec![
+            SweepCell::new("good-0", "single-region", config(40, 2)),
+            SweepCell::new("bad", "single-region", config(41, 2)),
+            SweepCell::new("good-1", "single-region", config(42, 2)),
+        ];
+        let outcomes = run_matrix(&cells, 2, &cache, |cell| {
+            if cell.label == "bad" {
+                panic!("injected cell failure");
+            }
+            Box::new(SingleRegionStrategy::new(Region::CaCentral1))
+        });
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].is_ok(), "neighbour cells complete");
+        assert!(outcomes[2].is_ok());
+        let bad = &outcomes[1];
+        assert!(!bad.is_ok());
+        assert_eq!(bad.retries, 1, "the deterministic retry was attempted");
+        assert_eq!(bad.result.as_ref().unwrap_err(), "injected cell failure");
+        assert!(!bad.recovered());
+    }
+
+    #[test]
+    fn transient_cell_failure_recovers_on_retry() {
+        use std::sync::atomic::AtomicBool;
+        let cache = MarketCache::new();
+        let cells = vec![SweepCell::new("flaky", "single-region", config(43, 2))];
+        let failed_once = AtomicBool::new(false);
+        let outcomes = run_matrix(&cells, 1, &cache, |_| {
+            if !failed_once.swap(true, Ordering::Relaxed) {
+                panic!("transient failure");
+            }
+            Box::new(SingleRegionStrategy::new(Region::CaCentral1))
+        });
+        assert!(outcomes[0].is_ok());
+        assert!(outcomes[0].recovered());
+        assert_eq!(outcomes[0].retries, 1);
     }
 
     #[test]

@@ -16,4 +16,13 @@ cargo build --benches
 echo "==> lint: cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> chaos smoke: full scenario library x all strategies, 2 workers"
+chaos_out=$(cargo run --release --quiet --bin spotverse -- \
+    chaos --instances 4 --workload ngs --jobs 2)
+echo "$chaos_out"
+if grep -q "FAILED" <<<"$chaos_out"; then
+    echo "==> chaos smoke FAILED: at least one cell did not produce an Ok report" >&2
+    exit 1
+fi
+
 echo "==> verify OK"

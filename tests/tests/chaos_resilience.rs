@@ -7,12 +7,16 @@
 use std::sync::Arc;
 
 use bio_workloads::{paper_fleet, WorkloadKind};
-use chaos::{library, notice_loss, region_blackout, ChaosScenario, FaultDirective, RegionScope};
+use chaos::{
+    library, notice_loss, region_blackout, region_flap, telemetry_blackout, ChaosScenario,
+    FaultDirective, RegionScope,
+};
 use cloud_market::{InstanceType, Region, SpotMarket};
 use sim_kernel::{SimDuration, SimRng};
 use spotverse::{
-    run_experiment_on, ExperimentConfig, ExperimentReport, SingleRegionStrategy, SpotVerseConfig,
-    SpotVerseStrategy, Strategy,
+    resolve_jobs, run_experiment_on, run_matrix, ExperimentConfig, ExperimentReport, MarketCache,
+    NaiveMultiRegionStrategy, OnDemandStrategy, ResilienceTelemetry, SingleRegionStrategy,
+    SkyPilotStrategy, SpotVerseConfig, SpotVerseStrategy, Strategy, SweepCell,
 };
 
 fn config(kind: WorkloadKind, n: usize, seed: u64) -> ExperimentConfig {
@@ -162,6 +166,7 @@ fn identical_scenario_and_seed_reproduce_identical_reports() {
         assert_eq!(a.interruptions, b.interruptions, "{name}");
         assert_eq!(a.interruptions_by_region, b.interruptions_by_region, "{name}");
         assert_eq!(a.checkpoints, b.checkpoints, "{name}");
+        assert_eq!(a.resilience, b.resilience, "{name}");
     }
 }
 
@@ -182,4 +187,87 @@ fn empty_scenario_is_a_no_op() {
     assert_eq!(plain.cost.total, empty.cost.total);
     assert_eq!(plain.interruptions, empty.interruptions);
     assert_eq!(plain.checkpoints, empty.checkpoints);
+    assert_eq!(plain.resilience, empty.resilience);
+    assert_eq!(
+        plain.resilience,
+        ResilienceTelemetry::default(),
+        "the control plane must stay silent without faults"
+    );
+}
+
+/// Acceptance: every library scenario × every strategy completes with an
+/// Ok report on the panic-isolated sweep engine — no cell may fail, panic,
+/// or leave workloads behind.
+#[test]
+fn every_scenario_yields_ok_reports_for_every_strategy() {
+    let base = config(WorkloadKind::NgsPreprocessing, 4, 7);
+    let strategies = ["single-region", "naive-multi", "skypilot", "spotverse", "on-demand"];
+    let mut cells = Vec::new();
+    for name in strategies {
+        for scenario in library() {
+            let mut cfg = base.clone();
+            cfg.chaos = Some(scenario.clone());
+            cells.push(SweepCell::new(
+                format!("{name}/{}", scenario.name()),
+                name,
+                cfg,
+            ));
+        }
+    }
+    let cache = MarketCache::new();
+    let jobs = resolve_jobs(None, cells.len());
+    let outcomes = run_matrix(&cells, jobs, &cache, |cell| match cell.strategy.as_str() {
+        "single-region" => Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
+        "naive-multi" => Box::new(NaiveMultiRegionStrategy::paper_motivational()),
+        "skypilot" => Box::new(SkyPilotStrategy::new()),
+        "spotverse" => spotverse_strategy(),
+        "on-demand" => Box::new(OnDemandStrategy::new()),
+        other => unreachable!("unknown strategy {other}"),
+    });
+    assert_eq!(outcomes.len(), strategies.len() * library().len());
+    for outcome in &outcomes {
+        let report = outcome
+            .report()
+            .unwrap_or_else(|| panic!("cell {} failed: {:?}", outcome.label, outcome.result));
+        assert_eq!(
+            report.completed,
+            base.workloads.len(),
+            "cell {} left workloads unfinished",
+            outcome.label
+        );
+    }
+}
+
+/// The `region_flap` scenario must actually engage the circuit breaker:
+/// repeated blackout bursts in a top-tier region strike it into
+/// quarantine, and the fleet still completes.
+#[test]
+fn region_flap_trips_the_circuit_breaker() {
+    let base = config(WorkloadKind::GenomeReconstruction, 10, 7);
+    let market = Arc::new(SpotMarket::new(base.market));
+    let report = run_with(&market, &base, Some(region_flap()), spotverse_strategy());
+    assert_eq!(report.completed, 10, "fleet must ride through the flaps");
+    assert!(
+        report.resilience.breaker_trips > 0,
+        "flapping ap-northeast-3 should trip its breaker: {:?}",
+        report.resilience
+    );
+}
+
+/// The `telemetry_blackout` scenario must exercise the staleness path:
+/// collections fail throughout the outage and decisions are served from
+/// the last good snapshot (or degrade to on-demand past the TTL).
+#[test]
+fn telemetry_blackout_serves_stale_assessments() {
+    let base = config(WorkloadKind::NgsPreprocessing, 8, 7);
+    let market = Arc::new(SpotMarket::new(base.market));
+    let strategy = Box::new(SingleRegionStrategy::new(Region::CaCentral1));
+    let report = run_with(&market, &base, Some(telemetry_blackout()), strategy);
+    assert_eq!(report.completed, 8, "fleet must finish despite the outage");
+    let f = report.resilience.freshness;
+    assert!(f.collection_failures > 0, "the outage must fail collections: {f:?}");
+    assert!(
+        f.stale_serves > 0 || f.degraded_decisions > 0,
+        "decisions during the outage must ride the stale snapshot: {f:?}"
+    );
 }

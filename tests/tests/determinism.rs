@@ -7,7 +7,7 @@ use cloud_market::{InstanceType, MarketConfig, Region, SpotMarket};
 use galaxy_flow::{from_ga_json, to_ga_json};
 use sim_kernel::{SimDuration, SimRng, SimTime};
 use spotverse::{
-    run_experiment, ExperimentConfig, SpotVerseConfig, SpotVerseStrategy,
+    run_experiment, ExperimentConfig, ResilienceTelemetry, SpotVerseConfig, SpotVerseStrategy,
 };
 
 #[test]
@@ -39,6 +39,10 @@ fn full_experiment_reports_are_bit_identical() {
     assert_eq!(a.completions_over_time, b.completions_over_time);
     assert_eq!(a.spot_attempts, b.spot_attempts);
     assert_eq!(a.instance_hours.to_bits(), b.instance_hours.to_bits());
+    assert_eq!(a.resilience, b.resilience);
+    // Without injected faults the region-health control plane must never
+    // engage: no breaker trips, no stale serves, no degraded hours.
+    assert_eq!(a.resilience, ResilienceTelemetry::default());
 }
 
 #[test]

@@ -8,8 +8,8 @@ use chaos::ChaosScenario;
 use cloud_market::{InstanceType, MarketConfig, SpotMarket};
 use sim_kernel::SimRng;
 use spotverse::{
-    run_matrix, ExperimentConfig, ExperimentReport, MarketCache, SpotVerseConfig,
-    SpotVerseStrategy, Strategy, SweepCell,
+    run_matrix, CellOutcome, ExperimentConfig, MarketCache, SpotVerseConfig, SpotVerseStrategy,
+    Strategy, SweepCell,
 };
 
 fn fleet_config(seed: u64, n: usize) -> ExperimentConfig {
@@ -58,14 +58,15 @@ fn run_matrix_is_jobs_invariant() {
             SweepCell::new(format!("cell-{i}"), "spotverse", config)
         })
         .collect();
-    let run = |jobs: usize| -> Vec<ExperimentReport> {
+    let run = |jobs: usize| -> Vec<CellOutcome> {
         let cache = MarketCache::new();
-        let reports = run_matrix(&cells, jobs, &cache, |_| spotverse_strategy());
+        let outcomes = run_matrix(&cells, jobs, &cache, |_| spotverse_strategy());
         // Chaos overlays live on the read path: every cell shares the one
         // clean base market, so the whole matrix builds exactly one.
         assert_eq!(cache.misses(), 1, "jobs={jobs}");
         assert_eq!(cache.hits(), cells.len() as u64 - 1, "jobs={jobs}");
-        reports
+        assert!(outcomes.iter().all(CellOutcome::is_ok), "jobs={jobs}");
+        outcomes
     };
     let serial = run(1);
     for jobs in [2, 4, 8] {
@@ -79,10 +80,11 @@ fn distinct_seeds_build_distinct_markets() {
         .map(|i| SweepCell::new(format!("seed-{i}"), "spotverse", fleet_config(100 + i, 2)))
         .collect();
     let cache = MarketCache::new();
-    let reports = run_matrix(&cells, 3, &cache, |_| spotverse_strategy());
-    assert_eq!(reports.len(), 3);
+    let outcomes = run_matrix(&cells, 3, &cache, |_| spotverse_strategy());
+    assert_eq!(outcomes.len(), 3);
     assert_eq!(cache.misses(), 3, "three seeds, three constructions");
     assert_eq!(cache.hits(), 0);
+    let reports: Vec<_> = outcomes.iter().map(|o| o.report().unwrap()).collect();
     assert!(
         reports[0] != reports[1] || reports[1] != reports[2],
         "different seeds should not all coincide"
