@@ -98,6 +98,20 @@ pub enum FaultDirective {
     },
 }
 
+impl FaultDirective {
+    /// A stable snake_case label for the fault family — used by trace
+    /// records and diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultDirective::SpotBlackout { .. } => "spot_blackout",
+            FaultDirective::HazardBurst { .. } => "hazard_burst",
+            FaultDirective::NoticeDisruption { .. } => "notice_disruption",
+            FaultDirective::ControlPlaneDegradation { .. } => "control_plane_degradation",
+            FaultDirective::CheckpointCorruption { .. } => "checkpoint_corruption",
+        }
+    }
+}
+
 /// A named, ordered schedule of fault directives.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChaosScenario {
@@ -129,6 +143,11 @@ impl ChaosScenario {
     /// The fault schedule.
     pub fn directives(&self) -> &[FaultDirective] {
         &self.directives
+    }
+
+    /// The fault-family labels of the schedule, in directive order.
+    pub fn directive_kinds(&self) -> Vec<&'static str> {
+        self.directives.iter().map(FaultDirective::kind).collect()
     }
 }
 
@@ -293,5 +312,20 @@ mod tests {
             });
         assert_eq!(s.directives().len(), 2);
         assert_eq!(s.name(), "custom");
+        assert_eq!(s.directive_kinds(), vec!["spot_blackout", "checkpoint_corruption"]);
+    }
+
+    #[test]
+    fn directive_kinds_are_stable_labels() {
+        assert_eq!(
+            region_blackout().directive_kinds(),
+            vec!["spot_blackout"]
+        );
+        assert_eq!(notice_loss().directive_kinds(), vec!["notice_disruption"]);
+        assert_eq!(
+            throttle_storm().directive_kinds(),
+            vec!["control_plane_degradation"]
+        );
+        assert_eq!(correlated_crunch().directive_kinds(), vec!["hazard_burst"]);
     }
 }

@@ -11,10 +11,10 @@ use cloud_market::history::{archive_to_csv, collect_archive};
 use cloud_market::{InstanceType, Region, SpotMarket};
 use sim_kernel::{SimDuration, SimRng, SimTime};
 use spotverse::{
-    resolve_jobs, run_experiment_on, run_matrix, summary_line, CellOutcome, ExperimentConfig,
-    ExperimentReport, MarketCache, Monitor, NaiveMultiRegionStrategy, OnDemandStrategy,
-    SingleRegionStrategy, SkyPilotStrategy, SpotVerseConfig, SpotVerseStrategy, Strategy,
-    SweepCell,
+    resolve_jobs, run_experiment_on, run_matrix, summary_line, trace_to_jsonl, CellOutcome,
+    ExperimentConfig, ExperimentReport, MarketCache, Monitor, NaiveMultiRegionStrategy,
+    OnDemandStrategy, SingleRegionStrategy, SkyPilotStrategy, SpotVerseConfig, SpotVerseStrategy,
+    Strategy, SweepCell, TraceConfig,
 };
 
 use crate::args::{ArgError, ParsedArgs};
@@ -60,6 +60,8 @@ COMMANDS:
     chaos       fault-injection matrix: strategies × scenarios, with the
                 degradation vs the fault-free run
     advisor     show per-region scores (Algorithm 1's inputs) at an instant
+    trace       run one strategy with the decision recorder on and print
+                the canonical JSONL trace (optionally under a scenario)
     traces      export a SpotLake-style market archive as CSV
     workflow    export one of the paper's workflows as a Galaxy .ga document
     help        show this message
@@ -71,11 +73,13 @@ COMMON FLAGS:
     --workload <kind>        genome | ngs | qiime       (default genome)
     --start-day <d>          day offset into the market (default 1)
 
-SIMULATE FLAGS:
+SIMULATE / TRACE FLAGS:
     --strategy <name>        spotverse | single-region | on-demand |
                              skypilot | naive-multi     (default spotverse)
     --threshold <t>          Algorithm 1 threshold      (default 6)
     --region <name>          region for single-region   (default ca-central-1)
+    --scenario <name>        (trace only) fault scenario overlaying the run;
+                             omit for a fault-free trace
 
 COMPARE / CHAOS FLAGS:
     --jobs <n>               sweep worker threads; falls back to the
@@ -376,6 +380,35 @@ pub fn chaos_matrix(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `spotverse trace`: one experiment with the decision-trace recorder
+/// enabled, printed as canonical JSONL — one record per line, stable key
+/// order, byte-identical across runs at the same seed.
+pub fn trace(args: &ParsedArgs) -> Result<String, CliError> {
+    let mut common = common_config(args)?;
+    let threshold = args.u8_or("threshold", 6)?;
+    let region = parse_region(args.str_or("region", "ca-central-1"))?;
+    let strategy = build_strategy(
+        args.str_or("strategy", "spotverse"),
+        common.instance_type,
+        threshold,
+        region,
+    )?;
+    if let Some(name) = args.opt_str("scenario") {
+        let scenario = chaos::by_name(name).ok_or_else(|| {
+            CliError::BadInput(format!(
+                "unknown scenario `{name}` (expected {})",
+                chaos::SCENARIO_NAMES.join(" | ")
+            ))
+        })?;
+        common.config.chaos = Some(scenario);
+    }
+    common.config.trace = TraceConfig::enabled();
+    let market = Arc::new(SpotMarket::new(common.config.market));
+    let report = run_experiment_on(market, common.config, strategy);
+    let run_trace = report.trace.expect("tracing was enabled for this run");
+    Ok(trace_to_jsonl(&run_trace))
+}
+
 /// `spotverse advisor`.
 pub fn advisor(args: &ParsedArgs) -> Result<String, CliError> {
     let seed = args.u64_or("seed", 2024)?;
@@ -476,6 +509,17 @@ pub fn schema(command: &str) -> &'static [&'static str] {
             "jobs",
         ],
         "advisor" => &["seed", "instance-type", "day"],
+        "trace" => &[
+            "seed",
+            "instances",
+            "instance-type",
+            "workload",
+            "start-day",
+            "strategy",
+            "threshold",
+            "region",
+            "scenario",
+        ],
         "traces" => &["seed", "instance-type", "days"],
         "workflow" => &["workload", "duration-hours"],
         _ => &[],
@@ -503,6 +547,7 @@ where
         "compare" => compare(&ParsedArgs::parse(rest, schema("compare"))?),
         "chaos" => chaos_matrix(&ParsedArgs::parse(rest, schema("chaos"))?),
         "advisor" => advisor(&ParsedArgs::parse(rest, schema("advisor"))?),
+        "trace" => trace(&ParsedArgs::parse(rest, schema("trace"))?),
         "traces" => traces(&ParsedArgs::parse(rest, schema("traces"))?),
         "workflow" => workflow(&ParsedArgs::parse(rest, schema("workflow"))?),
         "help" | "--help" | "-h" => Ok(usage()),
@@ -545,6 +590,39 @@ mod tests {
         assert!(out.contains("c5.2xlarge"));
         // 12 regions × 8 samples + header.
         assert_eq!(out.lines().count(), 1 + 12 * 8);
+    }
+
+    #[test]
+    fn trace_emits_deterministic_jsonl() {
+        let argv = ["trace", "--instances", "3", "--seed", "21", "--workload", "ngs"];
+        let a = run(argv).unwrap();
+        let b = run(argv).unwrap();
+        assert_eq!(a, b, "same seed must give byte-identical traces");
+        let first = a.lines().next().unwrap();
+        assert!(first.starts_with("{\"seq\":0,\"t\":"), "canonical first line: {first}");
+        assert!(first.contains("\"event\":\"run_started\""));
+        assert!(first.contains("\"strategy\":\"spotverse\""));
+        assert!(a.lines().last().unwrap().contains("\"event\":\"run_ended\""));
+        assert!(a.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn trace_accepts_scenario_and_rejects_unknown() {
+        let out = run([
+            "trace",
+            "--instances",
+            "2",
+            "--seed",
+            "5",
+            "--workload",
+            "ngs",
+            "--scenario",
+            "notice_loss",
+        ])
+        .unwrap();
+        assert!(out.contains("\"chaos\":\"notice_loss\""));
+        let err = run(["trace", "--scenario", "meteor-strike"]).unwrap_err();
+        assert!(err.to_string().contains("meteor-strike"));
     }
 
     #[test]

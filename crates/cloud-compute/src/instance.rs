@@ -20,6 +20,13 @@ impl InstanceId {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Reconstructs an id from its raw value — for trace tooling and
+    /// tests that replay recorded runs; [`Ec2`](crate::Ec2) alone mints
+    /// fresh ids.
+    pub fn from_raw(raw: u64) -> Self {
+        InstanceId(raw)
+    }
 }
 
 impl fmt::Display for InstanceId {

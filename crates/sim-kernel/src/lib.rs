@@ -52,6 +52,7 @@ mod rng;
 mod series;
 mod stats;
 mod time;
+mod trace;
 
 pub use engine::{Model, RunOutcome, Scheduler, Simulation};
 pub use event::{EventQueue, EventToken};
@@ -59,3 +60,4 @@ pub use rng::SimRng;
 pub use series::{CumulativeCounter, TimeSeries};
 pub use stats::{percentile, Histogram, RunningStats};
 pub use time::{SimDuration, SimTime};
+pub use trace::RingBuffer;

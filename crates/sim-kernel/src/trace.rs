@@ -1,0 +1,125 @@
+//! A bounded, deterministic event collector for trace records.
+//!
+//! Simulations emit a stream of typed observability records; a
+//! [`RingBuffer`] caps how many are retained so a pathological run cannot
+//! exhaust memory. Unlike a classic overwrite-oldest ring, this buffer
+//! keeps the **first** `capacity` records and counts the rest as dropped:
+//! a trace prefix is stable no matter how long the run goes on, which is
+//! what golden-trace comparisons need (an overwrite-oldest ring would make
+//! the retained window depend on total run length).
+//!
+//! Each sweep cell owns its buffer and fills it from a single worker
+//! thread, so no synchronization is needed; cross-cell determinism comes
+//! from merging per-cell buffers in cell order after the sweep joins.
+
+/// A bounded collector that retains the first `capacity` items pushed and
+/// counts any overflow in [`RingBuffer::dropped`].
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    capacity: usize,
+    items: Vec<T>,
+    dropped: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates an empty buffer retaining at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RingBuffer capacity must be positive");
+        Self {
+            capacity,
+            // Traces are usually far smaller than the cap; grow on demand.
+            items: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Appends `item` if there is room; returns `false` (and bumps the
+    /// dropped count) once the buffer is full.
+    pub fn push(&mut self, item: T) -> bool {
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            true
+        } else {
+            self.dropped += 1;
+            false
+        }
+    }
+
+    /// Number of retained items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The retention cap this buffer was built with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many pushes were rejected because the buffer was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates the retained items in push order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// Consumes the buffer, yielding the retained items (in push order)
+    /// and the dropped count.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<T>, u64) {
+        (self.items, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_first_n_and_counts_overflow() {
+        let mut ring = RingBuffer::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            let accepted = ring.push(i);
+            assert_eq!(accepted, i < 3);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.capacity(), 3);
+        let (items, dropped) = ring.into_parts();
+        assert_eq!(items, vec![0, 1, 2]);
+        assert_eq!(dropped, 2);
+    }
+
+    #[test]
+    fn iter_preserves_push_order() {
+        let mut ring = RingBuffer::new(8);
+        for word in ["a", "b", "c"] {
+            ring.push(word);
+        }
+        let collected: Vec<&str> = ring.iter().copied().collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = RingBuffer::<u8>::new(0);
+    }
+}

@@ -37,11 +37,14 @@ use sim_kernel::{
     CumulativeCounter, Model, Scheduler, SimDuration, SimRng, SimTime, Simulation, TimeSeries,
 };
 
-use crate::health::{HealthConfig, RegionHealth, ResilienceTelemetry, TelemetryFreshness};
+use crate::health::{
+    BreakerTransition, HealthConfig, RegionHealth, ResilienceTelemetry, TelemetryFreshness,
+};
 use crate::monitor::{CollectOutcome, Monitor, MonitorError, SnapshotMemo};
 use crate::optimizer::{Placement, RegionAssessment};
 use crate::resilience::{retry_with_backoff, BackoffPolicy};
 use crate::strategy::{Strategy, StrategyContext};
+use crate::trace::{DecisionKind, RunTrace, TraceConfig, TraceEvent, Tracer};
 
 /// Name of the interruption-handler function (paper §4).
 pub const INTERRUPTION_HANDLER: &str = "spotverse-interruption-handler";
@@ -91,6 +94,9 @@ pub struct ExperimentConfig {
     pub chaos: Option<ChaosScenario>,
     /// Resilience control plane tuning: breaker policy and telemetry TTL.
     pub health: HealthConfig,
+    /// Decision-trace recording (off by default; purely observational, so
+    /// enabling it changes no other report field).
+    pub trace: TraceConfig,
 }
 
 impl ExperimentConfig {
@@ -110,6 +116,7 @@ impl ExperimentConfig {
             checkpoint_backend: CheckpointBackend::ObjectStore,
             chaos: None,
             health: HealthConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -184,6 +191,8 @@ pub struct ExperimentReport {
     /// Region-health control plane counters (breakers, staleness,
     /// degraded placement). All zeros on a fault-free run.
     pub resilience: ResilienceTelemetry,
+    /// The decision trace, when [`ExperimentConfig::trace`] enabled it.
+    pub trace: Option<RunTrace>,
 }
 
 impl ExperimentReport {
@@ -284,6 +293,7 @@ struct ExperimentModel {
     quarantined_decisions: u64,
     collect_failing: bool,
     degraded_since: Option<SimTime>,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for ExperimentModel {
@@ -319,6 +329,7 @@ impl ExperimentModel {
                     if self.collect_failing {
                         self.freshness.stale_serves += 1;
                         self.freshness.max_staleness = self.freshness.max_staleness.max(age);
+                        self.tracer.record(now, TraceEvent::StaleServe { age });
                     }
                     return (snapshot, false);
                 }
@@ -331,6 +342,7 @@ impl ExperimentModel {
                         if self.degraded_since.is_none() {
                             self.degraded_since = Some(now);
                         }
+                        self.tracer.record(now, TraceEvent::DegradedDecision { age });
                         return (snapshot, true);
                     }
                 }
@@ -350,7 +362,9 @@ impl ExperimentModel {
     fn note_collection_success(&mut self, now: SimTime) {
         self.collect_failing = false;
         if let Some(since) = self.degraded_since.take() {
-            self.freshness.degraded_time += now.saturating_duration_since(since);
+            let duration = now.saturating_duration_since(since);
+            self.freshness.degraded_time += duration;
+            self.tracer.record(now, TraceEvent::DegradedInterval { duration });
         }
     }
 
@@ -359,6 +373,14 @@ impl ExperimentModel {
     fn note_collection_failure(&mut self) {
         self.collect_failing = true;
         self.freshness.collection_failures += 1;
+    }
+
+    /// Logs a breaker state change reported by a `record_*` observation.
+    fn trace_breaker(&mut self, now: SimTime, transition: Option<BreakerTransition>) {
+        if let Some(t) = transition {
+            self.tracer
+                .record(now, TraceEvent::Breaker { region: t.region, from: t.from, to: t.to });
+        }
     }
 
     /// One monitor collection cycle, observed through the fault overlay.
@@ -379,14 +401,29 @@ impl ExperimentModel {
         )
     }
 
-    fn relocate(&mut self, now: SimTime, previous: Region) -> Placement {
+    fn relocate(&mut self, w: usize, now: SimTime, previous: Region) -> Placement {
         let (assessments, degraded) = self.decision_inputs(now);
         if degraded {
             // Expired telemetry: don't trust scores or spot prices, take
             // guaranteed capacity at the cheapest on-demand rate. Skips
             // the strategy (and its RNG) entirely — only reachable under
             // chaos, so fault-free streams are untouched.
-            return Placement::OnDemand(cheapest_on_demand(&assessments));
+            let placement = Placement::OnDemand(cheapest_on_demand(&assessments));
+            if self.tracer.enabled() {
+                self.tracer.record(
+                    now,
+                    TraceEvent::Decision {
+                        kind: DecisionKind::Migration,
+                        workload: Some(w),
+                        previous: Some(previous),
+                        degraded: true,
+                        quarantined: Vec::new(),
+                        candidates: None,
+                        placements: vec![placement],
+                    },
+                );
+            }
+            return placement;
         }
         let quarantined = self.health.quarantined(now);
         if !quarantined.is_empty() {
@@ -399,7 +436,25 @@ impl ExperimentModel {
             quarantined: &quarantined,
             rng: &mut self.strategy_rng,
         };
-        self.strategy.relocate(&mut ctx, previous)
+        let placement = self.strategy.relocate(&mut ctx, previous);
+        if self.tracer.enabled() {
+            let candidates =
+                self.strategy
+                    .explain_candidates(&assessments, &quarantined, Some(previous));
+            self.tracer.record(
+                now,
+                TraceEvent::Decision {
+                    kind: DecisionKind::Migration,
+                    workload: Some(w),
+                    previous: Some(previous),
+                    degraded: false,
+                    quarantined,
+                    candidates,
+                    placements: vec![placement],
+                },
+            );
+        }
+        placement
     }
 
     fn handle_start(&mut self, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
@@ -408,19 +463,22 @@ impl ExperimentModel {
         // to fresh market reads until a tick succeeds.
         match self.run_monitor_collection(now) {
             Ok(_) => self.note_collection_success(now),
-            Err(_) => {
+            Err(e) => {
                 self.telemetry.throttled_retries += 1;
                 self.note_collection_failure();
+                self.tracer
+                    .record(now, TraceEvent::CollectionFailed { retryable: e.is_retryable() });
             }
         }
         scheduler.schedule_in(self.config.monitor_period, Event::MonitorTick);
 
         let (assessments, degraded) = self.decision_inputs(now);
         let n = self.workloads.len();
+        let mut quarantined = Vec::new();
         let placements = if degraded {
             vec![Placement::OnDemand(cheapest_on_demand(&assessments)); n]
         } else {
-            let quarantined = self.health.quarantined(now);
+            quarantined = self.health.quarantined(now);
             if !quarantined.is_empty() {
                 self.quarantined_decisions += 1;
             }
@@ -434,6 +492,25 @@ impl ExperimentModel {
             self.strategy.initial_placements(&mut ctx, n)
         };
         debug_assert_eq!(placements.len(), n);
+        if self.tracer.enabled() {
+            let candidates = if degraded {
+                None
+            } else {
+                self.strategy.explain_candidates(&assessments, &quarantined, None)
+            };
+            self.tracer.record(
+                now,
+                TraceEvent::Decision {
+                    kind: DecisionKind::Initial,
+                    workload: None,
+                    previous: None,
+                    degraded,
+                    quarantined,
+                    candidates,
+                    placements: placements.clone(),
+                },
+            );
+        }
         for (w, placement) in placements.into_iter().enumerate() {
             self.workloads[w].placement = placement;
             scheduler.schedule_in(SimDuration::ZERO, Event::Launch(w));
@@ -453,7 +530,17 @@ impl ExperimentModel {
                     // Heals breaker strikes / closes a half-open probe; a
                     // structural no-op when the region has no breaker
                     // entry, i.e. on every fault-free run.
-                    self.health.record_fulfillment(region, now);
+                    let transition = self.health.record_fulfillment(region, now);
+                    self.trace_breaker(now, transition);
+                    self.tracer.record(
+                        now,
+                        TraceEvent::Launched {
+                            workload: w,
+                            region,
+                            spot: true,
+                            instance: launch.instance,
+                        },
+                    );
                     self.start_execution(w, region, launch.instance, launch.ready_at, launch.interruption_at, now, scheduler);
                 }
                 Ok(SpotRequestOutcome::OpenNoCapacity) => {
@@ -461,13 +548,20 @@ impl ExperimentModel {
                     // indistinguishable at the API; only chaos-attributed
                     // rejections strike the breaker, so fault-free runs
                     // never grow a ledger entry.
-                    if self
+                    let blackout = self
                         .chaos
                         .as_ref()
-                        .is_some_and(|c| c.is_blackout(region, now))
-                    {
-                        self.health.record_rejection(region, now);
+                        .is_some_and(|c| c.is_blackout(region, now));
+                    if blackout {
+                        self.tracer.record(
+                            now,
+                            TraceEvent::ChaosFault { kind: "spot_blackout", region: Some(region) },
+                        );
+                        let transition = self.health.record_rejection(region, now);
+                        self.trace_breaker(now, transition);
                     }
+                    self.tracer
+                        .record(now, TraceEvent::RequestOpen { workload: w, region, blackout });
                     // The Controller's periodic sweep picks it back up.
                     scheduler.schedule_in(self.config.retry_interval, Event::Retry(w));
                 }
@@ -476,8 +570,10 @@ impl ExperimentModel {
                 // instead of killing the run.
                 Err(_) => {
                     if self.chaos.is_some() {
-                        self.health.record_rejection(region, now);
+                        let transition = self.health.record_rejection(region, now);
+                        self.trace_breaker(now, transition);
                     }
+                    self.tracer.record(now, TraceEvent::RequestFailed { workload: w, region });
                     scheduler.schedule_in(self.config.retry_interval, Event::Retry(w));
                 }
             },
@@ -487,6 +583,15 @@ impl ExperimentModel {
                     .launch_on_demand(region, itype, now)
                     .expect("on-demand launch always succeeds in offered regions");
                 self.note_launch(region);
+                self.tracer.record(
+                    now,
+                    TraceEvent::Launched {
+                        workload: w,
+                        region,
+                        spot: false,
+                        instance: launch.instance,
+                    },
+                );
                 self.start_execution(w, region, launch.instance, launch.ready_at, None, now, scheduler);
             }
         }
@@ -544,6 +649,12 @@ impl ExperimentModel {
                     Some(c) => c.notice_duration(region, at),
                     None => INTERRUPTION_NOTICE,
                 };
+                if warning < INTERRUPTION_NOTICE {
+                    self.tracer.record(
+                        now,
+                        TraceEvent::ChaosFault { kind: "notice_shortened", region: Some(region) },
+                    );
+                }
                 let notice_at = (at - warning).max(now);
                 scheduler.schedule_at(notice_at, Event::Notice(w, instance));
                 scheduler.schedule_at(at, Event::Reclaim(w, instance));
@@ -572,7 +683,7 @@ impl ExperimentModel {
                 .as_ref()
                 .is_some_and(|c| c.is_blackout(region, now));
             if blacked_out || self.health.is_quarantined(region, now) {
-                let placement = self.relocate(now, region);
+                let placement = self.relocate(w, now, region);
                 self.workloads[w].placement = placement;
             }
         }
@@ -663,6 +774,10 @@ impl ExperimentModel {
                     .map(|outcome| outcome.completes_at)
             }
         };
+        self.tracer.record(
+            now,
+            TraceEvent::CheckpointSave { workload: w, generation, units: units_done, recorded },
+        );
         match completes_at {
             Some(completes_at) => {
                 self.workloads[w].checkpoints.pending = Some(PendingCheckpoint {
@@ -674,7 +789,10 @@ impl ExperimentModel {
             }
             // Throttled out before the upload even started: nothing to
             // judge at reclaim, the generation is simply lost.
-            None => self.telemetry.torn_writes += 1,
+            None => {
+                self.telemetry.torn_writes += 1;
+                self.tracer.record(now, TraceEvent::CheckpointTorn { workload: w, generation });
+            }
         }
     }
 
@@ -696,6 +814,8 @@ impl ExperimentModel {
                 });
             } else {
                 self.telemetry.torn_writes += 1;
+                self.tracer
+                    .record(now, TraceEvent::CheckpointTorn { workload: w, generation: p.generation });
             }
         }
         let prior = self.workloads[w].invocation.units_done();
@@ -710,6 +830,10 @@ impl ExperimentModel {
             if corrupt {
                 dropped += 1;
                 self.workloads[w].checkpoints.durable.pop();
+                self.tracer.record(
+                    now,
+                    TraceEvent::ChaosFault { kind: "checkpoint_corruption", region: None },
+                );
             } else {
                 break top.units;
             }
@@ -718,9 +842,19 @@ impl ExperimentModel {
         if dropped > 0 && resume_units > 0 {
             self.telemetry.generation_fallbacks += 1;
         }
-        if resume_units == 0 && prior > 0 {
+        let scratch = resume_units == 0 && prior > 0;
+        if scratch {
             self.telemetry.scratch_restarts += 1;
         }
+        self.tracer.record(
+            now,
+            TraceEvent::CheckpointRestore {
+                workload: w,
+                units: resume_units,
+                corrupt_dropped: dropped,
+                scratch,
+            },
+        );
         self.workloads[w]
             .invocation
             .resume_from(resume_units)
@@ -754,8 +888,26 @@ impl ExperimentModel {
         if self.chaos.as_ref().is_some_and(|c| {
             c.is_blackout(region, now) || c.overlay().hazard_multiplier(region, now) != 1.0
         }) {
-            self.health.record_interruption(region, now);
+            self.tracer.record(
+                now,
+                TraceEvent::ChaosFault { kind: "chaos_interruption", region: Some(region) },
+            );
+            let transition = self.health.record_interruption(region, now);
+            self.trace_breaker(now, transition);
         }
+
+        // Bill the terminated instance. (Billing first lets the trace
+        // stamp the interruption with its cost before the checkpoint
+        // settlement events; the ledger only sums, so the same-instant
+        // order is observationally irrelevant otherwise.)
+        let billed = self
+            .ec2
+            .terminate(instance, now, TerminationReason::Interrupted)
+            .expect("reclaimed instance was running");
+        self.tracer.record(
+            now,
+            TraceEvent::Interrupted { workload: w, region, instance, billed: billed.amount() },
+        );
 
         // Progress bookkeeping: checkpoint workloads resume from the last
         // *durable, valid* generation; standard workloads lose everything.
@@ -767,10 +919,7 @@ impl ExperimentModel {
         }
         self.workloads[w].invocation.handle_interruption();
 
-        // Bill and log the terminated instance.
-        self.ec2
-            .terminate(instance, now, TerminationReason::Interrupted)
-            .expect("reclaimed instance was running");
+        // Log the interruption.
         let log_key = format!("interruptions/{}/{}", self.workloads[w].spec.id, instance);
         // Activity logging is best-effort: a throttled put loses the log
         // line, never the run.
@@ -798,7 +947,7 @@ impl ExperimentModel {
                 .map(|o| o.finished_at)
                 .unwrap_or(now)
         };
-        let placement = self.relocate(now, region);
+        let placement = self.relocate(w, now, region);
         self.workloads[w].placement = placement;
         scheduler.schedule_at(handler_done.max(now), Event::Launch(w));
     }
@@ -815,6 +964,7 @@ impl ExperimentModel {
         if running.instance != instance {
             return;
         }
+        let region = running.region;
         let ready_at = running.ready_at;
         self.workloads[w].running = None;
         let elapsed = now.saturating_duration_since(ready_at);
@@ -823,9 +973,14 @@ impl ExperimentModel {
             .record_execution(elapsed)
             .expect("completion on a running invocation");
         debug_assert!(progress.finished, "completion event fired early");
-        self.ec2
+        let billed = self
+            .ec2
             .terminate(instance, now, TerminationReason::Completed)
             .expect("completed instance was running");
+        self.tracer.record(
+            now,
+            TraceEvent::Completed { workload: w, region, instance, billed: billed.amount() },
+        );
         self.workloads[w].completed_at = Some(now);
         self.completed += 1;
         self.completions.increment(now);
@@ -854,6 +1009,7 @@ impl ExperimentModel {
                 // try the collection again — decisions meanwhile run on
                 // the last good snapshot.
                 self.note_collection_failure();
+                self.tracer.record(now, TraceEvent::CollectionFailed { retryable: true });
                 self.telemetry.throttled_retries += 1;
                 let policy = BackoffPolicy {
                     max_attempts: u32::MAX,
@@ -872,6 +1028,7 @@ impl ExperimentModel {
             // tick tries again.
             Err(_) => {
                 self.note_collection_failure();
+                self.tracer.record(now, TraceEvent::CollectionFailed { retryable: false });
                 scheduler.schedule_in(self.config.monitor_period, Event::MonitorTick);
             }
         }
@@ -995,6 +1152,7 @@ pub fn run_experiment_on(
         quarantined_decisions: 0,
         collect_failing: false,
         degraded_since: None,
+        tracer: Tracer::new(&config.trace),
         config,
     };
 
@@ -1029,6 +1187,15 @@ pub fn run_experiment_on(
     }
 
     let start = model.config.start;
+    if model.tracer.enabled() {
+        let event = TraceEvent::RunStarted {
+            strategy: model.strategy.name().to_owned(),
+            seed: model.config.seed,
+            workloads: model.workloads.len(),
+            chaos: model.config.chaos.as_ref().map(|s| s.name().to_owned()),
+        };
+        model.tracer.record(start, event);
+    }
     let mut sim = Simulation::new(model);
     sim.schedule_at(start, Event::Start);
     sim.run_until(|m| m.done());
@@ -1037,8 +1204,15 @@ pub fn run_experiment_on(
 
     // A run that ends while still degraded closes its interval here.
     if let Some(since) = model.degraded_since.take() {
-        model.freshness.degraded_time += final_time.saturating_duration_since(since);
+        let duration = final_time.saturating_duration_since(since);
+        model.freshness.degraded_time += duration;
+        model.tracer.record(final_time, TraceEvent::DegradedInterval { duration });
     }
+    model.tracer.record(
+        final_time,
+        TraceEvent::RunEnded { completed: model.completed, aborted: model.aborted },
+    );
+    let trace = std::mem::replace(&mut model.tracer, Tracer::disabled()).finish(start);
     let resilience = ResilienceTelemetry {
         breaker_trips: model.health.trips(),
         half_open_probes: model.health.probes(),
@@ -1110,6 +1284,7 @@ pub fn run_experiment_on(
         spot_fulfillments: model.ec2.spot_fulfillments(),
         checkpoints: model.telemetry,
         resilience,
+        trace,
     }
 }
 
@@ -1274,6 +1449,67 @@ mod tests {
         );
         assert!(report.interruptions > 0);
         assert_eq!(report.resilience, ResilienceTelemetry::default());
+    }
+
+    #[test]
+    fn tracing_is_purely_observational() {
+        let base = small_fleet(WorkloadKind::GenomeReconstruction, 5, 12);
+        let plain = run_experiment(
+            base.clone(),
+            Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
+        );
+        let mut traced_cfg = base;
+        traced_cfg.trace = TraceConfig::enabled();
+        let mut traced = run_experiment(
+            traced_cfg,
+            Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
+        );
+        let trace = traced.trace.take().expect("tracing was enabled");
+        assert!(plain.trace.is_none(), "tracing is off by default");
+        assert_eq!(plain, traced, "tracing must not change any other report field");
+        assert!(matches!(trace.events.first().unwrap().event, TraceEvent::RunStarted { .. }));
+        assert!(matches!(trace.events.last().unwrap().event, TraceEvent::RunEnded { .. }));
+        assert_eq!(trace.stats.interruptions, traced.interruptions);
+        assert_eq!(
+            trace.count_matching(|e| matches!(e, TraceEvent::Interrupted { .. })),
+            traced.interruptions
+        );
+    }
+
+    #[test]
+    fn traced_spotverse_decisions_carry_candidate_verdicts() {
+        let mut config = small_fleet(WorkloadKind::GenomeReconstruction, 4, 13);
+        config.trace = TraceConfig::enabled();
+        let report = run_experiment(
+            config,
+            Box::new(SpotVerseStrategy::new(SpotVerseConfig::paper_default(
+                InstanceType::M5Xlarge,
+            ))),
+        );
+        let trace = report.trace.expect("tracing was enabled");
+        let initial = trace
+            .events
+            .iter()
+            .find_map(|r| match &r.event {
+                TraceEvent::Decision { kind: DecisionKind::Initial, candidates, placements, .. } => {
+                    Some((candidates.clone(), placements.clone()))
+                }
+                _ => None,
+            })
+            .expect("initial decision recorded");
+        let (candidates, placements) = initial;
+        assert_eq!(placements.len(), report.workloads);
+        let candidates = candidates.expect("spotverse explains its candidates");
+        assert!(!candidates.is_empty());
+        // Every spot placement must target a region the explanation selected.
+        use crate::optimizer::CandidateOutcome;
+        for p in placements.iter().filter(|p| p.is_spot()) {
+            assert!(
+                candidates.iter().any(|c| c.region == p.region()
+                    && matches!(c.outcome, CandidateOutcome::Selected { .. })),
+                "placement {p:?} not among selected candidates"
+            );
+        }
     }
 
     #[test]

@@ -42,6 +42,19 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+/// A breaker state change caused by one recorded observation — returned
+/// by the `record_*` methods so callers (the trace layer) can log it
+/// without re-deriving breaker internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// The region whose breaker moved.
+    pub region: Region,
+    /// State before the observation.
+    pub from: BreakerState,
+    /// State after the observation.
+    pub to: BreakerState,
+}
+
 /// Tuning knobs for the per-region breakers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BreakerPolicy {
@@ -206,7 +219,11 @@ impl RegionHealth {
     /// `HalfOpen` it is a failed probe and re-trips with an escalated
     /// quarantine; in `Open` it is ignored (the region should not have
     /// been asked).
-    pub fn record_rejection(&mut self, region: Region, at: SimTime) {
+    ///
+    /// Returns the state change this observation caused, if any, so the
+    /// trace layer can log it. Lazy `Open → HalfOpen` expiry is not an
+    /// observation; it surfaces as the `from` state of the next one.
+    pub fn record_rejection(&mut self, region: Region, at: SimTime) -> Option<BreakerTransition> {
         let (seed, policy) = (self.seed, self.policy.clone());
         let breaker = self.breakers.entry(region).or_insert_with(RegionBreaker::new);
         match breaker.state_at(at) {
@@ -216,39 +233,67 @@ impl RegionHealth {
                 if breaker.strikes >= policy.strike_threshold {
                     Self::trip(breaker, &policy, seed, region, at);
                     self.trips += 1;
+                    return Some(BreakerTransition {
+                        region,
+                        from: BreakerState::Closed,
+                        to: BreakerState::Open,
+                    });
                 }
+                None
             }
             BreakerState::HalfOpen => {
                 self.probes += 1;
                 self.probe_failures += 1;
                 Self::trip(breaker, &policy, seed, region, at);
                 self.trips += 1;
+                Some(BreakerTransition {
+                    region,
+                    from: BreakerState::HalfOpen,
+                    to: BreakerState::Open,
+                })
             }
-            BreakerState::Open => {}
+            BreakerState::Open => None,
         }
     }
 
     /// Records a chaos-attributed interruption in `region` — same
     /// weight as a rejection.
-    pub fn record_interruption(&mut self, region: Region, at: SimTime) {
-        self.record_rejection(region, at);
+    pub fn record_interruption(
+        &mut self,
+        region: Region,
+        at: SimTime,
+    ) -> Option<BreakerTransition> {
+        self.record_rejection(region, at)
     }
 
     /// Records a fulfilled launch in `region`: heals `Closed` strikes and
     /// closes a `HalfOpen` breaker (successful probe). Never creates a
     /// ledger entry, so fault-free runs stay structurally idle.
-    pub fn record_fulfillment(&mut self, region: Region, at: SimTime) {
-        let Some(breaker) = self.breakers.get_mut(&region) else {
-            return;
-        };
+    ///
+    /// Returns the `HalfOpen → Closed` transition when the fulfillment
+    /// closed a probing breaker.
+    pub fn record_fulfillment(
+        &mut self,
+        region: Region,
+        at: SimTime,
+    ) -> Option<BreakerTransition> {
+        let breaker = self.breakers.get_mut(&region)?;
         match breaker.state_at(at) {
-            BreakerState::Closed => breaker.strikes = 0,
+            BreakerState::Closed => {
+                breaker.strikes = 0;
+                None
+            }
             BreakerState::HalfOpen => {
                 self.probes += 1;
                 breaker.state = BreakerState::Closed;
                 breaker.strikes = 0;
+                Some(BreakerTransition {
+                    region,
+                    from: BreakerState::HalfOpen,
+                    to: BreakerState::Closed,
+                })
             }
-            BreakerState::Open => {}
+            BreakerState::Open => None,
         }
     }
 
@@ -338,9 +383,16 @@ mod tests {
     #[test]
     fn strikes_accumulate_and_trip_at_threshold() {
         let mut h = RegionHealth::new(no_jitter(), 7);
-        h.record_rejection(Region::CaCentral1, t(1));
+        assert_eq!(h.record_rejection(Region::CaCentral1, t(1)), None);
         assert_eq!(h.state(Region::CaCentral1, t(1)), BreakerState::Closed);
-        h.record_rejection(Region::CaCentral1, t(1));
+        assert_eq!(
+            h.record_rejection(Region::CaCentral1, t(1)),
+            Some(BreakerTransition {
+                region: Region::CaCentral1,
+                from: BreakerState::Closed,
+                to: BreakerState::Open,
+            })
+        );
         assert_eq!(h.state(Region::CaCentral1, t(1)), BreakerState::Open);
         assert_eq!(h.trips(), 1);
         assert_eq!(h.quarantined(t(1)), vec![Region::CaCentral1]);
@@ -379,8 +431,15 @@ mod tests {
         assert_eq!(h.state(Region::EuNorth1, t(1)), BreakerState::Open);
         assert_eq!(h.state(Region::EuNorth1, t(2)), BreakerState::HalfOpen);
         assert!(h.quarantined(t(2)).is_empty(), "half-open is served again");
-        // A successful probe closes.
-        h.record_fulfillment(Region::EuNorth1, t(2));
+        // A successful probe closes (and reports the transition).
+        assert_eq!(
+            h.record_fulfillment(Region::EuNorth1, t(2)),
+            Some(BreakerTransition {
+                region: Region::EuNorth1,
+                from: BreakerState::HalfOpen,
+                to: BreakerState::Closed,
+            })
+        );
         assert_eq!(h.state(Region::EuNorth1, t(2)), BreakerState::Closed);
         assert_eq!((h.probes(), h.probe_failures()), (1, 0));
     }
@@ -390,8 +449,16 @@ mod tests {
         let mut h = RegionHealth::new(no_jitter(), 7);
         h.record_rejection(Region::EuWest1, t(0));
         h.record_rejection(Region::EuWest1, t(0));
-        // First quarantine: 1 h. Probe at t=2h fails.
-        h.record_rejection(Region::EuWest1, t(2));
+        // First quarantine: 1 h. Probe at t=2h fails; the observation
+        // reports the half-open breaker re-tripping.
+        assert_eq!(
+            h.record_rejection(Region::EuWest1, t(2)),
+            Some(BreakerTransition {
+                region: Region::EuWest1,
+                from: BreakerState::HalfOpen,
+                to: BreakerState::Open,
+            })
+        );
         assert_eq!(h.trips(), 2);
         assert_eq!((h.probes(), h.probe_failures()), (1, 1));
         // Second quarantine doubles to 2 h: still open at +1.5h, half-open
@@ -503,7 +570,7 @@ mod tests {
                         0 => h.record_rejection(region, t(hour)),
                         1 => h.record_interruption(region, t(hour)),
                         _ => h.record_fulfillment(region, t(hour)),
-                    }
+                    };
                 }
                 h
             };

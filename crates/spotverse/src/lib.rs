@@ -59,6 +59,7 @@ mod repetitions;
 pub mod resilience;
 mod strategy;
 pub mod sweep;
+pub mod trace;
 
 pub use checkpointing::{KvCheckpointStore, CHECKPOINT_TABLE};
 pub use config::{InitialPlacement, SpotVerseConfig, SpotVerseConfigBuilder};
@@ -68,22 +69,30 @@ pub use experiment::{
 };
 pub use resilience::{retry_with_backoff, BackoffPolicy, RetryOutcome};
 pub use health::{
-    BreakerPolicy, BreakerState, HealthConfig, RegionHealth, ResilienceTelemetry,
-    TelemetryFreshness,
+    BreakerPolicy, BreakerState, BreakerTransition, HealthConfig, RegionHealth,
+    ResilienceTelemetry, TelemetryFreshness,
 };
 pub use monitor::{
     CollectOutcome, Monitor, MonitorError, SnapshotMemo, COLLECTOR_FUNCTION, METRICS_TABLE,
 };
 pub use deadline::{DeadlineAwareStrategy, DeadlinePolicy};
 pub use forecast::{ForecastingSpotVerseStrategy, HoltSmoother, MetricForecaster};
-pub use optimizer::{MigrationPolicy, Optimizer, Placement, RegionAssessment};
+pub use optimizer::{
+    CandidateOutcome, CandidateVerdict, MigrationPolicy, Optimizer, Placement, RegionAssessment,
+};
 pub use provider::{degrade_assessments, MetricAvailability, ProviderAdaptedStrategy};
 pub use report::{compare, normalized_cost, resilience_summary, summary_line, Comparison};
 pub use repetitions::{
     repetition_config, repetition_config_shared_market, run_repetitions,
     run_repetitions_shared_market, AggregateReport,
 };
-pub use sweep::{resolve_jobs, run_matrix, CellOutcome, MarketCache, SweepCell, JOBS_ENV};
+pub use sweep::{
+    merged_trace_jsonl, resolve_jobs, run_matrix, CellOutcome, MarketCache, SweepCell, JOBS_ENV,
+};
+pub use trace::{
+    append_record_json, append_trace_jsonl, trace_to_jsonl, DecisionKind, RunTrace, TraceConfig,
+    TraceEvent, TraceRecord, TraceStats, Tracer,
+};
 pub use strategy::{
     AblatedSpotVerseStrategy, NaiveMultiRegionStrategy, OnDemandStrategy, SingleRegionStrategy,
     SkyPilotStrategy, SpotVerseStrategy, Strategy, StrategyContext,

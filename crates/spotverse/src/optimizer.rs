@@ -60,6 +60,54 @@ impl Placement {
     }
 }
 
+/// Why a region did (or did not) make a selection — the per-candidate
+/// audit record attached to traced decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateOutcome {
+    /// Selected, with its 0-based rank in the price-sorted top-R.
+    Selected {
+        /// Position in the selection (0 = cheapest).
+        rank: usize,
+    },
+    /// Dropped by the health exclusion list before scoring.
+    Quarantined,
+    /// Outside the configured preferred-regions set.
+    NotPreferred,
+    /// Combined score below the threshold `T`.
+    BelowThreshold,
+    /// Qualified but priced out of the top-R cap.
+    OverCap,
+    /// Excluded as the region the workload was just interrupted in.
+    InterruptedHere,
+}
+
+impl CandidateOutcome {
+    /// Canonical lowercase label used in trace exports.
+    pub fn label(self) -> String {
+        match self {
+            CandidateOutcome::Selected { rank } => format!("selected:{rank}"),
+            CandidateOutcome::Quarantined => "quarantined".to_owned(),
+            CandidateOutcome::NotPreferred => "not-preferred".to_owned(),
+            CandidateOutcome::BelowThreshold => "below-threshold".to_owned(),
+            CandidateOutcome::OverCap => "over-cap".to_owned(),
+            CandidateOutcome::InterruptedHere => "interrupted-here".to_owned(),
+        }
+    }
+}
+
+/// One assessed region's fate in a selection decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateVerdict {
+    /// The assessed region.
+    pub region: Region,
+    /// Its combined score at the decision instant.
+    pub combined: u8,
+    /// Its spot price ($/h) at the decision instant.
+    pub spot_price: f64,
+    /// Why it was selected or rejected.
+    pub outcome: CandidateOutcome,
+}
+
 /// How an interrupted workload picks its next region among the selected
 /// top-R — Algorithm 1 uses [`MigrationPolicy::RandomTopR`]; the other
 /// variants exist for the component-ablation benches.
@@ -241,6 +289,53 @@ impl Optimizer {
             MigrationPolicy::StayPut => unreachable!("handled above"),
         };
         Placement::Spot(selected[pick].region)
+    }
+
+    /// Explains the selection that
+    /// [`select_regions_excluding`](Optimizer::select_regions_excluding)
+    /// (after dropping `interrupted`, when migrating) would make: one
+    /// verdict per assessed region, in assessment order. Pure — consumes
+    /// no RNG and mutates nothing — so the trace layer can call it without
+    /// perturbing determinism. The `Selected` verdicts reproduce the real
+    /// selection exactly, rank included.
+    pub fn explain_selection(
+        &self,
+        assessments: &[RegionAssessment],
+        excluded: &[Region],
+        interrupted: Option<Region>,
+    ) -> Vec<CandidateVerdict> {
+        let eligible: Vec<RegionAssessment> = assessments
+            .iter()
+            .filter(|a| Some(a.region) != interrupted)
+            .copied()
+            .collect();
+        let selected = self.select_regions_excluding(&eligible, excluded);
+        assessments
+            .iter()
+            .map(|a| {
+                let outcome = if Some(a.region) == interrupted {
+                    CandidateOutcome::InterruptedHere
+                } else if let Some(rank) =
+                    selected.iter().position(|s| s.region == a.region)
+                {
+                    CandidateOutcome::Selected { rank }
+                } else if excluded.contains(&a.region) {
+                    CandidateOutcome::Quarantined
+                } else if !self.config.allows_region(a.region) {
+                    CandidateOutcome::NotPreferred
+                } else if !a.combined().meets(self.config.threshold()) {
+                    CandidateOutcome::BelowThreshold
+                } else {
+                    CandidateOutcome::OverCap
+                };
+                CandidateVerdict {
+                    region: a.region,
+                    combined: a.combined().value(),
+                    spot_price: a.spot_price.rate(),
+                    outcome,
+                }
+            })
+            .collect()
     }
 }
 
@@ -535,6 +630,69 @@ mod tests {
             assert_ne!(p.region(), Region::EuNorth1);
             assert_ne!(p.region(), Region::ApNortheast3);
         }
+    }
+
+    #[test]
+    fn explain_agrees_with_selection_for_every_threshold() {
+        for threshold in 2..=13 {
+            let opt = optimizer(threshold);
+            for excluded in [vec![], vec![Region::CaCentral1, Region::UsEast2]] {
+                let verdicts = opt.explain_selection(&fixture(), &excluded, None);
+                assert_eq!(verdicts.len(), fixture().len(), "one verdict per candidate");
+                let mut selected: Vec<(usize, Region)> = verdicts
+                    .iter()
+                    .filter_map(|v| match v.outcome {
+                        CandidateOutcome::Selected { rank } => Some((rank, v.region)),
+                        _ => None,
+                    })
+                    .collect();
+                selected.sort_unstable_by_key(|(rank, _)| *rank);
+                let real: Vec<Region> = opt
+                    .select_regions_excluding(&fixture(), &excluded)
+                    .iter()
+                    .map(|a| a.region)
+                    .collect();
+                let explained: Vec<Region> = selected.into_iter().map(|(_, r)| r).collect();
+                assert_eq!(explained, real, "T={threshold} excluded={excluded:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn explain_classifies_rejections() {
+        let opt = optimizer(6);
+        let verdicts =
+            opt.explain_selection(&fixture(), &[Region::EuNorth1], Some(Region::ApNortheast3));
+        let outcome = |region: Region| {
+            verdicts.iter().find(|v| v.region == region).unwrap().outcome
+        };
+        assert_eq!(outcome(Region::ApNortheast3), CandidateOutcome::InterruptedHere);
+        assert_eq!(outcome(Region::EuNorth1), CandidateOutcome::Quarantined);
+        assert_eq!(outcome(Region::UsEast1), CandidateOutcome::BelowThreshold);
+        // With the interrupted and quarantined tier-A members gone, the
+        // remaining threshold-6 regions all fit under R=4.
+        assert!(matches!(outcome(Region::UsWest1), CandidateOutcome::Selected { .. }));
+        assert_eq!(outcome(Region::UsWest1).label(), "selected:0");
+        assert_eq!(outcome(Region::UsEast1).label(), "below-threshold");
+    }
+
+    #[test]
+    fn explain_marks_over_cap_and_not_preferred() {
+        // Threshold 4 admits all 12 fixture regions; R=4 prices the
+        // qualifying-but-expensive ones out.
+        let verdicts = optimizer(4).explain_selection(&fixture(), &[], None);
+        assert!(verdicts
+            .iter()
+            .any(|v| v.outcome == CandidateOutcome::OverCap));
+        let opt = Optimizer::new(
+            SpotVerseConfig::builder(InstanceType::M5Xlarge)
+                .threshold(5)
+                .preferred_regions(vec![Region::CaCentral1])
+                .build(),
+        );
+        let verdicts = opt.explain_selection(&fixture(), &[], None);
+        let eu = verdicts.iter().find(|v| v.region == Region::EuWest3).unwrap();
+        assert_eq!(eu.outcome, CandidateOutcome::NotPreferred);
     }
 
     #[test]

@@ -117,6 +117,7 @@ mod tests {
             spot_fulfillments: 0,
             checkpoints: Default::default(),
             resilience: Default::default(),
+            trace: None,
         }
     }
 

@@ -18,7 +18,9 @@ use cloud_market::{InstanceType, Region};
 use sim_kernel::{SimRng, SimTime};
 
 use crate::config::{InitialPlacement, SpotVerseConfig};
-use crate::optimizer::{MigrationPolicy, Optimizer, Placement, RegionAssessment};
+use crate::optimizer::{
+    CandidateVerdict, MigrationPolicy, Optimizer, Placement, RegionAssessment,
+};
 
 /// Everything a strategy may look at when deciding a placement.
 ///
@@ -90,6 +92,18 @@ pub trait Strategy: fmt::Debug {
     /// Where to relaunch a workload that was interrupted (or whose request
     /// keeps failing) in `previous_region`.
     fn relocate(&mut self, ctx: &mut StrategyContext<'_>, previous_region: Region) -> Placement;
+
+    /// Explains how the strategy ranked every candidate region at a
+    /// decision point — purely observational, consulted only by the trace
+    /// layer. Baselines without a scoring pipeline return `None`.
+    fn explain_candidates(
+        &self,
+        _assessments: &[RegionAssessment],
+        _quarantined: &[Region],
+        _previous: Option<Region>,
+    ) -> Option<Vec<CandidateVerdict>> {
+        None
+    }
 }
 
 /// All spot instances in one fixed region.
@@ -270,6 +284,15 @@ impl Strategy for SpotVerseStrategy {
             ctx.rng,
         )
     }
+
+    fn explain_candidates(
+        &self,
+        assessments: &[RegionAssessment],
+        quarantined: &[Region],
+        previous: Option<Region>,
+    ) -> Option<Vec<CandidateVerdict>> {
+        Some(self.optimizer.explain_selection(assessments, quarantined, previous))
+    }
 }
 
 /// SpotVerse with one Algorithm-1 component knocked out or replaced —
@@ -325,6 +348,15 @@ impl Strategy for AblatedSpotVerseStrategy {
             ctx.quarantined,
             ctx.rng,
         )
+    }
+
+    fn explain_candidates(
+        &self,
+        assessments: &[RegionAssessment],
+        quarantined: &[Region],
+        previous: Option<Region>,
+    ) -> Option<Vec<CandidateVerdict>> {
+        Some(self.optimizer.explain_selection(assessments, quarantined, previous))
     }
 }
 
@@ -462,6 +494,23 @@ mod tests {
         );
         assert!(s.initial_placements(&mut ctx, 3).iter().all(|p| !p.is_spot()));
         assert!(!s.relocate(&mut ctx, Region::UsEast1).is_spot());
+    }
+
+    #[test]
+    fn explain_candidates_only_for_scoring_strategies() {
+        let a = assessments(SimTime::ZERO);
+        assert!(SingleRegionStrategy::new(Region::UsEast1)
+            .explain_candidates(&a, &[], None)
+            .is_none());
+        assert!(SkyPilotStrategy::new().explain_candidates(&a, &[], None).is_none());
+        let s = SpotVerseStrategy::new(SpotVerseConfig::paper_default(InstanceType::M5Xlarge));
+        let verdicts = s.explain_candidates(&a, &[], None).expect("spotverse explains");
+        assert_eq!(verdicts.len(), a.len(), "one verdict per assessed region");
+        let ablated = AblatedSpotVerseStrategy::new(
+            SpotVerseConfig::paper_default(InstanceType::M5Xlarge),
+            MigrationPolicy::CheapestQualifying,
+        );
+        assert!(ablated.explain_candidates(&a, &[], Some(Region::UsEast1)).is_some());
     }
 
     #[test]

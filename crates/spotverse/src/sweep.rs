@@ -191,6 +191,23 @@ impl CellOutcome {
     }
 }
 
+/// Merges the traces of a sweep's outcomes into one canonical JSONL
+/// document: cells in matrix order, each cell's records prefixed with its
+/// label via the `"cell"` key. Failed cells and cells that ran with
+/// tracing disabled contribute nothing. Because [`run_matrix`] returns
+/// outcomes in cell order regardless of `jobs`, the merged document is
+/// byte-identical for any parallelism — the property the golden-trace
+/// suite pins down.
+pub fn merged_trace_jsonl(outcomes: &[CellOutcome]) -> String {
+    let mut out = String::new();
+    for outcome in outcomes {
+        if let Some(trace) = outcome.report().and_then(|r| r.trace.as_ref()) {
+            crate::trace::append_trace_jsonl(&mut out, Some(&outcome.label), trace);
+        }
+    }
+    out
+}
+
 /// Best-effort extraction of a panic payload's message.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -398,6 +415,38 @@ mod tests {
             assert_eq!(p.makespan, s.makespan);
             assert_eq!(p.cost.total, s.cost.total);
         }
+    }
+
+    #[test]
+    fn merged_trace_prefixes_cells_in_matrix_order() {
+        use crate::trace::TraceConfig;
+        let cache = MarketCache::new();
+        let cells: Vec<SweepCell> = (0..3)
+            .map(|i| {
+                let mut c = config(60 + i, 2);
+                c.trace = TraceConfig::enabled();
+                SweepCell::new(format!("cell-{i}"), "single-region", c)
+            })
+            .collect();
+        let outcomes = run_matrix(&cells, 2, &cache, |_| {
+            Box::new(SingleRegionStrategy::new(Region::CaCentral1))
+        });
+        let merged = merged_trace_jsonl(&outcomes);
+        assert!(!merged.is_empty());
+        assert!(merged.ends_with('\n'));
+        // Lines arrive grouped by cell, cells in matrix order.
+        let firsts: Vec<usize> = (0..3)
+            .map(|i| merged.find(&format!("{{\"cell\":\"cell-{i}\"")).expect("cell present"))
+            .collect();
+        assert!(firsts.windows(2).all(|w| w[0] < w[1]), "cell order preserved: {firsts:?}");
+        // Untraced runs contribute nothing.
+        let untraced = run_matrix(
+            &[SweepCell::new("plain", "single-region", config(99, 2))],
+            1,
+            &cache,
+            |_| Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
+        );
+        assert!(merged_trace_jsonl(&untraced).is_empty());
     }
 
     #[test]

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate the committed golden traces under tests/golden/ and show what
+# changed. Use after an intentional change to the trace schema or to
+# simulation behavior; review the diff before committing — every hunk is a
+# behavior change the golden suite would otherwise have caught.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> regenerating golden traces (UPDATE_GOLDEN=1)"
+UPDATE_GOLDEN=1 cargo test -q -p spotverse-integration --test golden_traces
+
+echo "==> re-running the suite against the fresh goldens"
+cargo test -q -p spotverse-integration --test golden_traces
+
+echo "==> golden diff summary"
+git --no-pager diff --stat -- tests/golden
+if git diff --quiet -- tests/golden && [ -z "$(git ls-files --others --exclude-standard tests/golden)" ]; then
+    echo "(no drift: committed goldens already match)"
+else
+    git --no-pager diff -- tests/golden | head -100
+    echo "review the diff above, then commit the regenerated traces."
+fi

@@ -13,6 +13,10 @@ cargo test -q
 echo "==> benches: cargo build --benches"
 cargo build --benches
 
+echo "==> golden traces: byte-identical replay of committed traces"
+# Drift fails here; bless intentional changes with scripts/regen-golden.sh.
+cargo test -q -p spotverse-integration --test golden_traces
+
 echo "==> lint: cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -6,40 +6,18 @@
 
 use std::sync::Arc;
 
-use bio_workloads::{paper_fleet, WorkloadKind};
+use bio_workloads::WorkloadKind;
 use chaos::{
     library, notice_loss, region_blackout, region_flap, telemetry_blackout, ChaosScenario,
     FaultDirective, RegionScope,
 };
-use cloud_market::{InstanceType, Region, SpotMarket};
-use sim_kernel::{SimDuration, SimRng};
+use cloud_market::{Region, SpotMarket};
+use sim_kernel::SimDuration;
 use spotverse::{
-    resolve_jobs, run_experiment_on, run_matrix, ExperimentConfig, ExperimentReport, MarketCache,
-    NaiveMultiRegionStrategy, OnDemandStrategy, ResilienceTelemetry, SingleRegionStrategy,
-    SkyPilotStrategy, SpotVerseConfig, SpotVerseStrategy, Strategy, SweepCell,
+    resolve_jobs, run_matrix, MarketCache, NaiveMultiRegionStrategy, OnDemandStrategy,
+    ResilienceTelemetry, SingleRegionStrategy, SkyPilotStrategy, Strategy, SweepCell,
 };
-
-fn config(kind: WorkloadKind, n: usize, seed: u64) -> ExperimentConfig {
-    let rng = SimRng::seed_from_u64(seed);
-    ExperimentConfig::new(seed, InstanceType::M5Xlarge, paper_fleet(kind, n, &rng))
-}
-
-fn spotverse_strategy() -> Box<dyn Strategy> {
-    Box::new(SpotVerseStrategy::new(SpotVerseConfig::paper_default(
-        InstanceType::M5Xlarge,
-    )))
-}
-
-fn run_with(
-    market: &Arc<SpotMarket>,
-    base: &ExperimentConfig,
-    scenario: Option<ChaosScenario>,
-    strategy: Box<dyn Strategy>,
-) -> ExperimentReport {
-    let mut cfg = base.clone();
-    cfg.chaos = scenario;
-    run_experiment_on(Arc::clone(market), cfg, strategy)
-}
+use spotverse_integration::{fleet_config as config, run_with, spotverse_strategy};
 
 /// Satellite (c): an NGS shard fleet under lost notices *and* a flaky
 /// checkpoint store. Zero-second notices tear in-flight checkpoint

@@ -6,24 +6,15 @@ use cloud_market::history::{archive_to_csv, collect_archive};
 use cloud_market::{InstanceType, MarketConfig, Region, SpotMarket};
 use galaxy_flow::{from_ga_json, to_ga_json};
 use sim_kernel::{SimDuration, SimRng, SimTime};
-use spotverse::{
-    run_experiment, ExperimentConfig, ResilienceTelemetry, SpotVerseConfig, SpotVerseStrategy,
-};
+use spotverse::{run_experiment, ResilienceTelemetry};
+use spotverse_integration::{fleet_config, spotverse_strategy};
 
 #[test]
 fn full_experiment_reports_are_bit_identical() {
     let build = || {
-        let rng = SimRng::seed_from_u64(777);
-        let config = ExperimentConfig::new(
-            777,
-            InstanceType::M5Xlarge,
-            paper_fleet(WorkloadKind::NgsPreprocessing, 8, &rng),
-        );
         run_experiment(
-            config,
-            Box::new(SpotVerseStrategy::new(SpotVerseConfig::paper_default(
-                InstanceType::M5Xlarge,
-            ))),
+            fleet_config(WorkloadKind::NgsPreprocessing, 8, 777),
+            spotverse_strategy(),
         )
     };
     let a = build();

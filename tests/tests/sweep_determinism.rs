@@ -3,28 +3,14 @@
 //! shared market cache) must be invisible in the output — bit-identical
 //! reports for any worker count, faulted or fault-free.
 
-use bio_workloads::{paper_fleet, WorkloadKind};
+use bio_workloads::WorkloadKind;
 use chaos::ChaosScenario;
-use cloud_market::{InstanceType, MarketConfig, SpotMarket};
-use sim_kernel::SimRng;
-use spotverse::{
-    run_matrix, CellOutcome, ExperimentConfig, MarketCache, SpotVerseConfig, SpotVerseStrategy,
-    Strategy, SweepCell,
-};
+use cloud_market::{MarketConfig, SpotMarket};
+use spotverse::{run_matrix, CellOutcome, MarketCache, SweepCell};
+use spotverse_integration::spotverse_strategy;
 
-fn fleet_config(seed: u64, n: usize) -> ExperimentConfig {
-    let rng = SimRng::seed_from_u64(seed);
-    ExperimentConfig::new(
-        seed,
-        InstanceType::M5Xlarge,
-        paper_fleet(WorkloadKind::NgsPreprocessing, n, &rng),
-    )
-}
-
-fn spotverse_strategy() -> Box<dyn Strategy> {
-    Box::new(SpotVerseStrategy::new(SpotVerseConfig::paper_default(
-        InstanceType::M5Xlarge,
-    )))
+fn fleet_config(seed: u64, n: usize) -> spotverse::ExperimentConfig {
+    spotverse_integration::fleet_config(WorkloadKind::NgsPreprocessing, n, seed)
 }
 
 #[test]
