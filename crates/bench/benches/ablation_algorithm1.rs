@@ -12,7 +12,7 @@
 use bio_workloads::WorkloadKind;
 use cloud_market::InstanceType;
 use spotverse::{
-    run_repetitions, AggregateReport, MigrationPolicy, AblatedSpotVerseStrategy,
+    run_repetitions, RepetitionMarket, AggregateReport, MigrationPolicy, AblatedSpotVerseStrategy,
     SpotVerseConfig, SpotVerseStrategy,
 };
 use spotverse_bench::{bench_config, bench_fleet, header, section, BENCH_SEED};
@@ -26,7 +26,7 @@ fn run_variant(label: &str, make: impl Fn() -> Box<dyn spotverse::Strategy> + Sy
         bench_fleet(WorkloadKind::StandardGeneral, 40, BENCH_SEED),
         1,
     );
-    (label.to_owned(), run_repetitions(&config, make, REPS))
+    (label.to_owned(), run_repetitions(&config, make, REPS, RepetitionMarket::Reseeded))
 }
 
 fn main() {

@@ -13,7 +13,7 @@
 use bio_workloads::WorkloadKind;
 use cloud_market::{InstanceType, Region};
 use spotverse::{
-    run_repetitions, AggregateReport, CheckpointBackend, SingleRegionStrategy,
+    run_repetitions, RepetitionMarket, AggregateReport, CheckpointBackend, SingleRegionStrategy,
 };
 use spotverse_bench::{bench_config, bench_fleet, header, section, BENCH_SEED};
 
@@ -30,7 +30,7 @@ fn run_variant(shards: Option<u32>, backend: CheckpointBackend) -> AggregateRepo
         &config,
         || Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
         REPS,
-    )
+     RepetitionMarket::Reseeded,)
 }
 
 fn main() {

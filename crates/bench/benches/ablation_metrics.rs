@@ -10,7 +10,7 @@
 use bio_workloads::WorkloadKind;
 use cloud_market::InstanceType;
 use spotverse::{
-    run_repetitions, AggregateReport, ForecastingSpotVerseStrategy, MetricAvailability,
+    run_repetitions, RepetitionMarket, AggregateReport, ForecastingSpotVerseStrategy, MetricAvailability,
     ProviderAdaptedStrategy, SpotVerseConfig, Strategy,
 };
 use spotverse_bench::{bench_config, bench_fleet, header, section, BENCH_SEED};
@@ -27,7 +27,7 @@ fn run_variant(
         bench_fleet(WorkloadKind::StandardGeneral, 40, BENCH_SEED),
         1,
     );
-    (label.to_owned(), run_repetitions(&config, make, REPS))
+    (label.to_owned(), run_repetitions(&config, make, REPS, RepetitionMarket::Reseeded))
 }
 
 fn main() {

@@ -77,7 +77,7 @@ fn main() {
                 .build(),
         );
         let selected: Vec<&str> = optimizer
-            .select_regions(&assessments)
+            .select_regions(&assessments, &[])
             .iter()
             .map(|a| a.region.name())
             .collect();

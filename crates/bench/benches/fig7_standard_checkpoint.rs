@@ -6,7 +6,7 @@ use bio_workloads::WorkloadKind;
 use cloud_market::{InstanceType, Region};
 use sim_kernel::SimDuration;
 use spotverse::{
-    run_repetitions, AggregateReport, ExperimentReport, InitialPlacement, OnDemandStrategy,
+    run_repetitions, RepetitionMarket, AggregateReport, ExperimentReport, InitialPlacement, OnDemandStrategy,
     SingleRegionStrategy, SpotVerseConfig, SpotVerseStrategy, Strategy,
 };
 use spotverse_bench::{
@@ -25,7 +25,7 @@ where
         bench_fleet(kind, 40, BENCH_SEED),
         start_day,
     );
-    run_repetitions(&config, factory, REPS)
+    run_repetitions(&config, factory, REPS, RepetitionMarket::Reseeded)
 }
 
 fn spotverse() -> Box<dyn Strategy> {

@@ -6,7 +6,7 @@
 use bio_workloads::WorkloadKind;
 use cloud_market::{cheapest_spot_region_at_start, InstanceType};
 use spotverse::{
-    run_repetitions, AggregateReport, InitialPlacement, OnDemandStrategy, SingleRegionStrategy,
+    run_repetitions, RepetitionMarket, AggregateReport, InitialPlacement, OnDemandStrategy, SingleRegionStrategy,
     SpotVerseConfig, SpotVerseStrategy,
 };
 use spotverse_bench::{bench_config, bench_fleet, header, hours, paper_vs_measured, section, BENCH_SEED};
@@ -27,7 +27,7 @@ fn run_type(itype: InstanceType) -> Row {
         &config,
         || Box::new(SingleRegionStrategy::new(baseline)),
         REPS,
-    );
+     RepetitionMarket::Reseeded,);
     let spotverse = run_repetitions(
         &config,
         || {
@@ -38,8 +38,8 @@ fn run_type(itype: InstanceType) -> Row {
             ))
         },
         REPS,
-    );
-    let on_demand = run_repetitions(&config, || Box::new(OnDemandStrategy::new()), REPS);
+     RepetitionMarket::Reseeded,);
+    let on_demand = run_repetitions(&config, || Box::new(OnDemandStrategy::new()), REPS, RepetitionMarket::Reseeded);
     Row {
         single,
         spotverse,

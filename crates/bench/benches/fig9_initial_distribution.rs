@@ -5,7 +5,7 @@
 use bio_workloads::WorkloadKind;
 use cloud_market::{InstanceType, Region};
 use spotverse::{
-    run_repetitions, AggregateReport, InitialPlacement, SpotVerseConfig, SpotVerseStrategy,
+    run_repetitions, RepetitionMarket, AggregateReport, InitialPlacement, SpotVerseConfig, SpotVerseStrategy,
 };
 use spotverse_bench::{bench_config, bench_fleet, header, hours, paper_vs_measured, pct, section, BENCH_SEED};
 
@@ -33,7 +33,7 @@ fn run(kind: WorkloadKind, placement: InitialPlacement) -> AggregateReport {
             ))
         },
         REPS,
-    )
+     RepetitionMarket::Reseeded,)
 }
 
 fn main() {

@@ -13,7 +13,7 @@ use cloud_market::{InstanceType, MarketConfig, Region, SpotMarket};
 use aws_stack::{FunctionRuntime, KvStore, MetricsService};
 use sim_kernel::{SimRng, SimTime};
 use spotverse::{
-    run_experiment_on, ExperimentConfig, MarketCache, Monitor, Optimizer,
+    run_experiment_on, ExperimentConfig, MarketCache, MigrationPolicy, Monitor, Optimizer,
     SingleRegionStrategy, SnapshotMemo, SpotVerseConfig,
 };
 
@@ -106,7 +106,7 @@ fn bench_optimizer(c: &mut Criterion) {
         .unwrap();
     let optimizer = Optimizer::new(SpotVerseConfig::paper_default(InstanceType::M5Xlarge));
     c.bench_function("algorithm1_select_regions", |b| {
-        b.iter(|| optimizer.select_regions(std::hint::black_box(&assessments)));
+        b.iter(|| optimizer.select_regions(std::hint::black_box(&assessments), &[]));
     });
     let mut rng = SimRng::seed_from_u64(3);
     c.bench_function("algorithm1_migration_target", |b| {
@@ -114,6 +114,8 @@ fn bench_optimizer(c: &mut Criterion) {
             optimizer.migration_target(
                 std::hint::black_box(&assessments),
                 Region::CaCentral1,
+                MigrationPolicy::RandomTopR,
+                &[],
                 &mut rng,
             )
         });

@@ -11,10 +11,11 @@ use cloud_market::history::{archive_to_csv, collect_archive};
 use cloud_market::{InstanceType, Region, SpotMarket};
 use sim_kernel::{SimDuration, SimRng, SimTime};
 use spotverse::{
-    resolve_jobs, run_experiment_on, run_matrix, summary_line, trace_to_jsonl, CellOutcome,
-    ExperimentConfig, ExperimentReport, MarketCache, Monitor, NaiveMultiRegionStrategy,
-    OnDemandStrategy, SingleRegionStrategy, SkyPilotStrategy, SpotVerseConfig, SpotVerseStrategy,
-    Strategy, SweepCell, TraceConfig,
+    merged_fleet_trace_jsonl, resolve_jobs, run_experiment_on, run_fleet_matrix, run_matrix,
+    summary_line, trace_to_jsonl, CellOutcome, ExperimentConfig, ExperimentReport, FleetConfig,
+    FleetReport, FleetSweepCell, MarketCache, Monitor, NaiveMultiRegionStrategy, OnDemandStrategy,
+    SingleRegionStrategy, SkyPilotStrategy, SpotVerseConfig, SpotVerseStrategy, Strategy,
+    SweepCell, TraceConfig, WorkloadPhase,
 };
 
 use crate::args::{ArgError, ParsedArgs};
@@ -56,6 +57,8 @@ USAGE:
 
 COMMANDS:
     simulate    run one strategy over a workload fleet and print its report
+    fleet       multiplex N staggered workloads over one shared control
+                plane, with optional per-region concurrency caps
     compare     run every strategy on the same market and print a table
     chaos       fault-injection matrix: strategies × scenarios, with the
                 degradation vs the fault-free run
@@ -80,6 +83,16 @@ SIMULATE / TRACE FLAGS:
     --region <name>          region for single-region   (default ca-central-1)
     --scenario <name>        (trace only) fault scenario overlaying the run;
                              omit for a fault-free trace
+
+FLEET FLAGS:
+    --spacing-mins <m>       arrival gap between workloads  (default 60)
+    --capacity <k>           per-region cap on concurrently running
+                             instances; omit for unbounded
+    --deadline-days <d>      per-workload runtime budget    (default 30)
+    --strategy <name>        as simulate, or `all` to sweep every
+                             strategy over the same fleet   (default spotverse)
+    --output <form>          table | trace (merged JSONL)   (default table)
+    --jobs <n>               as compare; cells are strategies
 
 COMPARE / CHAOS FLAGS:
     --jobs <n>               sweep worker threads; falls back to the
@@ -226,6 +239,135 @@ pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
     let market = Arc::new(SpotMarket::new(common.config.market));
     let report = run_experiment_on(market, common.config, strategy);
     Ok(render_report(&report))
+}
+
+fn phase_name(phase: WorkloadPhase) -> &'static str {
+    match phase {
+        WorkloadPhase::Pending => "pending",
+        WorkloadPhase::Requesting => "requesting",
+        WorkloadPhase::Running => "running",
+        WorkloadPhase::Migrating => "migrating",
+        WorkloadPhase::Completed => "completed",
+        WorkloadPhase::Expired => "expired",
+    }
+}
+
+fn render_fleet_report(report: &FleetReport) -> String {
+    let mut out = String::new();
+    out.push_str(&summary_line(&report.aggregate));
+    out.push('\n');
+    out.push_str(&format!(
+        "  fleet: {} expired, {} capacity deferral(s)\n",
+        report.expired, report.capacity_deferrals,
+    ));
+    out.push_str(&format!(
+        "  {:<6} {:>13} {:<10} {:>11} {:>5} {:>8} {:>10} {:<14}\n",
+        "id", "arrival", "phase", "completion", "intr", "launches", "billed", "region",
+    ));
+    for w in &report.workloads {
+        let completion = match w.completion_time {
+            Some(d) => format!("{:.1}h", d.as_hours_f64()),
+            None => "-".to_owned(),
+        };
+        out.push_str(&format!(
+            "  {:<6} {:>13} {:<10} {:>11} {:>5} {:>8} {:>10} {:<14}\n",
+            w.id,
+            w.arrival.to_string(),
+            phase_name(w.phase),
+            completion,
+            w.interruptions,
+            w.launches,
+            w.billed.to_string(),
+            w.final_region,
+        ));
+    }
+    out
+}
+
+/// `spotverse fleet`: N workloads with staggered arrivals multiplexed
+/// over one shared control plane, optionally capacity-capped per region.
+/// `--strategy all` sweeps every strategy over the same fleet shape on
+/// one cached market via the fleet sweep engine.
+pub fn fleet(args: &ParsedArgs) -> Result<String, CliError> {
+    let seed = args.u64_or("seed", 2024)?;
+    let instances = args.u64_or("instances", 20)? as usize;
+    if instances == 0 {
+        return Err(CliError::BadInput("--instances must be positive".into()));
+    }
+    let instance_type = parse_instance_type(args.str_or("instance-type", "m5.xlarge"))?;
+    let kind = parse_workload(args.str_or("workload", "genome"))?;
+    let start_day = args.u64_or("start-day", 1)?;
+    let spacing_mins = args.u64_or("spacing-mins", 60)?;
+    let deadline_days = args.u64_or("deadline-days", 30)?;
+    if deadline_days == 0 {
+        return Err(CliError::BadInput("--deadline-days must be positive".into()));
+    }
+    let capacity = match args.opt_str("capacity") {
+        None => None,
+        Some(raw) => match raw.parse::<u32>() {
+            Ok(k) if k > 0 => Some(k),
+            _ => {
+                return Err(CliError::BadInput(format!(
+                    "--capacity: `{raw}` is not a positive integer"
+                )))
+            }
+        },
+    };
+    let output = args.str_or("output", "table");
+    if !matches!(output, "table" | "trace") {
+        return Err(CliError::BadInput(format!(
+            "--output: `{output}` is not table | trace"
+        )));
+    }
+    let threshold = args.u8_or("threshold", 6)?;
+    let region = parse_region(args.str_or("region", "ca-central-1"))?;
+    let strategy_arg = args.str_or("strategy", "spotverse");
+    let strategies: Vec<&str> = if strategy_arg == "all" {
+        vec!["single-region", "naive-multi", "skypilot", "spotverse", "on-demand"]
+    } else {
+        // Validate a user-supplied name up front so the sweep closure can
+        // rely on it.
+        build_strategy(strategy_arg, instance_type, threshold, region)?;
+        vec![strategy_arg]
+    };
+    let jobs_flag = parse_jobs(args)?;
+
+    let rng = SimRng::seed_from_u64(seed);
+    let specs = paper_fleet(kind, instances, &rng);
+    let mut config = FleetConfig::staggered(
+        seed,
+        instance_type,
+        specs,
+        SimDuration::from_mins(spacing_mins),
+    );
+    config.start = SimTime::from_days(start_day);
+    config.max_runtime = SimDuration::from_days(deadline_days);
+    config.region_capacity = capacity;
+    if output == "trace" {
+        config.trace = TraceConfig::enabled();
+    }
+
+    let cells: Vec<FleetSweepCell> = strategies
+        .iter()
+        .map(|name| FleetSweepCell::new(*name, *name, config.clone()))
+        .collect();
+    let cache = MarketCache::new();
+    let jobs = resolve_jobs(jobs_flag, cells.len());
+    let outcomes = run_fleet_matrix(&cells, jobs, &cache, |cell| {
+        build_strategy(&cell.strategy, instance_type, threshold, region)
+            .expect("fleet strategy names validated before the sweep")
+    });
+    if output == "trace" {
+        return Ok(merged_fleet_trace_jsonl(&outcomes));
+    }
+    let mut out = String::new();
+    for outcome in &outcomes {
+        match &outcome.result {
+            Ok(report) => out.push_str(&render_fleet_report(report)),
+            Err(e) => out.push_str(&format!("{:<20} FAILED: {e}\n", outcome.strategy)),
+        }
+    }
+    Ok(out)
 }
 
 /// `spotverse compare`: every strategy on the same market, one sweep cell
@@ -486,6 +628,21 @@ pub fn schema(command: &str) -> &'static [&'static str] {
             "threshold",
             "region",
         ],
+        "fleet" => &[
+            "seed",
+            "instances",
+            "instance-type",
+            "workload",
+            "start-day",
+            "spacing-mins",
+            "capacity",
+            "deadline-days",
+            "strategy",
+            "threshold",
+            "region",
+            "output",
+            "jobs",
+        ],
         "compare" => &[
             "seed",
             "instances",
@@ -544,6 +701,7 @@ where
     let rest: Vec<String> = iter.collect();
     match command.as_str() {
         "simulate" => simulate(&ParsedArgs::parse(rest, schema("simulate"))?),
+        "fleet" => fleet(&ParsedArgs::parse(rest, schema("fleet"))?),
         "compare" => compare(&ParsedArgs::parse(rest, schema("compare"))?),
         "chaos" => chaos_matrix(&ParsedArgs::parse(rest, schema("chaos"))?),
         "advisor" => advisor(&ParsedArgs::parse(rest, schema("advisor"))?),
@@ -722,6 +880,103 @@ mod tests {
         let c1 = run(compare_base.iter().copied().chain(["--jobs", "1"])).unwrap();
         let c4 = run(compare_base.iter().copied().chain(["--jobs", "4"])).unwrap();
         assert_eq!(c1, c4);
+    }
+
+    #[test]
+    fn fleet_runs_staggered_workloads() {
+        let out = run([
+            "fleet",
+            "--instances",
+            "3",
+            "--seed",
+            "9",
+            "--workload",
+            "ngs",
+            "--spacing-mins",
+            "120",
+            "--capacity",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("3/3"), "all workloads should finish:\n{out}");
+        assert!(out.contains("fleet:"));
+        assert!(out.contains("completed"));
+        // Three per-workload rows, one per spec id.
+        for id in ["w-00", "w-01", "w-02"] {
+            assert!(out.contains(id), "missing {id} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn fleet_strategy_all_sweeps_every_strategy() {
+        let out = run([
+            "fleet",
+            "--instances",
+            "2",
+            "--seed",
+            "11",
+            "--workload",
+            "ngs",
+            "--strategy",
+            "all",
+        ])
+        .unwrap();
+        for name in ["single-region", "naive-multi", "skypilot", "spotverse", "on-demand"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn fleet_jobs_count_does_not_change_output() {
+        let base = [
+            "fleet",
+            "--instances",
+            "2",
+            "--seed",
+            "13",
+            "--workload",
+            "ngs",
+            "--strategy",
+            "all",
+            "--spacing-mins",
+            "45",
+        ];
+        let serial = run(base.iter().copied().chain(["--jobs", "1"])).unwrap();
+        let parallel = run(base.iter().copied().chain(["--jobs", "4"])).unwrap();
+        assert_eq!(serial, parallel, "jobs must not affect the fleet report");
+    }
+
+    #[test]
+    fn fleet_trace_output_is_merged_jsonl() {
+        let argv = [
+            "fleet",
+            "--instances",
+            "2",
+            "--seed",
+            "5",
+            "--workload",
+            "ngs",
+            "--spacing-mins",
+            "90",
+            "--output",
+            "trace",
+        ];
+        let a = run(argv).unwrap();
+        let b = run(argv).unwrap();
+        assert_eq!(a, b, "same seed must give byte-identical fleet traces");
+        assert!(a.lines().all(|l| l.starts_with("{\"cell\":\"spotverse\",")));
+        assert!(a.contains("\"event\":\"workloads_arrived\""));
+        assert!(a.lines().last().unwrap().contains("\"event\":\"run_ended\""));
+    }
+
+    #[test]
+    fn fleet_rejects_bad_inputs() {
+        assert!(run(["fleet", "--capacity", "0"]).is_err());
+        assert!(run(["fleet", "--capacity", "lots"]).is_err());
+        assert!(run(["fleet", "--deadline-days", "0"]).is_err());
+        assert!(run(["fleet", "--output", "xml"]).is_err());
+        assert!(run(["fleet", "--strategy", "warp-drive"]).is_err());
+        assert!(run(["fleet", "--instances", "0"]).is_err());
     }
 
     #[test]

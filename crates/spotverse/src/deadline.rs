@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use sim_kernel::{SimDuration, SimTime};
 
 use crate::config::{InitialPlacement, SpotVerseConfig};
-use crate::optimizer::{Optimizer, Placement};
+use crate::optimizer::{MigrationPolicy, Optimizer, Placement};
 use crate::strategy::{Strategy, StrategyContext};
 
 /// Deadline policy parameters.
@@ -106,7 +106,7 @@ impl Strategy for DeadlineAwareStrategy {
         }
         match self.optimizer.config().initial_placement() {
             InitialPlacement::SingleRegion(region) => vec![Placement::Spot(*region); n],
-            InitialPlacement::Distributed => self.optimizer.initial_placements(ctx.assessments, n),
+            InitialPlacement::Distributed => self.optimizer.initial_placements(ctx.assessments, n, &[]),
         }
     }
 
@@ -121,7 +121,7 @@ impl Strategy for DeadlineAwareStrategy {
             return Placement::OnDemand(self.optimizer.cheapest_on_demand(ctx.assessments));
         }
         self.optimizer
-            .migration_target(ctx.assessments, previous, ctx.rng)
+            .migration_target(ctx.assessments, previous, MigrationPolicy::RandomTopR, &[], ctx.rng)
     }
 }
 

@@ -21,30 +21,15 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use aws_stack::{
-    FileSystemId, FunctionConfig, FunctionRuntime, KvError, KvStore, MetricsService, ObjectBody,
-    ObjectStore, ObjectStoreError, RetryPolicy, SharedFileSystem,
-};
 use bio_workloads::WorkloadSpec;
-use chaos::{ChaosEngine, ChaosScenario};
-use cloud_compute::{
-    Ec2, Ec2Config, InstanceId, ServiceKind, SpotRequestOutcome,
-    TerminationReason, INTERRUPTION_NOTICE,
-};
+use chaos::ChaosScenario;
 use cloud_market::{InstanceType, MarketConfig, Region, SpotMarket, Usd};
-use galaxy_flow::WorkflowInvocation;
-use sim_kernel::{
-    CumulativeCounter, Model, Scheduler, SimDuration, SimRng, SimTime, Simulation, TimeSeries,
-};
+use sim_kernel::{SimDuration, SimTime, TimeSeries};
 
-use crate::health::{
-    BreakerTransition, HealthConfig, RegionHealth, ResilienceTelemetry, TelemetryFreshness,
-};
-use crate::monitor::{CollectOutcome, Monitor, MonitorError, SnapshotMemo};
-use crate::optimizer::{Placement, RegionAssessment};
-use crate::resilience::{retry_with_backoff, BackoffPolicy};
-use crate::strategy::{Strategy, StrategyContext};
-use crate::trace::{DecisionKind, RunTrace, TraceConfig, TraceEvent, Tracer};
+use crate::fleet::FleetConfig;
+use crate::health::{HealthConfig, ResilienceTelemetry};
+use crate::strategy::Strategy;
+use crate::trace::{RunTrace, TraceConfig};
 
 /// Name of the interruption-handler function (paper §4).
 pub const INTERRUPTION_HANDLER: &str = "spotverse-interruption-handler";
@@ -205,872 +190,6 @@ impl ExperimentReport {
     }
 }
 
-#[derive(Debug)]
-enum Event {
-    Start,
-    Launch(usize),
-    Retry(usize),
-    Notice(usize, InstanceId),
-    Reclaim(usize, InstanceId),
-    Complete(usize, InstanceId),
-    MonitorTick,
-}
-
-#[derive(Debug)]
-struct RunningInstance {
-    instance: InstanceId,
-    region: Region,
-    ready_at: SimTime,
-}
-
-/// A checkpoint generation that finished uploading before its instance
-/// was reclaimed.
-#[derive(Debug, Clone, Copy)]
-struct DurableCheckpoint {
-    generation: u64,
-    units: usize,
-    written_at: SimTime,
-}
-
-/// A checkpoint upload still being judged: durable only if it completed
-/// before the reclaim and its KV record landed.
-#[derive(Debug, Clone, Copy)]
-struct PendingCheckpoint {
-    generation: u64,
-    units: usize,
-    completes_at: SimTime,
-    recorded: bool,
-}
-
-/// Per-workload checkpoint ledger: the durable generations (newest last)
-/// and the write currently in flight.
-#[derive(Debug, Default)]
-struct CheckpointLog {
-    durable: Vec<DurableCheckpoint>,
-    pending: Option<PendingCheckpoint>,
-    next_generation: u64,
-}
-
-#[derive(Debug)]
-struct WorkloadRuntime {
-    spec: WorkloadSpec,
-    invocation: WorkflowInvocation,
-    placement: Placement,
-    running: Option<RunningInstance>,
-    completed_at: Option<SimTime>,
-    launches: u32,
-    checkpoints: CheckpointLog,
-}
-
-struct ExperimentModel {
-    config: ExperimentConfig,
-    market: Arc<SpotMarket>,
-    ec2: Ec2,
-    s3: ObjectStore,
-    efs: SharedFileSystem,
-    efs_id: Option<FileSystemId>,
-    kv: KvStore,
-    functions: FunctionRuntime,
-    metrics: MetricsService,
-    monitor: Monitor,
-    monitor_memo: SnapshotMemo,
-    strategy: Box<dyn Strategy>,
-    strategy_rng: SimRng,
-    workloads: Vec<WorkloadRuntime>,
-    completed: usize,
-    interruptions: CumulativeCounter,
-    interruptions_by_region: BTreeMap<Region, u64>,
-    completions: CumulativeCounter,
-    launches_by_region: BTreeMap<Region, u64>,
-    deadline: SimTime,
-    aborted: bool,
-    chaos: Option<ChaosEngine>,
-    telemetry: CheckpointTelemetry,
-    backoff_rng: SimRng,
-    monitor_backoff: u32,
-    health: RegionHealth,
-    freshness: TelemetryFreshness,
-    quarantined_decisions: u64,
-    collect_failing: bool,
-    degraded_since: Option<SimTime>,
-    tracer: Tracer,
-}
-
-impl std::fmt::Debug for ExperimentModel {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ExperimentModel")
-            .field("strategy", &self.strategy.name())
-            .field("completed", &self.completed)
-            .field("interruptions", &self.interruptions.count())
-            .finish_non_exhaustive()
-    }
-}
-
-impl ExperimentModel {
-    fn done(&self) -> bool {
-        self.completed == self.workloads.len() || self.aborted
-    }
-
-    /// Current optimizer inputs plus whether the decision must *degrade*.
-    ///
-    /// With the pipeline enabled, the Monitor's latest persisted snapshot
-    /// is served as long as it is within the telemetry TTL; while
-    /// collection is failing, each such serve is a counted *stale serve*
-    /// of last-good data. Past the TTL the snapshot is still returned but
-    /// flagged degraded: the caller places cheapest-on-demand instead of
-    /// trusting expired metrics. Without the pipeline (or before the
-    /// first snapshot) decisions read the market directly — either way
-    /// they observe it *through* any active fault overlay.
-    fn decision_inputs(&mut self, now: SimTime) -> (Vec<RegionAssessment>, bool) {
-        if self.config.monitor_pipeline {
-            let ttl = self.config.health.telemetry_ttl;
-            match self.monitor.assessments_no_older_than(&self.kv, now, ttl) {
-                Ok((snapshot, age)) => {
-                    if self.collect_failing {
-                        self.freshness.stale_serves += 1;
-                        self.freshness.max_staleness = self.freshness.max_staleness.max(age);
-                        self.tracer.record(now, TraceEvent::StaleServe { age });
-                    }
-                    return (snapshot, false);
-                }
-                Err(MonitorError::Stale { .. }) => {
-                    if let Ok((snapshot, age)) =
-                        self.monitor.latest_assessments_with_age(&self.kv, now)
-                    {
-                        self.freshness.degraded_decisions += 1;
-                        self.freshness.max_staleness = self.freshness.max_staleness.max(age);
-                        if self.degraded_since.is_none() {
-                            self.degraded_since = Some(now);
-                        }
-                        self.tracer.record(now, TraceEvent::DegradedDecision { age });
-                        return (snapshot, true);
-                    }
-                }
-                Err(_) => {}
-            }
-        }
-        let overlay = self.chaos.as_ref().map(|c| c.overlay());
-        let snapshot = self
-            .monitor
-            .fresh_assessments_with_overlay(&self.market, overlay, now)
-            .expect("market assessments within horizon");
-        (snapshot, false)
-    }
-
-    /// Marks the collection pipeline healthy again and settles any open
-    /// degraded-placement interval.
-    fn note_collection_success(&mut self, now: SimTime) {
-        self.collect_failing = false;
-        if let Some(since) = self.degraded_since.take() {
-            let duration = now.saturating_duration_since(since);
-            self.freshness.degraded_time += duration;
-            self.tracer.record(now, TraceEvent::DegradedInterval { duration });
-        }
-    }
-
-    /// Marks the collection pipeline failing: subsequent decisions served
-    /// from the persisted snapshot count as stale serves.
-    fn note_collection_failure(&mut self) {
-        self.collect_failing = true;
-        self.freshness.collection_failures += 1;
-    }
-
-    /// Logs a breaker state change reported by a `record_*` observation.
-    fn trace_breaker(&mut self, now: SimTime, transition: Option<BreakerTransition>) {
-        if let Some(t) = transition {
-            self.tracer
-                .record(now, TraceEvent::Breaker { region: t.region, from: t.from, to: t.to });
-        }
-    }
-
-    /// One monitor collection cycle, observed through the fault overlay.
-    /// Memoized per market epoch: a tick inside the hour of the last
-    /// successful collection (with an unchanged overlay window set) skips
-    /// the redundant market reads and KV writes.
-    fn run_monitor_collection(&mut self, now: SimTime) -> Result<CollectOutcome, MonitorError> {
-        let overlay = self.chaos.as_ref().map(|c| c.overlay());
-        self.monitor.collect_memoized(
-            &self.market,
-            overlay,
-            now,
-            &mut self.monitor_memo,
-            &mut self.functions,
-            &mut self.kv,
-            &mut self.metrics,
-            self.ec2.ledger_mut(),
-        )
-    }
-
-    fn relocate(&mut self, w: usize, now: SimTime, previous: Region) -> Placement {
-        let (assessments, degraded) = self.decision_inputs(now);
-        if degraded {
-            // Expired telemetry: don't trust scores or spot prices, take
-            // guaranteed capacity at the cheapest on-demand rate. Skips
-            // the strategy (and its RNG) entirely — only reachable under
-            // chaos, so fault-free streams are untouched.
-            let placement = Placement::OnDemand(cheapest_on_demand(&assessments));
-            if self.tracer.enabled() {
-                self.tracer.record(
-                    now,
-                    TraceEvent::Decision {
-                        kind: DecisionKind::Migration,
-                        workload: Some(w),
-                        previous: Some(previous),
-                        degraded: true,
-                        quarantined: Vec::new(),
-                        candidates: None,
-                        placements: vec![placement],
-                    },
-                );
-            }
-            return placement;
-        }
-        let quarantined = self.health.quarantined(now);
-        if !quarantined.is_empty() {
-            self.quarantined_decisions += 1;
-        }
-        let mut ctx = StrategyContext {
-            instance_type: self.config.instance_type,
-            now,
-            assessments: &assessments,
-            quarantined: &quarantined,
-            rng: &mut self.strategy_rng,
-        };
-        let placement = self.strategy.relocate(&mut ctx, previous);
-        if self.tracer.enabled() {
-            let candidates =
-                self.strategy
-                    .explain_candidates(&assessments, &quarantined, Some(previous));
-            self.tracer.record(
-                now,
-                TraceEvent::Decision {
-                    kind: DecisionKind::Migration,
-                    workload: Some(w),
-                    previous: Some(previous),
-                    degraded: false,
-                    quarantined,
-                    candidates,
-                    placements: vec![placement],
-                },
-            );
-        }
-        placement
-    }
-
-    fn handle_start(&mut self, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
-        // Prime the Monitor so the first decision has a snapshot. Under a
-        // throttle storm the collection may fail; decisions then fall back
-        // to fresh market reads until a tick succeeds.
-        match self.run_monitor_collection(now) {
-            Ok(_) => self.note_collection_success(now),
-            Err(e) => {
-                self.telemetry.throttled_retries += 1;
-                self.note_collection_failure();
-                self.tracer
-                    .record(now, TraceEvent::CollectionFailed { retryable: e.is_retryable() });
-            }
-        }
-        scheduler.schedule_in(self.config.monitor_period, Event::MonitorTick);
-
-        let (assessments, degraded) = self.decision_inputs(now);
-        let n = self.workloads.len();
-        let mut quarantined = Vec::new();
-        let placements = if degraded {
-            vec![Placement::OnDemand(cheapest_on_demand(&assessments)); n]
-        } else {
-            quarantined = self.health.quarantined(now);
-            if !quarantined.is_empty() {
-                self.quarantined_decisions += 1;
-            }
-            let mut ctx = StrategyContext {
-                instance_type: self.config.instance_type,
-                now,
-                assessments: &assessments,
-                quarantined: &quarantined,
-                rng: &mut self.strategy_rng,
-            };
-            self.strategy.initial_placements(&mut ctx, n)
-        };
-        debug_assert_eq!(placements.len(), n);
-        if self.tracer.enabled() {
-            let candidates = if degraded {
-                None
-            } else {
-                self.strategy.explain_candidates(&assessments, &quarantined, None)
-            };
-            self.tracer.record(
-                now,
-                TraceEvent::Decision {
-                    kind: DecisionKind::Initial,
-                    workload: None,
-                    previous: None,
-                    degraded,
-                    quarantined,
-                    candidates,
-                    placements: placements.clone(),
-                },
-            );
-        }
-        for (w, placement) in placements.into_iter().enumerate() {
-            self.workloads[w].placement = placement;
-            scheduler.schedule_in(SimDuration::ZERO, Event::Launch(w));
-        }
-    }
-
-    fn handle_launch(&mut self, w: usize, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
-        if self.workloads[w].completed_at.is_some() || self.workloads[w].running.is_some() {
-            return;
-        }
-        let itype = self.config.instance_type;
-        let placement = self.workloads[w].placement;
-        match placement {
-            Placement::Spot(region) => match self.ec2.request_spot(region, itype, now) {
-                Ok(SpotRequestOutcome::Fulfilled(launch)) => {
-                    self.note_launch(region);
-                    // Heals breaker strikes / closes a half-open probe; a
-                    // structural no-op when the region has no breaker
-                    // entry, i.e. on every fault-free run.
-                    let transition = self.health.record_fulfillment(region, now);
-                    self.trace_breaker(now, transition);
-                    self.tracer.record(
-                        now,
-                        TraceEvent::Launched {
-                            workload: w,
-                            region,
-                            spot: true,
-                            instance: launch.instance,
-                        },
-                    );
-                    self.start_execution(w, region, launch.instance, launch.ready_at, launch.interruption_at, now, scheduler);
-                }
-                Ok(SpotRequestOutcome::OpenNoCapacity) => {
-                    // Natural no-capacity and blackout-blocked requests are
-                    // indistinguishable at the API; only chaos-attributed
-                    // rejections strike the breaker, so fault-free runs
-                    // never grow a ledger entry.
-                    let blackout = self
-                        .chaos
-                        .as_ref()
-                        .is_some_and(|c| c.is_blackout(region, now));
-                    if blackout {
-                        self.tracer.record(
-                            now,
-                            TraceEvent::ChaosFault { kind: "spot_blackout", region: Some(region) },
-                        );
-                        let transition = self.health.record_rejection(region, now);
-                        self.trace_breaker(now, transition);
-                    }
-                    self.tracer
-                        .record(now, TraceEvent::RequestOpen { workload: w, region, blackout });
-                    // The Controller's periodic sweep picks it back up.
-                    scheduler.schedule_in(self.config.retry_interval, Event::Retry(w));
-                }
-                // A failed request (e.g. a region knocked out from under
-                // an in-flight placement) also lands on the retry sweep
-                // instead of killing the run.
-                Err(_) => {
-                    if self.chaos.is_some() {
-                        let transition = self.health.record_rejection(region, now);
-                        self.trace_breaker(now, transition);
-                    }
-                    self.tracer.record(now, TraceEvent::RequestFailed { workload: w, region });
-                    scheduler.schedule_in(self.config.retry_interval, Event::Retry(w));
-                }
-            },
-            Placement::OnDemand(region) => {
-                let launch = self
-                    .ec2
-                    .launch_on_demand(region, itype, now)
-                    .expect("on-demand launch always succeeds in offered regions");
-                self.note_launch(region);
-                self.tracer.record(
-                    now,
-                    TraceEvent::Launched {
-                        workload: w,
-                        region,
-                        spot: false,
-                        instance: launch.instance,
-                    },
-                );
-                self.start_execution(w, region, launch.instance, launch.ready_at, None, now, scheduler);
-            }
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn start_execution(
-        &mut self,
-        w: usize,
-        region: Region,
-        instance: InstanceId,
-        ready_at: SimTime,
-        interruption_at: Option<SimTime>,
-        now: SimTime,
-        scheduler: &mut Scheduler<'_, Event>,
-    ) {
-        self.workloads[w].launches += 1;
-        // Checkpoint workloads resuming mid-flight first re-download the
-        // working set from the log bucket.
-        let mut exec_start = ready_at;
-        if self.workloads[w].spec.kind.is_checkpointable() && self.workloads[w].invocation.units_done() > 0 {
-            let key = format!("checkpoints/{}/dataset", self.workloads[w].spec.id);
-            match self.config.checkpoint_backend {
-                CheckpointBackend::ObjectStore => {
-                    if let Ok((_, outcome)) =
-                        self.s3.get_object(LOG_BUCKET, &key, region, now, self.ec2.ledger_mut())
-                    {
-                        exec_start = exec_start.max(outcome.completes_at);
-                    }
-                }
-                CheckpointBackend::SharedFileSystem => {
-                    let fs = self.efs_id.expect("efs provisioned for this backend");
-                    if let Ok((_, outcome)) =
-                        self.efs.read(fs, &key, region, now, self.ec2.ledger_mut())
-                    {
-                        exec_start = exec_start.max(outcome.completes_at);
-                    }
-                }
-            }
-        }
-        let remaining = self.workloads[w].invocation.remaining_duration();
-        let completion_at = exec_start + remaining;
-        self.workloads[w].running = Some(RunningInstance {
-            instance,
-            region,
-            ready_at: exec_start,
-        });
-        match interruption_at {
-            Some(at) if at < completion_at => {
-                // Chaos may shorten or lose the two-minute warning; a
-                // zero-length notice still fires at the reclaim instant,
-                // before the Reclaim event (FIFO), so the upload starts —
-                // but can never finish in time and is judged torn.
-                let warning = match self.chaos.as_mut() {
-                    Some(c) => c.notice_duration(region, at),
-                    None => INTERRUPTION_NOTICE,
-                };
-                if warning < INTERRUPTION_NOTICE {
-                    self.tracer.record(
-                        now,
-                        TraceEvent::ChaosFault { kind: "notice_shortened", region: Some(region) },
-                    );
-                }
-                let notice_at = (at - warning).max(now);
-                scheduler.schedule_at(notice_at, Event::Notice(w, instance));
-                scheduler.schedule_at(at, Event::Reclaim(w, instance));
-            }
-            _ => {
-                scheduler.schedule_at(completion_at, Event::Complete(w, instance));
-            }
-        }
-    }
-
-    fn note_launch(&mut self, region: Region) {
-        *self.launches_by_region.entry(region).or_insert(0) += 1;
-    }
-
-    /// The retry sweep. If the pending placement's region has since been
-    /// blacked out or quarantined by its breaker, re-ask the strategy for
-    /// a target before requesting again — otherwise a migration aimed at
-    /// a now-dead region would spin on it until the fault lifts.
-    fn handle_retry(&mut self, w: usize, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
-        if self.workloads[w].completed_at.is_some() || self.workloads[w].running.is_some() {
-            return;
-        }
-        if let Placement::Spot(region) = self.workloads[w].placement {
-            let blacked_out = self
-                .chaos
-                .as_ref()
-                .is_some_and(|c| c.is_blackout(region, now));
-            if blacked_out || self.health.is_quarantined(region, now) {
-                let placement = self.relocate(w, now, region);
-                self.workloads[w].placement = placement;
-            }
-        }
-        self.handle_launch(w, now, scheduler);
-    }
-
-    fn handle_notice(&mut self, w: usize, instance: InstanceId, now: SimTime) {
-        let Some(running) = &self.workloads[w].running else {
-            return;
-        };
-        if running.instance != instance || !self.workloads[w].spec.kind.is_checkpointable() {
-            return;
-        }
-        let region = running.region;
-        let ready_at = running.ready_at;
-        // Units completed through the notice instant are what survives.
-        let elapsed = now.saturating_duration_since(ready_at);
-        let units_done = self.workloads[w].invocation.units_done()
-            + self.workloads[w]
-                .invocation
-                .plan()
-                .units_completed_within(self.workloads[w].invocation.units_done(), elapsed);
-        // Persist the progress record and upload the working set. Neither
-        // write is trusted yet: durability is judged at the reclaim —
-        // an upload still in flight then is torn and never resumed from.
-        let spec_id = self.workloads[w].spec.id.clone();
-        let generation = self.workloads[w].checkpoints.next_generation;
-        self.workloads[w].checkpoints.next_generation += 1;
-        self.telemetry.writes += 1;
-        let policy = BackoffPolicy::default();
-
-        // KV progress record, retried with jittered backoff when throttled.
-        let (kv, ec2, rng) = (&mut self.kv, &mut self.ec2, &mut self.backoff_rng);
-        let record = retry_with_backoff(
-            &policy,
-            rng,
-            now,
-            |e| matches!(e, KvError::Throttled { .. }),
-            |at| {
-                kv.update_item("spotverse-checkpoints", &spec_id, at, ec2.ledger_mut(), |item| {
-                    item.insert("units_done".into(), aws_stack::AttrValue::N(units_done as f64));
-                    item.insert("generation".into(), aws_stack::AttrValue::N(generation as f64));
-                    item.insert("at".into(), aws_stack::AttrValue::N(at.as_secs() as f64));
-                })
-            },
-        );
-        self.telemetry.throttled_retries += u64::from(record.retries);
-        let recorded = record.result.is_ok();
-
-        // The working-set upload starts once the record attempt settled.
-        let key = format!("checkpoints/{spec_id}/dataset");
-        let completes_at = match self.config.checkpoint_backend {
-            CheckpointBackend::ObjectStore => {
-                let (s3, ec2, rng) = (&mut self.s3, &mut self.ec2, &mut self.backoff_rng);
-                let put = retry_with_backoff(
-                    &policy,
-                    rng,
-                    record.finished_at,
-                    |e| matches!(e, ObjectStoreError::Throttled { .. }),
-                    |at| {
-                        s3.put_object(
-                            LOG_BUCKET,
-                            key.clone(),
-                            ObjectBody::Synthetic {
-                                size_gib: bio_workloads::ngs_preprocessing::DATASET_GIB,
-                            },
-                            region,
-                            at,
-                            ec2.ledger_mut(),
-                        )
-                    },
-                );
-                self.telemetry.throttled_retries += u64::from(put.retries);
-                put.result.ok().map(|outcome| outcome.completes_at)
-            }
-            CheckpointBackend::SharedFileSystem => {
-                let fs = self.efs_id.expect("efs provisioned for this backend");
-                self.efs
-                    .write(
-                        fs,
-                        key,
-                        bio_workloads::ngs_preprocessing::DATASET_GIB,
-                        region,
-                        record.finished_at,
-                        self.ec2.ledger_mut(),
-                    )
-                    .ok()
-                    .map(|outcome| outcome.completes_at)
-            }
-        };
-        self.tracer.record(
-            now,
-            TraceEvent::CheckpointSave { workload: w, generation, units: units_done, recorded },
-        );
-        match completes_at {
-            Some(completes_at) => {
-                self.workloads[w].checkpoints.pending = Some(PendingCheckpoint {
-                    generation,
-                    units: units_done,
-                    completes_at,
-                    recorded,
-                });
-            }
-            // Throttled out before the upload even started: nothing to
-            // judge at reclaim, the generation is simply lost.
-            None => {
-                self.telemetry.torn_writes += 1;
-                self.tracer.record(now, TraceEvent::CheckpointTorn { workload: w, generation });
-            }
-        }
-    }
-
-    /// Judges the in-flight checkpoint at a reclaim and pins the
-    /// invocation to the newest durable, uncorrupted generation.
-    ///
-    /// A pending upload only becomes durable if it finished before the
-    /// reclaim *and* its KV record landed — a 0-second notice starts the
-    /// upload at the reclaim instant, so it is always torn. Durable
-    /// generations that read back corrupt are discarded in favour of
-    /// older ones; with none left the workload restarts from scratch.
-    fn settle_checkpoints(&mut self, w: usize, now: SimTime) {
-        if let Some(p) = self.workloads[w].checkpoints.pending.take() {
-            if p.recorded && p.completes_at <= now {
-                self.workloads[w].checkpoints.durable.push(DurableCheckpoint {
-                    generation: p.generation,
-                    units: p.units,
-                    written_at: p.completes_at,
-                });
-            } else {
-                self.telemetry.torn_writes += 1;
-                self.tracer
-                    .record(now, TraceEvent::CheckpointTorn { workload: w, generation: p.generation });
-            }
-        }
-        let prior = self.workloads[w].invocation.units_done();
-        let mut dropped = 0u64;
-        let resume_units = loop {
-            let Some(top) = self.workloads[w].checkpoints.durable.last().copied() else {
-                break 0;
-            };
-            let corrupt = self.chaos.as_ref().is_some_and(|c| {
-                c.checkpoint_corrupted(&self.workloads[w].spec.id, top.generation, top.written_at)
-            });
-            if corrupt {
-                dropped += 1;
-                self.workloads[w].checkpoints.durable.pop();
-                self.tracer.record(
-                    now,
-                    TraceEvent::ChaosFault { kind: "checkpoint_corruption", region: None },
-                );
-            } else {
-                break top.units;
-            }
-        };
-        self.telemetry.corrupt_reads += dropped;
-        if dropped > 0 && resume_units > 0 {
-            self.telemetry.generation_fallbacks += 1;
-        }
-        let scratch = resume_units == 0 && prior > 0;
-        if scratch {
-            self.telemetry.scratch_restarts += 1;
-        }
-        self.tracer.record(
-            now,
-            TraceEvent::CheckpointRestore {
-                workload: w,
-                units: resume_units,
-                corrupt_dropped: dropped,
-                scratch,
-            },
-        );
-        self.workloads[w]
-            .invocation
-            .resume_from(resume_units)
-            .expect("checkpoint within plan");
-    }
-
-    fn handle_reclaim(
-        &mut self,
-        w: usize,
-        instance: InstanceId,
-        now: SimTime,
-        scheduler: &mut Scheduler<'_, Event>,
-    ) {
-        let Some(running) = &self.workloads[w].running else {
-            return;
-        };
-        if running.instance != instance {
-            return;
-        }
-        let region = running.region;
-        let ready_at = running.ready_at;
-        self.workloads[w].running = None;
-
-        // Account the interruption.
-        self.interruptions.increment(now);
-        *self.interruptions_by_region.entry(region).or_insert(0) += 1;
-        // Interruptions strike the breaker only while the region is under
-        // active chaos stress (blackout or hazard inflation) — natural
-        // market interruptions are the paper's normal operating regime,
-        // not a health signal, and must not perturb fault-free runs.
-        if self.chaos.as_ref().is_some_and(|c| {
-            c.is_blackout(region, now) || c.overlay().hazard_multiplier(region, now) != 1.0
-        }) {
-            self.tracer.record(
-                now,
-                TraceEvent::ChaosFault { kind: "chaos_interruption", region: Some(region) },
-            );
-            let transition = self.health.record_interruption(region, now);
-            self.trace_breaker(now, transition);
-        }
-
-        // Bill the terminated instance. (Billing first lets the trace
-        // stamp the interruption with its cost before the checkpoint
-        // settlement events; the ledger only sums, so the same-instant
-        // order is observationally irrelevant otherwise.)
-        let billed = self
-            .ec2
-            .terminate(instance, now, TerminationReason::Interrupted)
-            .expect("reclaimed instance was running");
-        self.tracer.record(
-            now,
-            TraceEvent::Interrupted { workload: w, region, instance, billed: billed.amount() },
-        );
-
-        // Progress bookkeeping: checkpoint workloads resume from the last
-        // *durable, valid* generation; standard workloads lose everything.
-        if self.workloads[w].spec.kind.is_checkpointable() {
-            self.settle_checkpoints(w, now);
-        } else {
-            let elapsed = now.saturating_duration_since(ready_at);
-            let _ = self.workloads[w].invocation.record_execution(elapsed);
-        }
-        self.workloads[w].invocation.handle_interruption();
-
-        // Log the interruption.
-        let log_key = format!("interruptions/{}/{}", self.workloads[w].spec.id, instance);
-        // Activity logging is best-effort: a throttled put loses the log
-        // line, never the run.
-        if self
-            .s3
-            .put_object(
-                LOG_BUCKET,
-                log_key,
-                ObjectBody::from_text(format!("{instance} reclaimed in {region} at {now}")),
-                region,
-                now,
-                self.ec2.ledger_mut(),
-            )
-            .is_err()
-        {
-            self.telemetry.throttled_retries += 1;
-        }
-
-        // The interruption handler (EventBridge → Step Functions → Lambda)
-        // picks the migration target and issues the new request.
-        let handler_done = {
-            let ledger = self.ec2.ledger_mut();
-            self.functions
-                .invoke(INTERRUPTION_HANDLER, now, RetryPolicy::default(), ledger, |_| Ok(()))
-                .map(|o| o.finished_at)
-                .unwrap_or(now)
-        };
-        let placement = self.relocate(w, now, region);
-        self.workloads[w].placement = placement;
-        scheduler.schedule_at(handler_done.max(now), Event::Launch(w));
-    }
-
-    fn handle_complete(
-        &mut self,
-        w: usize,
-        instance: InstanceId,
-        now: SimTime,
-    ) {
-        let Some(running) = &self.workloads[w].running else {
-            return;
-        };
-        if running.instance != instance {
-            return;
-        }
-        let region = running.region;
-        let ready_at = running.ready_at;
-        self.workloads[w].running = None;
-        let elapsed = now.saturating_duration_since(ready_at);
-        let progress = self.workloads[w]
-            .invocation
-            .record_execution(elapsed)
-            .expect("completion on a running invocation");
-        debug_assert!(progress.finished, "completion event fired early");
-        let billed = self
-            .ec2
-            .terminate(instance, now, TerminationReason::Completed)
-            .expect("completed instance was running");
-        self.tracer.record(
-            now,
-            TraceEvent::Completed { workload: w, region, instance, billed: billed.amount() },
-        );
-        self.workloads[w].completed_at = Some(now);
-        self.completed += 1;
-        self.completions.increment(now);
-        // Clear any checkpoint state.
-        if self.workloads[w].spec.kind.is_checkpointable() {
-            let spec_id = self.workloads[w].spec.id.clone();
-            let ledger = self.ec2.ledger_mut();
-            let _ = self.kv.update_item("spotverse-checkpoints", &spec_id, now, ledger, |item| {
-                item.insert("completed".into(), aws_stack::AttrValue::Bool(true));
-            });
-        }
-    }
-
-    fn handle_monitor_tick(&mut self, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
-        if self.done() {
-            return;
-        }
-        match self.run_monitor_collection(now) {
-            Ok(_) => {
-                self.note_collection_success(now);
-                self.monitor_backoff = 0;
-                scheduler.schedule_in(self.config.monitor_period, Event::MonitorTick);
-            }
-            Err(e) if e.is_retryable() => {
-                // Back off with jitter, bounded by the normal period, and
-                // try the collection again — decisions meanwhile run on
-                // the last good snapshot.
-                self.note_collection_failure();
-                self.tracer.record(now, TraceEvent::CollectionFailed { retryable: true });
-                self.telemetry.throttled_retries += 1;
-                let policy = BackoffPolicy {
-                    max_attempts: u32::MAX,
-                    base: SimDuration::from_secs(30),
-                    cap: SimDuration::from_mins(8),
-                };
-                let delay = policy
-                    .delay(self.monitor_backoff, &mut self.backoff_rng)
-                    .min(self.config.monitor_period);
-                self.monitor_backoff = (self.monitor_backoff + 1).min(8);
-                scheduler.schedule_in(delay, Event::MonitorTick);
-            }
-            // Non-retryable failures (the market refusing a read) don't
-            // kill the run either: decisions keep serving the last good
-            // snapshot — degrading past the TTL — and the next scheduled
-            // tick tries again.
-            Err(_) => {
-                self.note_collection_failure();
-                self.tracer.record(now, TraceEvent::CollectionFailed { retryable: false });
-                scheduler.schedule_in(self.config.monitor_period, Event::MonitorTick);
-            }
-        }
-    }
-}
-
-impl Model for ExperimentModel {
-    type Event = Event;
-
-    fn handle(&mut self, now: SimTime, event: Event, scheduler: &mut Scheduler<'_, Event>) {
-        if now >= self.deadline {
-            self.aborted = true;
-            return;
-        }
-        match event {
-            Event::Start => self.handle_start(now, scheduler),
-            Event::Launch(w) => self.handle_launch(w, now, scheduler),
-            Event::Retry(w) => self.handle_retry(w, now, scheduler),
-            Event::Notice(w, instance) => self.handle_notice(w, instance, now),
-            Event::Reclaim(w, instance) => self.handle_reclaim(w, instance, now, scheduler),
-            Event::Complete(w, instance) => self.handle_complete(w, instance, now),
-            Event::MonitorTick => self.handle_monitor_tick(now, scheduler),
-        }
-    }
-}
-
-/// The degraded-mode placement: the cheapest on-demand region by price,
-/// ties broken by region name. On-demand prices are static catalog data,
-/// so they stay trustworthy even when every dynamic metric has expired.
-fn cheapest_on_demand(assessments: &[RegionAssessment]) -> Region {
-    assessments
-        .iter()
-        .min_by(|a, b| {
-            a.on_demand_price
-                .rate()
-                .total_cmp(&b.on_demand_price.rate())
-                .then_with(|| a.region.name().cmp(b.region.name()))
-        })
-        .expect("assessments cover at least one region")
-        .region
-}
-
 /// Runs one experiment, building a fresh market from the config.
 pub fn run_experiment(config: ExperimentConfig, strategy: Box<dyn Strategy>) -> ExperimentReport {
     let market = Arc::new(SpotMarket::new(config.market));
@@ -1079,6 +198,11 @@ pub fn run_experiment(config: ExperimentConfig, strategy: Box<dyn Strategy>) -> 
 
 /// Runs one experiment against a shared market, so several strategies can
 /// be compared on the identical market trajectory.
+///
+/// This is the degenerate case of the fleet engine
+/// ([`run_fleet_on`](crate::fleet::run_fleet_on)): every workload arrives
+/// at the start and no capacity cap applies, which reproduces the
+/// original single-experiment Controller event-for-event.
 ///
 /// # Panics
 ///
@@ -1095,197 +219,7 @@ pub fn run_experiment_on(
         "shared market must match the experiment's market config"
     );
     assert!(!config.workloads.is_empty(), "empty workload fleet");
-
-    let root_rng = SimRng::seed_from_u64(config.seed);
-    let mut ec2 = Ec2::new(Arc::clone(&market), Ec2Config::default(), root_rng.fork("ec2"));
-    let monitor = Monitor::new(config.instance_type, Region::UsEast1);
-    let chaos_engine = config
-        .chaos
-        .as_ref()
-        .map(|scenario| ChaosEngine::new(scenario, config.seed, config.start));
-    if let Some(engine) = &chaos_engine {
-        ec2.set_fault_injector(engine.compute_injector());
-    }
-
-    let mut model = ExperimentModel {
-        market,
-        ec2,
-        s3: ObjectStore::new(),
-        efs: SharedFileSystem::new(),
-        efs_id: None,
-        kv: KvStore::new(),
-        functions: FunctionRuntime::new(),
-        metrics: MetricsService::new(Region::UsEast1),
-        monitor,
-        monitor_memo: SnapshotMemo::new(),
-        strategy,
-        strategy_rng: root_rng.fork("strategy"),
-        workloads: config
-            .workloads
-            .iter()
-            .map(|spec| {
-                let workflow = spec.build_workflow();
-                WorkloadRuntime {
-                    spec: spec.clone(),
-                    invocation: WorkflowInvocation::new(&workflow),
-                    placement: Placement::Spot(Region::UsEast1), // overwritten at Start
-                    running: None,
-                    completed_at: None,
-                    launches: 0,
-                    checkpoints: CheckpointLog::default(),
-                }
-            })
-            .collect(),
-        completed: 0,
-        interruptions: CumulativeCounter::new("interruptions"),
-        interruptions_by_region: BTreeMap::new(),
-        completions: CumulativeCounter::new("completions"),
-        launches_by_region: BTreeMap::new(),
-        deadline: config.start + config.max_runtime,
-        aborted: false,
-        chaos: chaos_engine,
-        telemetry: CheckpointTelemetry::default(),
-        backoff_rng: root_rng.fork("backoff"),
-        monitor_backoff: 0,
-        health: RegionHealth::new(config.health.breaker.clone(), config.seed),
-        freshness: TelemetryFreshness::default(),
-        quarantined_decisions: 0,
-        collect_failing: false,
-        degraded_since: None,
-        tracer: Tracer::new(&config.trace),
-        config,
-    };
-
-    // Hand each managed service its own seeded fault stream.
-    if let Some(engine) = &model.chaos {
-        model.kv.set_fault_injector(engine.service_injector("kv"));
-        model.s3.set_fault_injector(engine.service_injector("s3"));
-        model
-            .functions
-            .set_fault_injector(engine.service_injector("fn"));
-    }
-
-    // Provision the serverless stack.
-    model.monitor.provision(&mut model.functions, &mut model.kv);
-    model
-        .functions
-        .register(INTERRUPTION_HANDLER, Region::UsEast1, FunctionConfig::default());
-    model
-        .s3
-        .create_bucket(LOG_BUCKET, Region::UsEast1)
-        .expect("fresh object store");
-    model
-        .kv
-        .create_table("spotverse-checkpoints", Region::UsEast1)
-        .expect("fresh kv store");
-    if model.config.checkpoint_backend == CheckpointBackend::SharedFileSystem {
-        let fs = model.efs.create(Region::UsEast1);
-        for region in Region::ALL {
-            model.efs.mount(fs, region).expect("fresh filesystem");
-        }
-        model.efs_id = Some(fs);
-    }
-
-    let start = model.config.start;
-    if model.tracer.enabled() {
-        let event = TraceEvent::RunStarted {
-            strategy: model.strategy.name().to_owned(),
-            seed: model.config.seed,
-            workloads: model.workloads.len(),
-            chaos: model.config.chaos.as_ref().map(|s| s.name().to_owned()),
-        };
-        model.tracer.record(start, event);
-    }
-    let mut sim = Simulation::new(model);
-    sim.schedule_at(start, Event::Start);
-    sim.run_until(|m| m.done());
-    let final_time = sim.now();
-    let mut model = sim.into_model();
-
-    // A run that ends while still degraded closes its interval here.
-    if let Some(since) = model.degraded_since.take() {
-        let duration = final_time.saturating_duration_since(since);
-        model.freshness.degraded_time += duration;
-        model.tracer.record(final_time, TraceEvent::DegradedInterval { duration });
-    }
-    model.tracer.record(
-        final_time,
-        TraceEvent::RunEnded { completed: model.completed, aborted: model.aborted },
-    );
-    let trace = std::mem::replace(&mut model.tracer, Tracer::disabled()).finish(start);
-    let resilience = ResilienceTelemetry {
-        breaker_trips: model.health.trips(),
-        half_open_probes: model.health.probes(),
-        probe_failures: model.health.probe_failures(),
-        quarantined_decisions: model.quarantined_decisions,
-        freshness: model.freshness,
-    };
-
-    // Assemble the report.
-    let completed_times: Vec<SimDuration> = model
-        .workloads
-        .iter()
-        .filter_map(|w| w.completed_at)
-        .map(|at| at - start)
-        .collect();
-    let makespan = completed_times
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(SimDuration::ZERO);
-    let mean_completion = if completed_times.is_empty() {
-        SimDuration::ZERO
-    } else {
-        SimDuration::from_secs(
-            completed_times.iter().map(|d| d.as_secs()).sum::<u64>()
-                / completed_times.len() as u64,
-        )
-    };
-    let ledger = model.ec2.ledger();
-    let shared = ledger.total_for_service(ServiceKind::FunctionRuntime)
-        + ledger.total_for_service(ServiceKind::KvStore)
-        + ledger.total_for_service(ServiceKind::Metrics)
-        + ledger.total_for_service(ServiceKind::ObjectStorage);
-    let cost = CostBreakdown {
-        total: ledger.total(),
-        spot_instances: ledger.total_for_service(ServiceKind::SpotInstance),
-        on_demand_instances: ledger.total_for_service(ServiceKind::OnDemandInstance),
-        data_transfer: ledger.total_for_service(ServiceKind::DataTransfer),
-        shared_services: shared,
-    };
-    let instance_hours: f64 = model
-        .ec2
-        .instances()
-        .iter()
-        .map(|r| match r.state() {
-            cloud_compute::InstanceState::Terminated { at, .. } => {
-                (at - r.launched_at()).as_hours_f64()
-            }
-            cloud_compute::InstanceState::Running => {
-                final_time.saturating_duration_since(r.launched_at()).as_hours_f64()
-            }
-        })
-        .sum();
-
-    ExperimentReport {
-        strategy: model.strategy.name().to_owned(),
-        workloads: model.workloads.len(),
-        completed: model.completed,
-        makespan,
-        mean_completion,
-        interruptions: model.interruptions.count(),
-        interruptions_by_region: model.interruptions_by_region,
-        cumulative_interruptions: model.interruptions.series().clone(),
-        completions_over_time: model.completions.series().clone(),
-        launches_by_region: model.launches_by_region,
-        cost,
-        instance_hours,
-        spot_attempts: model.ec2.spot_attempts(),
-        spot_fulfillments: model.ec2.spot_fulfillments(),
-        checkpoints: model.telemetry,
-        resilience,
-        trace,
-    }
+    crate::fleet::run_fleet_on(market, FleetConfig::from_experiment(&config), strategy).aggregate
 }
 
 #[cfg(test)]
@@ -1293,8 +227,10 @@ mod tests {
     use super::*;
     use bio_workloads::{paper_fleet, WorkloadKind};
     use cloud_market::Region;
+    use sim_kernel::SimRng;
 
     use crate::config::{InitialPlacement, SpotVerseConfig};
+    use crate::trace::{DecisionKind, TraceEvent};
     use crate::strategy::{
         OnDemandStrategy, SingleRegionStrategy, SpotVerseStrategy,
     };

@@ -1,0 +1,1002 @@
+//! The fleet event loop: N concurrent workloads multiplexed over one
+//! shared control plane.
+//!
+//! This is the engine behind both entry points:
+//!
+//! * [`run_experiment`](crate::experiment::run_experiment) runs the
+//!   degenerate fleet — every workload arrives at the start, no capacity
+//!   caps — and is **provably pure** against the pre-decomposition
+//!   controller: a fleet of N=1 (or N arriving together) reproduces the
+//!   single-workload `ExperimentReport` and golden traces byte-for-byte.
+//! * [`run_fleet`] exposes the general form: staggered arrival times,
+//!   per-workload deadlines, and per-region concurrent-instance capacity
+//!   caps enforced through the Optimizer's exclusion-slice paths (a full
+//!   region refills from the next-ranked candidate exactly like a
+//!   quarantined one).
+//!
+//! Capacity semantics: a cap of `k` bounds the *running* instances per
+//! region (spot and on-demand alike; open spot requests reserve nothing).
+//! At decision time, full regions join the health-quarantine exclusion
+//! slice, so placements refill from the next-ranked region. At launch
+//! time a placement aimed at a region that filled since the decision is
+//! deferred to the retry sweep, which re-asks the strategy.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use aws_stack::{ObjectBody, RetryPolicy};
+use bio_workloads::WorkloadSpec;
+use chaos::ChaosEngine;
+use cloud_compute::{InstanceId, ServiceKind, SpotRequestOutcome, TerminationReason};
+use cloud_market::{Region, SpotMarket};
+use sim_kernel::{
+    CumulativeCounter, Model, Scheduler, SimDuration, SimRng, SimTime, Simulation,
+};
+
+use crate::controlplane::{cheapest_on_demand, ControlPlane};
+use crate::experiment::{
+    CostBreakdown, ExperimentConfig, ExperimentReport, INTERRUPTION_HANDLER, LOG_BUCKET,
+};
+use crate::optimizer::Placement;
+use crate::strategy::{Strategy, StrategyContext};
+use crate::trace::{DecisionKind, TraceEvent, Tracer};
+use crate::workload::{WorkloadPhase, WorkloadReport, WorkloadRuntime};
+
+/// One workload's slot in a fleet: the spec plus its arrival offset.
+#[derive(Debug, Clone)]
+pub struct FleetWorkload {
+    /// The workload to run.
+    pub spec: WorkloadSpec,
+    /// Arrival offset from the fleet start (ZERO = present at start).
+    pub arrival: SimDuration,
+}
+
+/// Fleet run configuration: the experiment knobs plus staggered arrivals
+/// and an optional per-region concurrency cap.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Master seed (market + all decision streams fork from it).
+    pub seed: u64,
+    /// Market build parameters.
+    pub market: cloud_market::MarketConfig,
+    /// The instance type every workload runs on.
+    pub instance_type: cloud_market::InstanceType,
+    /// The fleet, each workload with its arrival offset.
+    pub workloads: Vec<FleetWorkload>,
+    /// When the fleet starts (offset into the market horizon).
+    pub start: SimTime,
+    /// Monitor collection period.
+    pub monitor_period: SimDuration,
+    /// Open-request retry sweep interval.
+    pub retry_interval: SimDuration,
+    /// Per-workload runtime budget: workload `w`'s deadline is
+    /// `start + arrival(w) + max_runtime`.
+    pub max_runtime: SimDuration,
+    /// Route optimizer inputs through the Monitor→KV snapshot pipeline.
+    pub monitor_pipeline: bool,
+    /// Where checkpoint working sets are persisted.
+    pub checkpoint_backend: crate::experiment::CheckpointBackend,
+    /// Optional fault-injection scenario.
+    pub chaos: Option<chaos::ChaosScenario>,
+    /// Resilience control plane tuning.
+    pub health: crate::health::HealthConfig,
+    /// Decision-trace recording.
+    pub trace: crate::trace::TraceConfig,
+    /// Per-region cap on *concurrently running* instances (`None` =
+    /// unbounded, the classic experiment behavior).
+    pub region_capacity: Option<u32>,
+}
+
+impl FleetConfig {
+    /// A standard fleet configuration with the same defaults as
+    /// [`ExperimentConfig::new`].
+    pub fn new(
+        seed: u64,
+        instance_type: cloud_market::InstanceType,
+        workloads: Vec<FleetWorkload>,
+    ) -> Self {
+        FleetConfig {
+            seed,
+            market: cloud_market::MarketConfig::with_seed(seed),
+            instance_type,
+            workloads,
+            start: SimTime::from_days(1),
+            monitor_period: SimDuration::from_mins(15),
+            retry_interval: SimDuration::from_mins(15),
+            max_runtime: SimDuration::from_days(30),
+            monitor_pipeline: true,
+            checkpoint_backend: crate::experiment::CheckpointBackend::ObjectStore,
+            chaos: None,
+            health: crate::health::HealthConfig::default(),
+            trace: crate::trace::TraceConfig::default(),
+            region_capacity: None,
+        }
+    }
+
+    /// The degenerate fleet equivalent of a classic experiment: every
+    /// workload arrives at the start, no capacity cap. Running this
+    /// through [`run_fleet_on`] reproduces
+    /// [`run_experiment_on`](crate::experiment::run_experiment_on)
+    /// byte-for-byte.
+    pub fn from_experiment(config: &ExperimentConfig) -> Self {
+        FleetConfig {
+            seed: config.seed,
+            market: config.market,
+            instance_type: config.instance_type,
+            workloads: config
+                .workloads
+                .iter()
+                .map(|spec| FleetWorkload { spec: spec.clone(), arrival: SimDuration::ZERO })
+                .collect(),
+            start: config.start,
+            monitor_period: config.monitor_period,
+            retry_interval: config.retry_interval,
+            max_runtime: config.max_runtime,
+            monitor_pipeline: config.monitor_pipeline,
+            checkpoint_backend: config.checkpoint_backend,
+            chaos: config.chaos.clone(),
+            health: config.health.clone(),
+            trace: config.trace,
+            region_capacity: None,
+        }
+    }
+
+    /// Evenly staggered arrivals: workload `i` arrives at `i * spacing`.
+    pub fn staggered(
+        seed: u64,
+        instance_type: cloud_market::InstanceType,
+        specs: Vec<WorkloadSpec>,
+        spacing: SimDuration,
+    ) -> Self {
+        let workloads = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| FleetWorkload { spec, arrival: spacing * i as u64 })
+            .collect();
+        FleetConfig::new(seed, instance_type, workloads)
+    }
+}
+
+/// The result of a fleet run: the aggregate experiment report plus the
+/// per-workload breakdown and fleet-only counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Aggregate metrics over the whole fleet, in the exact shape of a
+    /// classic single-run report.
+    pub aggregate: ExperimentReport,
+    /// One report per workload, in fleet order.
+    pub workloads: Vec<WorkloadReport>,
+    /// Launches deferred because the placement's region was at its
+    /// concurrency cap.
+    pub capacity_deferrals: u64,
+    /// Workloads that hit their per-workload deadline unfinished.
+    pub expired: usize,
+}
+
+#[derive(Debug)]
+pub(crate) enum Event {
+    Start,
+    Arrive(usize),
+    Launch(usize),
+    Retry(usize),
+    Notice(usize, InstanceId),
+    Reclaim(usize, InstanceId),
+    Complete(usize, InstanceId),
+    Expire(usize),
+    MonitorTick,
+}
+
+struct FleetModel {
+    config: FleetConfig,
+    cp: ControlPlane,
+    strategy: Box<dyn Strategy>,
+    strategy_rng: SimRng,
+    workloads: Vec<WorkloadRuntime>,
+    /// Arrival batches: (absolute time, workload indices), ascending.
+    batches: Vec<(SimTime, Vec<usize>)>,
+    completed: usize,
+    expired: usize,
+    interruptions: CumulativeCounter,
+    interruptions_by_region: BTreeMap<Region, u64>,
+    completions: CumulativeCounter,
+    launches_by_region: BTreeMap<Region, u64>,
+    running_by_region: BTreeMap<Region, u32>,
+    capacity_deferrals: u64,
+    /// Global abort horizon: the latest per-workload deadline.
+    horizon: SimTime,
+    aborted: bool,
+}
+
+impl std::fmt::Debug for FleetModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetModel")
+            .field("strategy", &self.strategy.name())
+            .field("completed", &self.completed)
+            .field("interruptions", &self.interruptions.count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetModel {
+    fn done(&self) -> bool {
+        self.completed + self.expired == self.workloads.len() || self.aborted
+    }
+
+    /// Whether `region` is at its concurrent-instance cap.
+    fn at_capacity(&self, region: Region) -> bool {
+        match self.config.region_capacity {
+            Some(cap) => self.running_by_region.get(&region).copied().unwrap_or(0) >= cap,
+            None => false,
+        }
+    }
+
+    /// Extends a health-quarantine exclusion list with every region at
+    /// its concurrency cap. A structural no-op without a cap, so classic
+    /// experiment streams are untouched.
+    fn with_capacity_exclusions(&self, mut excluded: Vec<Region>) -> Vec<Region> {
+        if self.config.region_capacity.is_none() {
+            return excluded;
+        }
+        for &region in self.running_by_region.keys() {
+            if self.at_capacity(region) && !excluded.contains(&region) {
+                excluded.push(region);
+            }
+        }
+        excluded
+    }
+
+    fn occupy_slot(&mut self, region: Region) {
+        *self.running_by_region.entry(region).or_insert(0) += 1;
+    }
+
+    fn free_slot(&mut self, region: Region) {
+        if let Some(count) = self.running_by_region.get_mut(&region) {
+            *count = count.saturating_sub(1);
+        }
+    }
+
+    fn relocate(&mut self, w: usize, now: SimTime, previous: Region) -> Placement {
+        let (assessments, degraded) = self.cp.decision_inputs(now);
+        if degraded {
+            // Expired telemetry: don't trust scores or spot prices, take
+            // guaranteed capacity at the cheapest on-demand rate. Skips
+            // the strategy (and its RNG) entirely — only reachable under
+            // chaos, so fault-free streams are untouched.
+            let placement = Placement::OnDemand(cheapest_on_demand(&assessments));
+            if self.cp.tracer.enabled() {
+                self.cp.tracer.record(
+                    now,
+                    TraceEvent::Decision {
+                        kind: DecisionKind::Migration,
+                        workload: Some(w),
+                        previous: Some(previous),
+                        degraded: true,
+                        quarantined: Vec::new(),
+                        candidates: None,
+                        placements: vec![placement],
+                    },
+                );
+            }
+            return placement;
+        }
+        let quarantined = self.cp.health.quarantined(now);
+        if !quarantined.is_empty() {
+            self.cp.quarantined_decisions += 1;
+        }
+        let quarantined = self.with_capacity_exclusions(quarantined);
+        let mut ctx = StrategyContext {
+            instance_type: self.config.instance_type,
+            now,
+            assessments: &assessments,
+            quarantined: &quarantined,
+            rng: &mut self.strategy_rng,
+        };
+        let placement = self.strategy.relocate(&mut ctx, previous);
+        if self.cp.tracer.enabled() {
+            let candidates =
+                self.strategy
+                    .explain_candidates(&assessments, &quarantined, Some(previous));
+            self.cp.tracer.record(
+                now,
+                TraceEvent::Decision {
+                    kind: DecisionKind::Migration,
+                    workload: Some(w),
+                    previous: Some(previous),
+                    degraded: false,
+                    quarantined,
+                    candidates,
+                    placements: vec![placement],
+                },
+            );
+        }
+        placement
+    }
+
+    /// Places an arrival batch: one strategy decision covering every
+    /// workload in the batch, then a launch event per workload.
+    fn place_batch(&mut self, ids: &[usize], now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
+        let (assessments, degraded) = self.cp.decision_inputs(now);
+        let n = ids.len();
+        let mut quarantined = Vec::new();
+        let placements = if degraded {
+            vec![Placement::OnDemand(cheapest_on_demand(&assessments)); n]
+        } else {
+            quarantined = self.cp.health.quarantined(now);
+            if !quarantined.is_empty() {
+                self.cp.quarantined_decisions += 1;
+            }
+            quarantined = self.with_capacity_exclusions(quarantined);
+            let mut ctx = StrategyContext {
+                instance_type: self.config.instance_type,
+                now,
+                assessments: &assessments,
+                quarantined: &quarantined,
+                rng: &mut self.strategy_rng,
+            };
+            self.strategy.initial_placements(&mut ctx, n)
+        };
+        debug_assert_eq!(placements.len(), n);
+        if self.cp.tracer.enabled() {
+            let candidates = if degraded {
+                None
+            } else {
+                self.strategy.explain_candidates(&assessments, &quarantined, None)
+            };
+            self.cp.tracer.record(
+                now,
+                TraceEvent::Decision {
+                    kind: DecisionKind::Initial,
+                    workload: None,
+                    previous: None,
+                    degraded,
+                    quarantined,
+                    candidates,
+                    placements: placements.clone(),
+                },
+            );
+        }
+        for (i, placement) in placements.into_iter().enumerate() {
+            let w = ids[i];
+            self.workloads[w].placement = placement;
+            self.workloads[w].phase = WorkloadPhase::Requesting;
+            scheduler.schedule_in(SimDuration::ZERO, Event::Launch(w));
+        }
+    }
+
+    fn handle_start(&mut self, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
+        // Prime the Monitor so the first decision has a snapshot. Under a
+        // throttle storm the collection may fail; decisions then fall back
+        // to fresh market reads until a tick succeeds.
+        match self.cp.run_monitor_collection(now) {
+            Ok(_) => self.cp.note_collection_success(now),
+            Err(e) => {
+                self.cp.telemetry.throttled_retries += 1;
+                self.cp.note_collection_failure();
+                self.cp
+                    .tracer
+                    .record(now, TraceEvent::CollectionFailed { retryable: e.is_retryable() });
+            }
+        }
+        scheduler.schedule_in(self.config.monitor_period, Event::MonitorTick);
+
+        // Place the batch present at the start (all of it, for a classic
+        // experiment), then schedule the later arrival batches and any
+        // heterogeneous per-workload deadlines. A degenerate fleet has a
+        // single batch and every deadline equal to the horizon, so neither
+        // loop schedules anything.
+        let mut first_arrival = 0;
+        if let Some((at, ids)) = self.batches.first() {
+            if *at == now {
+                let ids = ids.clone();
+                first_arrival = 1;
+                self.place_batch(&ids, now, scheduler);
+            }
+        }
+        for b in first_arrival..self.batches.len() {
+            scheduler.schedule_at(self.batches[b].0, Event::Arrive(b));
+        }
+        for w in 0..self.workloads.len() {
+            if self.workloads[w].deadline < self.horizon {
+                scheduler.schedule_at(self.workloads[w].deadline, Event::Expire(w));
+            }
+        }
+    }
+
+    fn handle_arrive(&mut self, b: usize, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
+        let ids = self.batches[b].1.clone();
+        self.cp
+            .tracer
+            .record(now, TraceEvent::WorkloadsArrived { batch: ids.clone() });
+        self.place_batch(&ids, now, scheduler);
+    }
+
+    fn handle_launch(&mut self, w: usize, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
+        if self.workloads[w].settled() || self.workloads[w].running.is_some() {
+            return;
+        }
+        let itype = self.config.instance_type;
+        let placement = self.workloads[w].placement;
+        // A region that filled up between the decision and this launch
+        // defers to the retry sweep, which re-asks the strategy with the
+        // full region excluded. Unreachable without a capacity cap.
+        if self.at_capacity(placement.region()) {
+            self.capacity_deferrals += 1;
+            self.cp.tracer.record(
+                now,
+                TraceEvent::CapacityDeferred { workload: w, region: placement.region() },
+            );
+            scheduler.schedule_in(self.config.retry_interval, Event::Retry(w));
+            return;
+        }
+        match placement {
+            Placement::Spot(region) => match self.cp.ec2.request_spot(region, itype, now) {
+                Ok(SpotRequestOutcome::Fulfilled(launch)) => {
+                    self.note_launch(region);
+                    // Heals breaker strikes / closes a half-open probe; a
+                    // structural no-op when the region has no breaker
+                    // entry, i.e. on every fault-free run.
+                    let transition = self.cp.health.record_fulfillment(region, now);
+                    self.cp.trace_breaker(now, transition);
+                    self.cp.tracer.record(
+                        now,
+                        TraceEvent::Launched {
+                            workload: w,
+                            region,
+                            spot: true,
+                            instance: launch.instance,
+                        },
+                    );
+                    let FleetModel { workloads, cp, .. } = self;
+                    workloads[w].begin_execution(
+                        w,
+                        region,
+                        launch.instance,
+                        launch.ready_at,
+                        launch.interruption_at,
+                        now,
+                        scheduler,
+                        cp,
+                    );
+                    self.occupy_slot(region);
+                }
+                Ok(SpotRequestOutcome::OpenNoCapacity) => {
+                    // Natural no-capacity and blackout-blocked requests are
+                    // indistinguishable at the API; only chaos-attributed
+                    // rejections strike the breaker, so fault-free runs
+                    // never grow a ledger entry.
+                    let blackout = self
+                        .cp
+                        .chaos
+                        .as_ref()
+                        .is_some_and(|c| c.is_blackout(region, now));
+                    if blackout {
+                        self.cp.tracer.record(
+                            now,
+                            TraceEvent::ChaosFault { kind: "spot_blackout", region: Some(region) },
+                        );
+                        let transition = self.cp.health.record_rejection(region, now);
+                        self.cp.trace_breaker(now, transition);
+                    }
+                    self.cp
+                        .tracer
+                        .record(now, TraceEvent::RequestOpen { workload: w, region, blackout });
+                    // The Controller's periodic sweep picks it back up.
+                    scheduler.schedule_in(self.config.retry_interval, Event::Retry(w));
+                }
+                // A failed request (e.g. a region knocked out from under
+                // an in-flight placement) also lands on the retry sweep
+                // instead of killing the run.
+                Err(_) => {
+                    if self.cp.chaos.is_some() {
+                        let transition = self.cp.health.record_rejection(region, now);
+                        self.cp.trace_breaker(now, transition);
+                    }
+                    self.cp
+                        .tracer
+                        .record(now, TraceEvent::RequestFailed { workload: w, region });
+                    scheduler.schedule_in(self.config.retry_interval, Event::Retry(w));
+                }
+            },
+            Placement::OnDemand(region) => {
+                let launch = self
+                    .cp
+                    .ec2
+                    .launch_on_demand(region, itype, now)
+                    .expect("on-demand launch always succeeds in offered regions");
+                self.note_launch(region);
+                self.cp.tracer.record(
+                    now,
+                    TraceEvent::Launched {
+                        workload: w,
+                        region,
+                        spot: false,
+                        instance: launch.instance,
+                    },
+                );
+                let FleetModel { workloads, cp, .. } = self;
+                workloads[w].begin_execution(
+                    w,
+                    region,
+                    launch.instance,
+                    launch.ready_at,
+                    None,
+                    now,
+                    scheduler,
+                    cp,
+                );
+                self.occupy_slot(region);
+            }
+        }
+    }
+
+    fn note_launch(&mut self, region: Region) {
+        *self.launches_by_region.entry(region).or_insert(0) += 1;
+    }
+
+    /// The retry sweep. If the pending placement's region has since been
+    /// blacked out, quarantined by its breaker, or filled to its
+    /// concurrency cap, re-ask the strategy for a target before
+    /// requesting again — otherwise a migration aimed at a now-dead
+    /// region would spin on it until the fault lifts.
+    fn handle_retry(&mut self, w: usize, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
+        if self.workloads[w].settled() || self.workloads[w].running.is_some() {
+            return;
+        }
+        let needs_replacement = match self.workloads[w].placement {
+            Placement::Spot(region) => {
+                let blacked_out = self
+                    .cp
+                    .chaos
+                    .as_ref()
+                    .is_some_and(|c| c.is_blackout(region, now));
+                blacked_out
+                    || self.cp.health.is_quarantined(region, now)
+                    || self.at_capacity(region)
+            }
+            // Only the concurrency cap can block an on-demand launch.
+            Placement::OnDemand(region) => self.at_capacity(region),
+        };
+        if needs_replacement {
+            let region = self.workloads[w].placement.region();
+            let placement = self.relocate(w, now, region);
+            self.workloads[w].placement = placement;
+        }
+        self.handle_launch(w, now, scheduler);
+    }
+
+    fn handle_reclaim(
+        &mut self,
+        w: usize,
+        instance: InstanceId,
+        now: SimTime,
+        scheduler: &mut Scheduler<'_, Event>,
+    ) {
+        let Some(running) = &self.workloads[w].running else {
+            return;
+        };
+        if running.instance != instance {
+            return;
+        }
+        let region = running.region;
+        let ready_at = running.ready_at;
+        self.workloads[w].running = None;
+        self.workloads[w].phase = WorkloadPhase::Migrating;
+        self.free_slot(region);
+
+        // Account the interruption.
+        self.interruptions.increment(now);
+        *self.interruptions_by_region.entry(region).or_insert(0) += 1;
+        self.workloads[w].interruptions += 1;
+        // Interruptions strike the breaker only while the region is under
+        // active chaos stress (blackout or hazard inflation) — natural
+        // market interruptions are the paper's normal operating regime,
+        // not a health signal, and must not perturb fault-free runs.
+        if self.cp.chaos.as_ref().is_some_and(|c| {
+            c.is_blackout(region, now) || c.overlay().hazard_multiplier(region, now) != 1.0
+        }) {
+            self.cp.tracer.record(
+                now,
+                TraceEvent::ChaosFault { kind: "chaos_interruption", region: Some(region) },
+            );
+            let transition = self.cp.health.record_interruption(region, now);
+            self.cp.trace_breaker(now, transition);
+        }
+
+        // Bill the terminated instance. (Billing first lets the trace
+        // stamp the interruption with its cost before the checkpoint
+        // settlement events; the ledger only sums, so the same-instant
+        // order is observationally irrelevant otherwise.)
+        let billed = self
+            .cp
+            .ec2
+            .terminate(instance, now, TerminationReason::Interrupted)
+            .expect("reclaimed instance was running");
+        self.workloads[w].billed += billed;
+        self.cp.tracer.record(
+            now,
+            TraceEvent::Interrupted { workload: w, region, instance, billed: billed.amount() },
+        );
+
+        // Progress bookkeeping: checkpoint workloads resume from the last
+        // *durable, valid* generation; standard workloads lose everything.
+        if self.workloads[w].spec.kind.is_checkpointable() {
+            let FleetModel { workloads, cp, .. } = self;
+            workloads[w].settle_checkpoints(w, now, cp);
+        } else {
+            let elapsed = now.saturating_duration_since(ready_at);
+            let _ = self.workloads[w].invocation.record_execution(elapsed);
+        }
+        self.workloads[w].invocation.handle_interruption();
+
+        // Log the interruption.
+        let log_key = format!("interruptions/{}/{}", self.workloads[w].spec.id, instance);
+        // Activity logging is best-effort: a throttled put loses the log
+        // line, never the run.
+        if self
+            .cp
+            .s3
+            .put_object(
+                LOG_BUCKET,
+                log_key,
+                ObjectBody::from_text(format!("{instance} reclaimed in {region} at {now}")),
+                region,
+                now,
+                self.cp.ec2.ledger_mut(),
+            )
+            .is_err()
+        {
+            self.cp.telemetry.throttled_retries += 1;
+        }
+
+        // The interruption handler (EventBridge → Step Functions → Lambda)
+        // picks the migration target and issues the new request.
+        let handler_done = {
+            let ControlPlane { functions, ec2, .. } = &mut self.cp;
+            functions
+                .invoke(INTERRUPTION_HANDLER, now, RetryPolicy::default(), ec2.ledger_mut(), |_| {
+                    Ok(())
+                })
+                .map(|o| o.finished_at)
+                .unwrap_or(now)
+        };
+        let placement = self.relocate(w, now, region);
+        self.workloads[w].placement = placement;
+        self.workloads[w].phase = WorkloadPhase::Requesting;
+        scheduler.schedule_at(handler_done.max(now), Event::Launch(w));
+    }
+
+    fn handle_complete(&mut self, w: usize, instance: InstanceId, now: SimTime) {
+        let Some(running) = &self.workloads[w].running else {
+            return;
+        };
+        if running.instance != instance {
+            return;
+        }
+        let region = running.region;
+        let ready_at = running.ready_at;
+        self.workloads[w].running = None;
+        self.free_slot(region);
+        let elapsed = now.saturating_duration_since(ready_at);
+        let progress = self.workloads[w]
+            .invocation
+            .record_execution(elapsed)
+            .expect("completion on a running invocation");
+        debug_assert!(progress.finished, "completion event fired early");
+        let billed = self
+            .cp
+            .ec2
+            .terminate(instance, now, TerminationReason::Completed)
+            .expect("completed instance was running");
+        self.workloads[w].billed += billed;
+        self.cp.tracer.record(
+            now,
+            TraceEvent::Completed { workload: w, region, instance, billed: billed.amount() },
+        );
+        self.workloads[w].completed_at = Some(now);
+        self.workloads[w].phase = WorkloadPhase::Completed;
+        self.completed += 1;
+        self.completions.increment(now);
+        // Clear any checkpoint state.
+        if self.workloads[w].spec.kind.is_checkpointable() {
+            let spec_id = self.workloads[w].spec.id.clone();
+            let ledger = self.cp.ec2.ledger_mut();
+            let _ = self.cp.kv.update_item("spotverse-checkpoints", &spec_id, now, ledger, |item| {
+                item.insert("completed".into(), aws_stack::AttrValue::Bool(true));
+            });
+        }
+    }
+
+    /// A workload hit its per-workload deadline unfinished: terminate its
+    /// instance (if any) and retire it from the fleet. Only scheduled for
+    /// workloads whose deadline precedes the global horizon, so classic
+    /// experiments never see this event.
+    fn handle_expire(&mut self, w: usize, now: SimTime) {
+        if self.workloads[w].settled() {
+            return;
+        }
+        self.workloads[w].expired = true;
+        self.workloads[w].phase = WorkloadPhase::Expired;
+        self.expired += 1;
+        let mut region = None;
+        let mut billed_amount = None;
+        if let Some(running) = self.workloads[w].running.take() {
+            let billed = self
+                .cp
+                .ec2
+                .terminate(running.instance, now, TerminationReason::Manual)
+                .expect("expired workload's instance was running");
+            self.workloads[w].billed += billed;
+            self.free_slot(running.region);
+            region = Some(running.region);
+            billed_amount = Some(billed.amount());
+        }
+        self.cp
+            .tracer
+            .record(now, TraceEvent::WorkloadExpired { workload: w, region, billed: billed_amount });
+    }
+
+    fn handle_monitor_tick(&mut self, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
+        if self.done() {
+            return;
+        }
+        match self.cp.run_monitor_collection(now) {
+            Ok(_) => {
+                self.cp.note_collection_success(now);
+                self.cp.monitor_backoff = 0;
+                scheduler.schedule_in(self.config.monitor_period, Event::MonitorTick);
+            }
+            Err(e) if e.is_retryable() => {
+                // Back off with jitter, bounded by the normal period, and
+                // try the collection again — decisions meanwhile run on
+                // the last good snapshot.
+                self.cp.note_collection_failure();
+                self.cp.tracer.record(now, TraceEvent::CollectionFailed { retryable: true });
+                self.cp.telemetry.throttled_retries += 1;
+                let policy = crate::resilience::BackoffPolicy {
+                    max_attempts: u32::MAX,
+                    base: SimDuration::from_secs(30),
+                    cap: SimDuration::from_mins(8),
+                };
+                let delay = policy
+                    .delay(self.cp.monitor_backoff, &mut self.cp.backoff_rng)
+                    .min(self.config.monitor_period);
+                self.cp.monitor_backoff = (self.cp.monitor_backoff + 1).min(8);
+                scheduler.schedule_in(delay, Event::MonitorTick);
+            }
+            // Non-retryable failures (the market refusing a read) don't
+            // kill the run either: decisions keep serving the last good
+            // snapshot — degrading past the TTL — and the next scheduled
+            // tick tries again.
+            Err(_) => {
+                self.cp.note_collection_failure();
+                self.cp.tracer.record(now, TraceEvent::CollectionFailed { retryable: false });
+                scheduler.schedule_in(self.config.monitor_period, Event::MonitorTick);
+            }
+        }
+    }
+}
+
+impl Model for FleetModel {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, scheduler: &mut Scheduler<'_, Event>) {
+        if now >= self.horizon {
+            self.aborted = true;
+            return;
+        }
+        match event {
+            Event::Start => self.handle_start(now, scheduler),
+            Event::Arrive(b) => self.handle_arrive(b, now, scheduler),
+            Event::Launch(w) => self.handle_launch(w, now, scheduler),
+            Event::Retry(w) => self.handle_retry(w, now, scheduler),
+            Event::Notice(w, instance) => {
+                let FleetModel { workloads, cp, .. } = self;
+                workloads[w].handle_notice(w, instance, now, cp);
+            }
+            Event::Reclaim(w, instance) => self.handle_reclaim(w, instance, now, scheduler),
+            Event::Complete(w, instance) => self.handle_complete(w, instance, now),
+            Event::Expire(w) => self.handle_expire(w, now),
+            Event::MonitorTick => self.handle_monitor_tick(now, scheduler),
+        }
+    }
+}
+
+/// Groups workload indices into arrival batches, ascending by time.
+fn arrival_batches(workloads: &[WorkloadRuntime]) -> Vec<(SimTime, Vec<usize>)> {
+    let mut by_time: BTreeMap<SimTime, Vec<usize>> = BTreeMap::new();
+    for (w, runtime) in workloads.iter().enumerate() {
+        by_time.entry(runtime.arrival).or_default().push(w);
+    }
+    by_time.into_iter().collect()
+}
+
+/// Runs a fleet, building a fresh market from the config.
+pub fn run_fleet(config: FleetConfig, strategy: Box<dyn Strategy>) -> FleetReport {
+    let market = Arc::new(SpotMarket::new(config.market));
+    run_fleet_on(market, config, strategy)
+}
+
+/// Runs a fleet against a shared market, so several strategies (or
+/// several fleet shapes) can be compared on the identical market
+/// trajectory.
+///
+/// # Panics
+///
+/// Panics if the market was built from a different market config than
+/// the fleet's, if the fleet is empty, or if `region_capacity` is
+/// `Some(0)`.
+pub fn run_fleet_on(
+    market: Arc<SpotMarket>,
+    config: FleetConfig,
+    strategy: Box<dyn Strategy>,
+) -> FleetReport {
+    assert_eq!(
+        market.config(),
+        config.market,
+        "shared market must match the experiment's market config"
+    );
+    assert!(!config.workloads.is_empty(), "empty workload fleet");
+    assert!(
+        config.region_capacity != Some(0),
+        "region_capacity of 0 can never place anything"
+    );
+
+    let root_rng = SimRng::seed_from_u64(config.seed);
+    let chaos_engine = config
+        .chaos
+        .as_ref()
+        .map(|scenario| ChaosEngine::new(scenario, config.seed, config.start));
+    let cp = ControlPlane::new(
+        Arc::clone(&market),
+        config.instance_type,
+        config.seed,
+        config.monitor_pipeline,
+        config.checkpoint_backend,
+        &config.health,
+        &config.trace,
+        chaos_engine,
+        &root_rng,
+    );
+
+    let start = config.start;
+    let workloads: Vec<WorkloadRuntime> = config
+        .workloads
+        .iter()
+        .map(|fw| {
+            let arrival = start + fw.arrival;
+            WorkloadRuntime::new(&fw.spec, arrival, arrival + config.max_runtime)
+        })
+        .collect();
+    let batches = arrival_batches(&workloads);
+    let horizon = workloads
+        .iter()
+        .map(|w| w.deadline)
+        .max()
+        .expect("non-empty fleet");
+
+    let mut model = FleetModel {
+        cp,
+        strategy,
+        strategy_rng: root_rng.fork("strategy"),
+        workloads,
+        batches,
+        completed: 0,
+        expired: 0,
+        interruptions: CumulativeCounter::new("interruptions"),
+        interruptions_by_region: BTreeMap::new(),
+        completions: CumulativeCounter::new("completions"),
+        launches_by_region: BTreeMap::new(),
+        running_by_region: BTreeMap::new(),
+        capacity_deferrals: 0,
+        horizon,
+        aborted: false,
+        config,
+    };
+
+    if model.cp.tracer.enabled() {
+        let event = TraceEvent::RunStarted {
+            strategy: model.strategy.name().to_owned(),
+            seed: model.config.seed,
+            workloads: model.workloads.len(),
+            chaos: model.config.chaos.as_ref().map(|s| s.name().to_owned()),
+        };
+        model.cp.tracer.record(start, event);
+    }
+    let mut sim = Simulation::new(model);
+    sim.schedule_at(start, Event::Start);
+    sim.run_until(|m| m.done());
+    let final_time = sim.now();
+    let mut model = sim.into_model();
+
+    // A run that ends while still degraded closes its interval here.
+    if let Some(since) = model.cp.degraded_since.take() {
+        let duration = final_time.saturating_duration_since(since);
+        model.cp.freshness.degraded_time += duration;
+        model.cp.tracer.record(final_time, TraceEvent::DegradedInterval { duration });
+    }
+    model.cp.tracer.record(
+        final_time,
+        TraceEvent::RunEnded { completed: model.completed, aborted: model.aborted },
+    );
+    let trace = std::mem::replace(&mut model.cp.tracer, Tracer::disabled()).finish(start);
+    let resilience = model.cp.resilience();
+
+    // Assemble the aggregate report.
+    let completed_times: Vec<SimDuration> = model
+        .workloads
+        .iter()
+        .filter_map(|w| w.completed_at)
+        .map(|at| at - start)
+        .collect();
+    let makespan = completed_times
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    let mean_completion = if completed_times.is_empty() {
+        SimDuration::ZERO
+    } else {
+        SimDuration::from_secs(
+            completed_times.iter().map(|d| d.as_secs()).sum::<u64>()
+                / completed_times.len() as u64,
+        )
+    };
+    let ledger = model.cp.ec2.ledger();
+    let shared = ledger.total_for_service(ServiceKind::FunctionRuntime)
+        + ledger.total_for_service(ServiceKind::KvStore)
+        + ledger.total_for_service(ServiceKind::Metrics)
+        + ledger.total_for_service(ServiceKind::ObjectStorage);
+    let cost = CostBreakdown {
+        total: ledger.total(),
+        spot_instances: ledger.total_for_service(ServiceKind::SpotInstance),
+        on_demand_instances: ledger.total_for_service(ServiceKind::OnDemandInstance),
+        data_transfer: ledger.total_for_service(ServiceKind::DataTransfer),
+        shared_services: shared,
+    };
+    let instance_hours: f64 = model
+        .cp
+        .ec2
+        .instances()
+        .iter()
+        .map(|r| match r.state() {
+            cloud_compute::InstanceState::Terminated { at, .. } => {
+                (at - r.launched_at()).as_hours_f64()
+            }
+            cloud_compute::InstanceState::Running => {
+                final_time.saturating_duration_since(r.launched_at()).as_hours_f64()
+            }
+        })
+        .sum();
+
+    let aggregate = ExperimentReport {
+        strategy: model.strategy.name().to_owned(),
+        workloads: model.workloads.len(),
+        completed: model.completed,
+        makespan,
+        mean_completion,
+        interruptions: model.interruptions.count(),
+        interruptions_by_region: model.interruptions_by_region,
+        cumulative_interruptions: model.interruptions.series().clone(),
+        completions_over_time: model.completions.series().clone(),
+        launches_by_region: model.launches_by_region,
+        cost,
+        instance_hours,
+        spot_attempts: model.cp.ec2.spot_attempts(),
+        spot_fulfillments: model.cp.ec2.spot_fulfillments(),
+        checkpoints: model.cp.telemetry,
+        resilience,
+        trace,
+    };
+    let workloads = model
+        .workloads
+        .iter()
+        .enumerate()
+        .map(|(w, runtime)| runtime.report(w))
+        .collect();
+    FleetReport {
+        aggregate,
+        workloads,
+        capacity_deferrals: model.capacity_deferrals,
+        expired: model.expired,
+    }
+}

@@ -15,7 +15,7 @@ use cloud_market::{PlacementScore, Region, UsdPerHour};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{InitialPlacement, SpotVerseConfig};
-use crate::optimizer::{Optimizer, Placement, RegionAssessment};
+use crate::optimizer::{MigrationPolicy, Optimizer, Placement, RegionAssessment};
 use crate::strategy::{Strategy, StrategyContext};
 
 /// Holt's linear (level + trend) exponential smoothing for one signal.
@@ -169,14 +169,15 @@ impl Strategy for ForecastingSpotVerseStrategy {
         let predicted = self.forecaster.predict(ctx.assessments);
         match self.optimizer.config().initial_placement() {
             InitialPlacement::SingleRegion(region) => vec![Placement::Spot(*region); n],
-            InitialPlacement::Distributed => self.optimizer.initial_placements(&predicted, n),
+            InitialPlacement::Distributed => self.optimizer.initial_placements(&predicted, n, &[]),
         }
     }
 
     fn relocate(&mut self, ctx: &mut StrategyContext<'_>, previous: Region) -> Placement {
         self.forecaster.observe(ctx.assessments);
         let predicted = self.forecaster.predict(ctx.assessments);
-        self.optimizer.migration_target(&predicted, previous, ctx.rng)
+        self.optimizer
+            .migration_target(&predicted, previous, MigrationPolicy::RandomTopR, &[], ctx.rng)
     }
 }
 

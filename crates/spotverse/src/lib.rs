@@ -47,8 +47,10 @@
 
 mod checkpointing;
 mod config;
+pub mod controlplane;
 mod deadline;
 mod experiment;
+pub mod fleet;
 mod forecast;
 pub mod health;
 mod monitor;
@@ -60,13 +62,17 @@ pub mod resilience;
 mod strategy;
 pub mod sweep;
 pub mod trace;
+pub mod workload;
 
 pub use checkpointing::{KvCheckpointStore, CHECKPOINT_TABLE};
 pub use config::{InitialPlacement, SpotVerseConfig, SpotVerseConfigBuilder};
+pub use controlplane::ControlPlane;
 pub use experiment::{
     run_experiment, run_experiment_on, CheckpointBackend, CheckpointTelemetry, CostBreakdown,
     ExperimentConfig, ExperimentReport, INTERRUPTION_HANDLER, LOG_BUCKET,
 };
+pub use fleet::{run_fleet, run_fleet_on, FleetConfig, FleetReport, FleetWorkload};
+pub use workload::{WorkloadPhase, WorkloadReport};
 pub use resilience::{retry_with_backoff, BackoffPolicy, RetryOutcome};
 pub use health::{
     BreakerPolicy, BreakerState, BreakerTransition, HealthConfig, RegionHealth,
@@ -83,11 +89,12 @@ pub use optimizer::{
 pub use provider::{degrade_assessments, MetricAvailability, ProviderAdaptedStrategy};
 pub use report::{compare, normalized_cost, resilience_summary, summary_line, Comparison};
 pub use repetitions::{
-    repetition_config, repetition_config_shared_market, run_repetitions,
-    run_repetitions_shared_market, AggregateReport,
+    repetition_config, repetition_config_shared_market, run_repetitions, AggregateReport,
+    RepetitionMarket,
 };
 pub use sweep::{
-    merged_trace_jsonl, resolve_jobs, run_matrix, CellOutcome, MarketCache, SweepCell, JOBS_ENV,
+    merged_fleet_trace_jsonl, merged_trace_jsonl, resolve_jobs, run_fleet_matrix, run_matrix,
+    CellOutcome, FleetCellOutcome, FleetSweepCell, MarketCache, SweepCell, SweepOutcome, JOBS_ENV,
 };
 pub use trace::{
     append_record_json, append_trace_jsonl, trace_to_jsonl, DecisionKind, RunTrace, TraceConfig,

@@ -141,16 +141,12 @@ impl Optimizer {
 
     /// `SelectRegions`: admissible regions with combined score ≥ T, sorted
     /// by spot price ascending and capped at `R`.
-    pub fn select_regions(&self, assessments: &[RegionAssessment]) -> Vec<RegionAssessment> {
-        self.select_regions_excluding(assessments, &[])
-    }
-
-    /// [`select_regions`](Optimizer::select_regions) with a health
-    /// exclusion list: quarantined regions are dropped *before* the
-    /// threshold/top-R selection, so the selection refills from the next
-    /// qualifying region instead of silently shrinking. With an empty
-    /// list this is exactly `select_regions`.
-    pub fn select_regions_excluding(
+    ///
+    /// `excluded` regions (health quarantine, capacity-full) are dropped
+    /// *before* the threshold/top-R selection, so the selection refills
+    /// from the next qualifying region instead of silently shrinking.
+    /// Pass `&[]` for an unconstrained selection.
+    pub fn select_regions(
         &self,
         assessments: &[RegionAssessment],
         excluded: &[Region],
@@ -194,22 +190,19 @@ impl Optimizer {
 
     /// Initial placement for `n` workloads: round-robin over the selected
     /// regions, or all-on-demand when the threshold filters everything out.
-    pub fn initial_placements(&self, assessments: &[RegionAssessment], n: usize) -> Vec<Placement> {
-        self.initial_placements_excluding(assessments, n, &[])
-    }
-
-    /// [`initial_placements`](Optimizer::initial_placements) with a
-    /// health exclusion list. The on-demand fallback is deliberately
-    /// *not* filtered: when every qualifying region is quarantined, a
-    /// guaranteed-capacity launch in a sick-for-spot region beats not
-    /// launching at all.
-    pub fn initial_placements_excluding(
+    ///
+    /// `excluded` regions are dropped before selection (see
+    /// [`select_regions`](Optimizer::select_regions)). The on-demand
+    /// fallback is deliberately *not* filtered: when every qualifying
+    /// region is excluded, a guaranteed-capacity launch in a
+    /// sick-for-spot region beats not launching at all.
+    pub fn initial_placements(
         &self,
         assessments: &[RegionAssessment],
         n: usize,
         excluded: &[Region],
     ) -> Vec<Placement> {
-        let selected = self.select_regions_excluding(assessments, excluded);
+        let selected = self.select_regions(assessments, excluded);
         if selected.is_empty() {
             let od = self.cheapest_on_demand(assessments);
             return vec![Placement::OnDemand(od); n];
@@ -220,48 +213,17 @@ impl Optimizer {
     }
 
     /// Migration target for a workload interrupted in
-    /// `interrupted_region`: a uniformly random member of the re-selected
-    /// top-R after excluding the interrupted region, or cheapest on-demand
-    /// when nothing qualifies.
-    pub fn migration_target(
-        &self,
-        assessments: &[RegionAssessment],
-        interrupted_region: Region,
-        rng: &mut SimRng,
-    ) -> Placement {
-        self.migration_target_with_policy(
-            assessments,
-            interrupted_region,
-            MigrationPolicy::RandomTopR,
-            rng,
-        )
-    }
-
-    /// Migration target under an explicit policy (ablation support; see
-    /// [`MigrationPolicy`]).
-    pub fn migration_target_with_policy(
-        &self,
-        assessments: &[RegionAssessment],
-        interrupted_region: Region,
-        policy: MigrationPolicy,
-        rng: &mut SimRng,
-    ) -> Placement {
-        self.migration_target_with_policy_excluding(
-            assessments,
-            interrupted_region,
-            policy,
-            &[],
-            rng,
-        )
-    }
-
-    /// [`migration_target_with_policy`](Optimizer::migration_target_with_policy)
-    /// with a health exclusion list applied alongside the interrupted
-    /// region. `StayPut` ignores the list by design — that ablation
+    /// `interrupted_region`, under the given policy (Algorithm 1 is
+    /// [`MigrationPolicy::RandomTopR`]; the others support the
+    /// component-ablation benches): a member of the re-selected top-R
+    /// after dropping the interrupted region and every `excluded` region,
+    /// or cheapest on-demand when nothing qualifies.
+    ///
+    /// `StayPut` ignores the exclusion list by design — that ablation
     /// measures "no migration at all", quarantine included. With an empty
-    /// list this consumes exactly the same RNG draws as the unexcluded
-    /// form.
-    pub fn migration_target_with_policy_excluding(
+    /// list the selection consumes exactly the same RNG draws as an
+    /// unconstrained one.
+    pub fn migration_target(
         &self,
         assessments: &[RegionAssessment],
         interrupted_region: Region,
@@ -279,7 +241,7 @@ impl Optimizer {
             .filter(|a| a.region != interrupted_region)
             .copied()
             .collect();
-        let selected = self.select_regions_excluding(&filtered, excluded);
+        let selected = self.select_regions(&filtered, excluded);
         if selected.is_empty() {
             return Placement::OnDemand(self.cheapest_on_demand(assessments));
         }
@@ -292,7 +254,7 @@ impl Optimizer {
     }
 
     /// Explains the selection that
-    /// [`select_regions_excluding`](Optimizer::select_regions_excluding)
+    /// [`select_regions`](Optimizer::select_regions)
     /// (after dropping `interrupted`, when migrating) would make: one
     /// verdict per assessed region, in assessment order. Pure — consumes
     /// no RNG and mutates nothing — so the trace layer can call it without
@@ -309,7 +271,7 @@ impl Optimizer {
             .filter(|a| Some(a.region) != interrupted)
             .copied()
             .collect();
-        let selected = self.select_regions_excluding(&eligible, excluded);
+        let selected = self.select_regions(&eligible, excluded);
         assessments
             .iter()
             .map(|a| {
@@ -386,7 +348,7 @@ mod tests {
 
     #[test]
     fn threshold_6_selects_paper_tier_a() {
-        let sel = optimizer(6).select_regions(&fixture());
+        let sel = optimizer(6).select_regions(&fixture(), &[]);
         let regions: Vec<Region> = sel.iter().map(|a| a.region).collect();
         assert_eq!(
             regions,
@@ -402,7 +364,7 @@ mod tests {
 
     #[test]
     fn threshold_5_selects_paper_tier_b() {
-        let sel = optimizer(5).select_regions(&fixture());
+        let sel = optimizer(5).select_regions(&fixture(), &[]);
         let regions: Vec<Region> = sel.iter().map(|a| a.region).collect();
         assert_eq!(
             regions,
@@ -417,7 +379,7 @@ mod tests {
 
     #[test]
     fn threshold_4_selects_cheapest_overall() {
-        let sel = optimizer(4).select_regions(&fixture());
+        let sel = optimizer(4).select_regions(&fixture(), &[]);
         let regions: Vec<Region> = sel.iter().map(|a| a.region).collect();
         assert_eq!(
             regions,
@@ -434,7 +396,7 @@ mod tests {
     fn selection_invariants() {
         for threshold in 2..=13 {
             let opt = optimizer(threshold);
-            let sel = opt.select_regions(&fixture());
+            let sel = opt.select_regions(&fixture(), &[]);
             assert!(sel.len() <= 4);
             assert!(sel.iter().all(|a| a.combined().meets(threshold)));
             assert!(sel
@@ -445,7 +407,7 @@ mod tests {
 
     #[test]
     fn round_robin_initial_distribution() {
-        let placements = optimizer(6).initial_placements(&fixture(), 10);
+        let placements = optimizer(6).initial_placements(&fixture(), 10, &[]);
         assert_eq!(placements.len(), 10);
         assert!(placements.iter().all(|p| p.is_spot()));
         // Round-robin: workloads 0 and 4 land in the same (cheapest) region.
@@ -466,7 +428,7 @@ mod tests {
 
     #[test]
     fn unreachable_threshold_falls_back_to_on_demand() {
-        let placements = optimizer(14).initial_placements(&fixture(), 3);
+        let placements = optimizer(14).initial_placements(&fixture(), 3, &[]);
         assert_eq!(placements.len(), 3);
         for p in &placements {
             assert!(!p.is_spot());
@@ -480,7 +442,7 @@ mod tests {
         let opt = optimizer(6);
         let mut rng = SimRng::seed_from_u64(5);
         for _ in 0..100 {
-            let p = opt.migration_target(&fixture(), Region::ApNortheast3, &mut rng);
+            let p = opt.migration_target(&fixture(), Region::ApNortheast3, MigrationPolicy::RandomTopR, &[], &mut rng);
             assert!(p.is_spot());
             assert_ne!(p.region(), Region::ApNortheast3);
         }
@@ -492,7 +454,7 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(6);
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..200 {
-            seen.insert(opt.migration_target(&fixture(), Region::EuNorth1, &mut rng).region());
+            seen.insert(opt.migration_target(&fixture(), Region::EuNorth1, MigrationPolicy::RandomTopR, &[], &mut rng).region());
         }
         // The other three tier-A regions plus eu-west-1's replacement slot.
         assert!(seen.len() >= 3, "random pick should spread: {seen:?}");
@@ -503,7 +465,7 @@ mod tests {
     fn migration_falls_back_to_on_demand() {
         let opt = optimizer(14);
         let mut rng = SimRng::seed_from_u64(7);
-        let p = opt.migration_target(&fixture(), Region::UsEast1, &mut rng);
+        let p = opt.migration_target(&fixture(), Region::UsEast1, MigrationPolicy::RandomTopR, &[], &mut rng);
         assert!(!p.is_spot());
     }
 
@@ -515,7 +477,7 @@ mod tests {
                 .preferred_regions(vec![Region::CaCentral1, Region::EuWest3])
                 .build(),
         );
-        let sel = opt.select_regions(&fixture());
+        let sel = opt.select_regions(&fixture(), &[]);
         let regions: Vec<Region> = sel.iter().map(|a| a.region).collect();
         assert_eq!(regions, vec![Region::CaCentral1, Region::EuWest3]);
     }
@@ -529,7 +491,7 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(8);
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..300 {
-            seen.insert(opt.migration_target(&fixture(), Region::UsEast2, &mut rng).region());
+            seen.insert(opt.migration_target(&fixture(), Region::UsEast2, MigrationPolicy::RandomTopR, &[], &mut rng).region());
         }
         assert!(seen.contains(&Region::CaCentral1), "5th-cheapest should appear: {seen:?}");
         assert_eq!(seen.len(), 4);
@@ -541,10 +503,11 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(9);
         // StayPut relaunches in place.
         assert_eq!(
-            opt.migration_target_with_policy(
+            opt.migration_target(
                 &fixture(),
                 Region::CaCentral1,
                 MigrationPolicy::StayPut,
+                &[],
                 &mut rng
             ),
             Placement::Spot(Region::CaCentral1)
@@ -553,12 +516,13 @@ mod tests {
         // threshold-6 region in the fixture.
         for _ in 0..10 {
             assert_eq!(
-                opt.migration_target_with_policy(
-                    &fixture(),
-                    Region::ApNortheast3,
-                    MigrationPolicy::CheapestQualifying,
-                    &mut rng
-                ),
+                opt.migration_target(
+                &fixture(),
+                Region::ApNortheast3,
+                MigrationPolicy::CheapestQualifying,
+                &[],
+                &mut rng
+            ),
                 Placement::Spot(Region::EuNorth1)
             );
         }
@@ -570,13 +534,13 @@ mod tests {
         // Unexcluded tier-B selection is [ca-central-1, ap-southeast-1,
         // eu-west-3, eu-west-2]; quarantining the cheapest must pull in the
         // next-cheapest qualifying region (eu-north-1), not shrink to 3.
-        let sel = opt.select_regions_excluding(&fixture(), &[Region::CaCentral1]);
+        let sel = opt.select_regions(&fixture(), &[Region::CaCentral1]);
         let regions: Vec<Region> = sel.iter().map(|a| a.region).collect();
         assert_eq!(
             regions,
             vec![Region::ApSoutheast1, Region::EuWest3, Region::EuWest2, Region::EuNorth1]
         );
-        assert_eq!(opt.select_regions_excluding(&fixture(), &[]), opt.select_regions(&fixture()));
+        assert_eq!(opt.select_regions(&fixture(), &[]), opt.select_regions(&fixture(), &[]));
     }
 
     #[test]
@@ -588,7 +552,7 @@ mod tests {
             Region::UsWest1,
             Region::EuWest1,
         ];
-        let placements = opt.initial_placements_excluding(&fixture(), 3, &quarantined);
+        let placements = opt.initial_placements(&fixture(), 3, &quarantined);
         for p in &placements {
             assert!(!p.is_spot());
             // The on-demand fallback is not health-filtered.
@@ -597,17 +561,25 @@ mod tests {
     }
 
     #[test]
-    fn empty_exclusion_consumes_identical_rng() {
+    fn noop_exclusion_consumes_identical_rng() {
+        // Excluding a region the threshold already rejects must not change
+        // the selection or the number of RNG draws consumed.
         let opt = optimizer(6);
         let mut a = SimRng::seed_from_u64(11);
         let mut b = SimRng::seed_from_u64(11);
         for _ in 0..50 {
-            let plain = opt.migration_target(&fixture(), Region::EuNorth1, &mut a);
-            let excluded = opt.migration_target_with_policy_excluding(
+            let plain = opt.migration_target(
                 &fixture(),
                 Region::EuNorth1,
                 MigrationPolicy::RandomTopR,
                 &[],
+                &mut a,
+            );
+            let excluded = opt.migration_target(
+                &fixture(),
+                Region::EuNorth1,
+                MigrationPolicy::RandomTopR,
+                &[Region::UsEast1],
                 &mut b,
             );
             assert_eq!(plain, excluded);
@@ -619,7 +591,7 @@ mod tests {
         let opt = optimizer(6);
         let mut rng = SimRng::seed_from_u64(12);
         for _ in 0..100 {
-            let p = opt.migration_target_with_policy_excluding(
+            let p = opt.migration_target(
                 &fixture(),
                 Region::EuNorth1,
                 MigrationPolicy::RandomTopR,
@@ -648,7 +620,7 @@ mod tests {
                     .collect();
                 selected.sort_unstable_by_key(|(rank, _)| *rank);
                 let real: Vec<Region> = opt
-                    .select_regions_excluding(&fixture(), &excluded)
+                    .select_regions(&fixture(), &excluded)
                     .iter()
                     .map(|a| a.region)
                     .collect();

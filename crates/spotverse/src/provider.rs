@@ -11,7 +11,7 @@ use cloud_market::{PlacementScore, Region, StabilityScore};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{InitialPlacement, SpotVerseConfig};
-use crate::optimizer::{Optimizer, Placement, RegionAssessment};
+use crate::optimizer::{MigrationPolicy, Optimizer, Placement, RegionAssessment};
 use crate::strategy::{Strategy, StrategyContext};
 
 /// Which advisor metrics a cloud provider exposes.
@@ -126,13 +126,14 @@ impl Strategy for ProviderAdaptedStrategy {
         let degraded = degrade_assessments(ctx.assessments, self.availability);
         match self.optimizer.config().initial_placement() {
             InitialPlacement::SingleRegion(region) => vec![Placement::Spot(*region); n],
-            InitialPlacement::Distributed => self.optimizer.initial_placements(&degraded, n),
+            InitialPlacement::Distributed => self.optimizer.initial_placements(&degraded, n, &[]),
         }
     }
 
     fn relocate(&mut self, ctx: &mut StrategyContext<'_>, previous: Region) -> Placement {
         let degraded = degrade_assessments(ctx.assessments, self.availability);
-        self.optimizer.migration_target(&degraded, previous, ctx.rng)
+        self.optimizer
+            .migration_target(&degraded, previous, MigrationPolicy::RandomTopR, &[], ctx.rng)
     }
 }
 

@@ -88,12 +88,44 @@ pub fn repetition_config_shared_market(base: &ExperimentConfig, rep: u32) -> Exp
     }
 }
 
-fn run_repetition_cells<C, F>(base: &ExperimentConfig, per_rep: C, strategy_factory: F, reps: u32) -> AggregateReport
+/// How repetitions derive their market from the base config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepetitionMarket {
+    /// Re-seed the market *and* the decision streams per repetition — the
+    /// paper's protocol ([`repetition_config`]).
+    #[default]
+    Reseeded,
+    /// Hold the market fixed and re-seed only the decision streams
+    /// ([`repetition_config_shared_market`]): all cells share one cached
+    /// market construction and only decision randomness varies.
+    Shared,
+}
+
+/// Runs `reps` repetitions of an experiment on the sweep engine's worker
+/// pool. `market` picks the repetition protocol: re-seed everything (the
+/// paper's), or hold the market fixed to sample decision variance on one
+/// price history.
+///
+/// The factory builds a fresh strategy per repetition (strategies may hold
+/// state).
+///
+/// # Panics
+///
+/// Panics if `reps` is zero or any repetition cell fails.
+pub fn run_repetitions<F>(
+    base: &ExperimentConfig,
+    strategy_factory: F,
+    reps: u32,
+    market: RepetitionMarket,
+) -> AggregateReport
 where
-    C: Fn(&ExperimentConfig, u32) -> ExperimentConfig,
     F: Fn() -> Box<dyn Strategy> + Sync,
 {
     assert!(reps > 0, "run_repetitions: need at least one repetition");
+    let per_rep = match market {
+        RepetitionMarket::Reseeded => repetition_config,
+        RepetitionMarket::Shared => repetition_config_shared_market,
+    };
     let cells: Vec<SweepCell> = (0..reps)
         .map(|r| SweepCell::new(format!("rep-{r}"), String::new(), per_rep(base, r)))
         .collect();
@@ -106,41 +138,6 @@ where
         .map(crate::sweep::CellOutcome::into_report)
         .collect();
     AggregateReport::from_runs(runs)
-}
-
-/// Runs `reps` repetitions of an experiment on the sweep engine's worker
-/// pool, re-seeding both the market and the decision streams per
-/// repetition (the paper's protocol).
-///
-/// The factory builds a fresh strategy per repetition (strategies may hold
-/// state).
-///
-/// # Panics
-///
-/// Panics if `reps` is zero or any repetition cell fails.
-pub fn run_repetitions<F>(base: &ExperimentConfig, strategy_factory: F, reps: u32) -> AggregateReport
-where
-    F: Fn() -> Box<dyn Strategy> + Sync,
-{
-    run_repetition_cells(base, repetition_config, strategy_factory, reps)
-}
-
-/// Like [`run_repetitions`], but holding the market fixed across
-/// repetitions ([`repetition_config_shared_market`]): all cells share one
-/// cached market construction and only decision randomness varies.
-///
-/// # Panics
-///
-/// Panics if `reps` is zero or any repetition cell fails.
-pub fn run_repetitions_shared_market<F>(
-    base: &ExperimentConfig,
-    strategy_factory: F,
-    reps: u32,
-) -> AggregateReport
-where
-    F: Fn() -> Box<dyn Strategy> + Sync,
-{
-    run_repetition_cells(base, repetition_config_shared_market, strategy_factory, reps)
 }
 
 #[cfg(test)]
@@ -164,8 +161,8 @@ mod tests {
     #[test]
     fn repetitions_vary_seeds_but_stay_deterministic() {
         let base = base(4, 21);
-        let a = run_repetitions(&base, || Box::new(SingleRegionStrategy::new(Region::CaCentral1)), 3);
-        let b = run_repetitions(&base, || Box::new(SingleRegionStrategy::new(Region::CaCentral1)), 3);
+        let a = run_repetitions(&base, || Box::new(SingleRegionStrategy::new(Region::CaCentral1)), 3, RepetitionMarket::Reseeded);
+        let b = run_repetitions(&base, || Box::new(SingleRegionStrategy::new(Region::CaCentral1)), 3, RepetitionMarket::Reseeded);
         assert_eq!(a.repetitions(), 3);
         assert_eq!(a.interruptions.mean(), b.interruptions.mean());
         assert_eq!(a.cost.mean(), b.cost.mean());
@@ -192,10 +189,11 @@ mod tests {
         let r1 = repetition_config_shared_market(&base, 1);
         assert_eq!(r1.market, base.market, "market config must stay fixed");
         assert_ne!(r1.seed, base.seed, "decision seed must move");
-        let agg = run_repetitions_shared_market(
+        let agg = run_repetitions(
             &base,
             || Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
             3,
+            RepetitionMarket::Shared,
         );
         assert_eq!(agg.repetitions(), 3);
         // Decision streams differ, so repetitions still vary.
@@ -206,7 +204,7 @@ mod tests {
     #[test]
     fn aggregate_stats_match_runs() {
         let base = base(3, 6);
-        let agg = run_repetitions(&base, || Box::new(SingleRegionStrategy::new(Region::CaCentral1)), 2);
+        let agg = run_repetitions(&base, || Box::new(SingleRegionStrategy::new(Region::CaCentral1)), 2, RepetitionMarket::default());
         let manual_mean = agg.runs.iter().map(|r| r.interruptions as f64).sum::<f64>() / 2.0;
         assert!((agg.interruptions.mean() - manual_mean).abs() < 1e-12);
         assert_eq!(agg.makespan_hours.count(), 2);

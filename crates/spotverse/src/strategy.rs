@@ -271,12 +271,12 @@ impl Strategy for SpotVerseStrategy {
             InitialPlacement::SingleRegion(region) => vec![Placement::Spot(*region); n],
             InitialPlacement::Distributed => self
                 .optimizer
-                .initial_placements_excluding(ctx.assessments, n, ctx.quarantined),
+                .initial_placements(ctx.assessments, n, ctx.quarantined),
         }
     }
 
     fn relocate(&mut self, ctx: &mut StrategyContext<'_>, previous: Region) -> Placement {
-        self.optimizer.migration_target_with_policy_excluding(
+        self.optimizer.migration_target(
             ctx.assessments,
             previous,
             MigrationPolicy::RandomTopR,
@@ -336,12 +336,12 @@ impl Strategy for AblatedSpotVerseStrategy {
             InitialPlacement::SingleRegion(region) => vec![Placement::Spot(*region); n],
             InitialPlacement::Distributed => self
                 .optimizer
-                .initial_placements_excluding(ctx.assessments, n, ctx.quarantined),
+                .initial_placements(ctx.assessments, n, ctx.quarantined),
         }
     }
 
     fn relocate(&mut self, ctx: &mut StrategyContext<'_>, previous: Region) -> Placement {
-        self.optimizer.migration_target_with_policy_excluding(
+        self.optimizer.migration_target(
             ctx.assessments,
             previous,
             self.policy,

@@ -26,6 +26,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use cloud_market::{MarketConfig, SpotMarket};
 
 use crate::experiment::{run_experiment_on, ExperimentConfig, ExperimentReport};
+use crate::fleet::{run_fleet_on, FleetConfig, FleetReport};
 use crate::strategy::Strategy;
 
 /// Environment variable overriding the default sweep parallelism (a
@@ -147,8 +148,12 @@ fn resolve_jobs_from(explicit: Option<usize>, env: Option<usize>, cells: usize) 
 /// cell's failure message after the deterministic retry was exhausted.
 /// One bad cell never poisons its matrix — neighbours complete and the
 /// caller decides how to surface the failure.
+///
+/// Generic over the report type: experiment matrices produce
+/// [`CellOutcome`] (= `SweepOutcome<ExperimentReport>`), fleet matrices
+/// produce [`FleetCellOutcome`] (= `SweepOutcome<FleetReport>`).
 #[derive(Debug, Clone, PartialEq)]
-pub struct CellOutcome {
+pub struct SweepOutcome<R> {
     /// The cell's display label.
     pub label: String,
     /// The cell's strategy selector.
@@ -157,10 +162,16 @@ pub struct CellOutcome {
     /// deterministic retry).
     pub retries: u32,
     /// The report, or the panic message of the final failed attempt.
-    pub result: Result<ExperimentReport, String>,
+    pub result: Result<R, String>,
 }
 
-impl CellOutcome {
+/// The outcome of a classic experiment cell.
+pub type CellOutcome = SweepOutcome<ExperimentReport>;
+
+/// The outcome of a fleet cell.
+pub type FleetCellOutcome = SweepOutcome<FleetReport>;
+
+impl<R> SweepOutcome<R> {
     /// Whether the cell produced a report.
     pub fn is_ok(&self) -> bool {
         self.result.is_ok()
@@ -172,7 +183,7 @@ impl CellOutcome {
     }
 
     /// The report, if the cell succeeded.
-    pub fn report(&self) -> Option<&ExperimentReport> {
+    pub fn report(&self) -> Option<&R> {
         self.result.as_ref().ok()
     }
 
@@ -183,7 +194,7 @@ impl CellOutcome {
     /// # Panics
     ///
     /// Panics with the cell label and failure message if the cell failed.
-    pub fn into_report(self) -> ExperimentReport {
+    pub fn into_report(self) -> R {
         match self.result {
             Ok(report) => report,
             Err(e) => panic!("sweep cell {} failed: {e}", self.label),
@@ -219,32 +230,19 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn run_cell<F>(cell: &SweepCell, cache: &MarketCache, strategy_for: &F) -> ExperimentReport
-where
-    F: Fn(&SweepCell) -> Box<dyn Strategy> + Sync,
-{
-    let market = cache.get_or_build(cell.config.market);
-    run_experiment_on(market, cell.config.clone(), strategy_for(cell))
-}
-
-/// Runs one cell with panic isolation and exactly one deterministic
+/// Runs one cell body with panic isolation and exactly one deterministic
 /// retry. Cells are pure functions of their config, so the retry only
 /// rescues transient host-level failures; a deterministic panic fails
 /// identically twice and is reported as the cell's error.
-fn run_cell_guarded<F>(cell: &SweepCell, cache: &MarketCache, strategy_for: &F) -> CellOutcome
-where
-    F: Fn(&SweepCell) -> Box<dyn Strategy> + Sync,
-{
+fn run_guarded<R>(label: &str, strategy: &str, body: impl Fn() -> R) -> SweepOutcome<R> {
     let mut retries = 0;
     let mut last_error = String::new();
     for attempt in 0..2u32 {
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_cell(cell, cache, strategy_for)
-        })) {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&body)) {
             Ok(report) => {
-                return CellOutcome {
-                    label: cell.label.clone(),
-                    strategy: cell.strategy.clone(),
+                return SweepOutcome {
+                    label: label.to_owned(),
+                    strategy: strategy.to_owned(),
                     retries,
                     result: Ok(report),
                 }
@@ -257,12 +255,67 @@ where
             }
         }
     }
-    CellOutcome {
-        label: cell.label.clone(),
-        strategy: cell.strategy.clone(),
+    SweepOutcome {
+        label: label.to_owned(),
+        strategy: strategy.to_owned(),
         retries,
         result: Err(last_error),
     }
+}
+
+/// The bounded worker pool shared by every matrix flavour: items are
+/// claimed off an atomic counter and results filed into index-addressed
+/// slots, so the output is in item order for any `jobs ≥ 1`. A worker
+/// that dies surfaces its claimed-but-unfiled items through `lost`
+/// instead of poisoning the matrix.
+fn run_pool<T, O, W, L>(items: &[T], jobs: usize, run_one: W, lost: L) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    W: Fn(&T) -> O + Sync,
+    L: Fn(&T) -> O,
+{
+    assert!(jobs > 0, "run_matrix: need at least one worker");
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let jobs = jobs.min(items.len());
+    if jobs == 1 {
+        return items.iter().map(run_one).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<O>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let run_one = &run_one;
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, run_one(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        // run_guarded never unwinds, so a join failure means the worker
+        // itself died; its claimed-but-unfiled cells surface as
+        // structured failures below instead of poisoning the matrix.
+        for handle in handles {
+            if let Ok(local) = handle.join() {
+                for (i, outcome) in local {
+                    slots[i] = Some(outcome);
+                }
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| lost(&items[i])))
+        .collect()
 }
 
 /// Runs every cell of a matrix on a bounded worker pool and returns one
@@ -294,59 +347,120 @@ pub fn run_matrix<F>(
 where
     F: Fn(&SweepCell) -> Box<dyn Strategy> + Sync,
 {
-    assert!(jobs > 0, "run_matrix: need at least one worker");
-    if cells.is_empty() {
-        return Vec::new();
-    }
-    let jobs = jobs.min(cells.len());
-    if jobs == 1 {
-        return cells
-            .iter()
-            .map(|c| run_cell_guarded(c, cache, &strategy_for))
-            .collect();
-    }
-    // Workers claim cells off a shared counter and file results into
-    // index-addressed slots, restoring deterministic matrix order.
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<CellOutcome>> = (0..cells.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let strategy_for = &strategy_for;
-        let handles: Vec<_> = (0..jobs)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(cell) = cells.get(i) else { break };
-                        local.push((i, run_cell_guarded(cell, cache, strategy_for)));
-                    }
-                    local
-                })
+    run_pool(
+        cells,
+        jobs,
+        |cell| {
+            run_guarded(&cell.label, &cell.strategy, || {
+                let market = cache.get_or_build(cell.config.market);
+                run_experiment_on(market, cell.config.clone(), strategy_for(cell))
             })
-            .collect();
-        // run_cell_guarded never unwinds, so a join failure means the
-        // worker itself died; its claimed-but-unfiled cells surface as
-        // structured failures below instead of poisoning the matrix.
-        for handle in handles {
-            if let Ok(local) = handle.join() {
-                for (i, outcome) in local {
-                    slots[i] = Some(outcome);
-                }
-            }
+        },
+        lost_outcome,
+    )
+}
+
+/// One cell of a *fleet* matrix: a [`FleetConfig`] instead of an
+/// [`ExperimentConfig`], sharing the same market cache and worker pool.
+#[derive(Debug, Clone)]
+pub struct FleetSweepCell {
+    /// Display label (e.g. `"fleet/spotverse/cap2"`).
+    pub label: String,
+    /// Strategy selector the cell's strategy factory keys on.
+    pub strategy: String,
+    /// The full fleet configuration.
+    pub config: FleetConfig,
+}
+
+impl FleetSweepCell {
+    /// A fleet cell running `strategy` under `config`, labelled `label`.
+    pub fn new(
+        label: impl Into<String>,
+        strategy: impl Into<String>,
+        config: FleetConfig,
+    ) -> Self {
+        FleetSweepCell {
+            label: label.into(),
+            strategy: strategy.into(),
+            config,
         }
-    });
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, slot)| {
-            slot.unwrap_or_else(|| CellOutcome {
-                label: cells[i].label.clone(),
-                strategy: cells[i].strategy.clone(),
-                retries: 0,
-                result: Err("sweep worker lost".to_owned()),
+    }
+}
+
+fn lost_outcome<R>(cell: &(impl HasCellIdentity + ?Sized)) -> SweepOutcome<R> {
+    SweepOutcome {
+        label: cell.label().to_owned(),
+        strategy: cell.strategy().to_owned(),
+        retries: 0,
+        result: Err("sweep worker lost".to_owned()),
+    }
+}
+
+trait HasCellIdentity {
+    fn label(&self) -> &str;
+    fn strategy(&self) -> &str;
+}
+
+impl HasCellIdentity for SweepCell {
+    fn label(&self) -> &str {
+        &self.label
+    }
+    fn strategy(&self) -> &str {
+        &self.strategy
+    }
+}
+
+impl HasCellIdentity for FleetSweepCell {
+    fn label(&self) -> &str {
+        &self.label
+    }
+    fn strategy(&self) -> &str {
+        &self.strategy
+    }
+}
+
+/// Runs a matrix of fleet cells on the same bounded worker pool and
+/// market cache as [`run_matrix`], returning one [`FleetCellOutcome`] per
+/// cell **in cell order**. Shares the full determinism contract: output
+/// is bit-identical for any `jobs ≥ 1`, cells are panic-isolated with one
+/// deterministic retry, and same-config cells share one market build.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero.
+pub fn run_fleet_matrix<F>(
+    cells: &[FleetSweepCell],
+    jobs: usize,
+    cache: &MarketCache,
+    strategy_for: F,
+) -> Vec<FleetCellOutcome>
+where
+    F: Fn(&FleetSweepCell) -> Box<dyn Strategy> + Sync,
+{
+    run_pool(
+        cells,
+        jobs,
+        |cell| {
+            run_guarded(&cell.label, &cell.strategy, || {
+                let market = cache.get_or_build(cell.config.market);
+                run_fleet_on(market, cell.config.clone(), strategy_for(cell))
             })
-        })
-        .collect()
+        },
+        lost_outcome,
+    )
+}
+
+/// [`merged_trace_jsonl`] for fleet matrices: merges the aggregate traces
+/// of fleet outcomes into one canonical JSONL document, cells in matrix
+/// order, records prefixed with the cell label.
+pub fn merged_fleet_trace_jsonl(outcomes: &[FleetCellOutcome]) -> String {
+    let mut out = String::new();
+    for outcome in outcomes {
+        if let Some(trace) = outcome.report().and_then(|r| r.aggregate.trace.as_ref()) {
+            crate::trace::append_trace_jsonl(&mut out, Some(&outcome.label), trace);
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -215,6 +215,31 @@ pub enum TraceEvent {
         /// Affected region, when the fault is region-scoped.
         region: Option<Region>,
     },
+    /// A batch of fleet workloads arrived after the run start.
+    ///
+    /// Never emitted for the batch present at the start, so classic
+    /// single-batch experiments produce no such record.
+    WorkloadsArrived {
+        /// Workload indices arriving together.
+        batch: Vec<usize>,
+    },
+    /// A launch was deferred because the target region was at its
+    /// concurrent-instance capacity cap.
+    CapacityDeferred {
+        /// The workload index.
+        workload: usize,
+        /// The full region.
+        region: Region,
+    },
+    /// A fleet workload hit its per-workload deadline unfinished.
+    WorkloadExpired {
+        /// The workload index.
+        workload: usize,
+        /// Region of the terminated instance, if one was running.
+        region: Option<Region>,
+        /// Usage billed at forced termination ($), if an instance ran.
+        billed: Option<f64>,
+    },
     /// The run ended.
     RunEnded {
         /// Workloads that completed.
@@ -244,6 +269,9 @@ impl TraceEvent {
             TraceEvent::Completed { .. } => "completed",
             TraceEvent::Breaker { .. } => "breaker",
             TraceEvent::ChaosFault { .. } => "chaos_fault",
+            TraceEvent::WorkloadsArrived { .. } => "workloads_arrived",
+            TraceEvent::CapacityDeferred { .. } => "capacity_deferred",
+            TraceEvent::WorkloadExpired { .. } => "workload_expired",
             TraceEvent::RunEnded { .. } => "run_ended",
         }
     }
@@ -592,6 +620,30 @@ pub fn append_record_json(out: &mut String, cell: Option<&str>, record: &TraceRe
             if let Some(region) = region {
                 out.push_str(",\"region\":");
                 push_json_str(out, region.name());
+            }
+        }
+        TraceEvent::WorkloadsArrived { batch } => {
+            out.push_str(",\"batch\":[");
+            for (i, w) in batch.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{w}");
+            }
+            out.push(']');
+        }
+        TraceEvent::CapacityDeferred { workload, region } => {
+            let _ = write!(out, ",\"workload\":{workload},\"region\":");
+            push_json_str(out, region.name());
+        }
+        TraceEvent::WorkloadExpired { workload, region, billed } => {
+            let _ = write!(out, ",\"workload\":{workload}");
+            if let Some(region) = region {
+                out.push_str(",\"region\":");
+                push_json_str(out, region.name());
+            }
+            if let Some(billed) = billed {
+                let _ = write!(out, ",\"billed\":{billed}");
             }
         }
         TraceEvent::RunEnded { completed, aborted } => {

@@ -29,4 +29,14 @@ if grep -q "FAILED" <<<"$chaos_out"; then
     exit 1
 fi
 
+echo "==> fleet smoke: staggered workloads x all strategies, capacity-capped, 2 workers"
+fleet_out=$(cargo run --release --quiet --bin spotverse -- \
+    fleet --instances 3 --workload ngs --spacing-mins 120 --capacity 2 \
+    --strategy all --jobs 2)
+echo "$fleet_out"
+if grep -q "FAILED" <<<"$fleet_out"; then
+    echo "==> fleet smoke FAILED: at least one cell did not produce an Ok report" >&2
+    exit 1
+fi
+
 echo "==> verify OK"

@@ -10,7 +10,8 @@ use cloud_compute::{Ec2, Ec2Config, PurchaseModel, SpotRequestOutcome, Terminati
 use cloud_market::{InstanceType, MarketConfig, Region, SpotMarket};
 use sim_kernel::{SimDuration, SimRng, SimTime};
 use spotverse::{
-    run_experiment, ExperimentConfig, Monitor, Optimizer, SingleRegionStrategy, SpotVerseConfig,
+    run_experiment, ExperimentConfig, MigrationPolicy, Monitor, Optimizer, SingleRegionStrategy,
+    SpotVerseConfig,
 };
 
 proptest! {
@@ -37,7 +38,7 @@ proptest! {
                 .threshold(threshold)
                 .build(),
         );
-        let selected = optimizer.select_regions(&assessments);
+        let selected = optimizer.select_regions(&assessments, &[]);
         prop_assert!(selected.len() <= 4);
         prop_assert!(selected.iter().all(|a| a.combined().meets(threshold)));
         prop_assert!(selected
@@ -46,7 +47,13 @@ proptest! {
 
         let interrupted = Region::ALL[interrupted_idx];
         let mut rng = SimRng::seed_from_u64(seed ^ 0xDEAD);
-        let target = optimizer.migration_target(&assessments, interrupted, &mut rng);
+        let target = optimizer.migration_target(
+            &assessments,
+            interrupted,
+            MigrationPolicy::RandomTopR,
+            &[],
+            &mut rng,
+        );
         if target.is_spot() {
             prop_assert_ne!(target.region(), interrupted);
         }

@@ -10,8 +10,10 @@
 use std::fs;
 use std::path::PathBuf;
 
-use bio_workloads::WorkloadKind;
-use spotverse::{run_experiment, trace_to_jsonl};
+use bio_workloads::{paper_fleet, WorkloadKind};
+use cloud_market::InstanceType;
+use sim_kernel::{SimDuration, SimRng};
+use spotverse::{run_experiment, run_fleet, trace_to_jsonl, FleetConfig, TraceConfig};
 use spotverse_integration::{spotverse_with_threshold, traced_config};
 
 fn golden_path(name: &str) -> PathBuf {
@@ -90,6 +92,32 @@ fn spotverse_region_flap_matches_golden() {
     assert!(jsonl.contains("\"event\":\"breaker\""), "flap golden must cover breaker events");
     assert!(jsonl.contains("\"event\":\"chaos_fault\""), "flap golden must cover chaos faults");
     check_golden("spotverse_genome10_seed2024_region_flap.jsonl", &jsonl);
+}
+
+/// The fleet golden: three NGS workloads arriving two hours apart at seed
+/// 2024 under a per-region concurrency cap of one. Covers the fleet-only
+/// event families (`workloads_arrived`, and `capacity_deferred` whenever
+/// the cap bites) plus workload-id-tagged decisions the classic goldens
+/// never emit.
+#[test]
+fn fleet_staggered_capped_matches_golden() {
+    let rng = SimRng::seed_from_u64(2024);
+    let specs = paper_fleet(WorkloadKind::NgsPreprocessing, 3, &rng);
+    let mut config = FleetConfig::staggered(
+        2024,
+        InstanceType::M5Xlarge,
+        specs,
+        SimDuration::from_hours(2),
+    );
+    config.region_capacity = Some(1);
+    config.trace = TraceConfig::enabled();
+    let report = run_fleet(config, spotverse_with_threshold(6));
+    let jsonl = trace_to_jsonl(report.aggregate.trace.as_ref().expect("tracing was enabled"));
+    assert!(
+        jsonl.contains("\"event\":\"workloads_arrived\""),
+        "fleet golden must cover staggered arrivals"
+    );
+    check_golden("fleet_ngs3_seed2024_cap1.jsonl", &jsonl);
 }
 
 /// The replay property the goldens rest on: two independent runs of the
