@@ -1,0 +1,104 @@
+//! Fleet-scale throughput: drives `run_fleet` over generated Poisson
+//! fleets at 1k/5k/10k workloads on one shared market, recording
+//! workloads/sec and events/sec — plus the measured win from the
+//! snapshot-epoch assessment cache — into `BENCH_fleet.json` at the repo
+//! root for regression tracking.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cloud_market::{InstanceType, MarketConfig, SpotMarket};
+use spotverse::{
+    run_fleet_on, FleetReport, LoadProfile, SpotVerseConfig, SpotVerseStrategy,
+};
+use spotverse_bench::{header, section, BENCH_SEED};
+
+fn strategy() -> Box<SpotVerseStrategy> {
+    Box::new(SpotVerseStrategy::new(SpotVerseConfig::paper_default(
+        InstanceType::M5Xlarge,
+    )))
+}
+
+/// Runs one generated fleet and returns (best wall secs, report).
+fn run_scale(
+    market: &Arc<SpotMarket>,
+    n: usize,
+    reps: usize,
+    reuse_snapshot: bool,
+) -> (f64, FleetReport) {
+    // Arrival rate scales with fleet size so the arrival window stays a
+    // ~12-hour working day at every scale; throughput then measures the
+    // engine, not an ever-longer simulated horizon.
+    let profile = LoadProfile::poisson(n as f64 / 12.0);
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let mut config = profile.generate(BENCH_SEED, n, InstanceType::M5Xlarge);
+        config.reuse_decision_snapshot = reuse_snapshot;
+        let t = Instant::now();
+        let report = run_fleet_on(Arc::clone(market), config, strategy());
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(report);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn main() {
+    header(
+        "fleet-scale throughput",
+        "this repo's fleet runtime at load-generator scale (no direct paper figure)",
+    );
+    let market = Arc::new(SpotMarket::new(MarketConfig::with_seed(BENCH_SEED)));
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    section("generated Poisson fleets (12-hour arrival window, shared market)");
+    let mut rows = Vec::new();
+    for &(n, reps) in &[(1_000usize, 5usize), (5_000, 3), (10_000, 2)] {
+        let (secs, report) = run_scale(&market, n, reps, true);
+        let wps = n as f64 / secs;
+        let eps = report.events as f64 / secs;
+        println!(
+            "  {n:>6} workloads   {secs:>8.3} s   {wps:>9.0} workloads/s   {eps:>11.0} events/s   ({}/{} completed)",
+            report.aggregate.completed, n
+        );
+        assert!(
+            report.aggregate.completed > 0,
+            "a {n}-workload fleet must complete work"
+        );
+        rows.push((n, secs, wps, eps));
+    }
+
+    // -- snapshot-epoch assessment cache: ablation at 1k ------------------
+    // Same fleet, same market; the only difference is whether optimizer
+    // assessments are re-parsed from the KV store per decision or served
+    // from the per-collection-epoch cache. Reports must be identical —
+    // the cache is an optimization, not a semantic knob.
+    section("assessment snapshot reuse (5k fleet, cache off vs on)");
+    let (fresh_secs, fresh_report) = run_scale(&market, 5_000, 3, false);
+    let (cached_secs, cached_report) = run_scale(&market, 5_000, 3, true);
+    assert_eq!(
+        fresh_report, cached_report,
+        "snapshot cache must be observationally identical"
+    );
+    let reuse_speedup = fresh_secs / cached_secs;
+    println!("  cache off {fresh_secs:>8.3} s");
+    println!("  cache on  {cached_secs:>8.3} s   ({reuse_speedup:.2}x)");
+
+    // -- record ------------------------------------------------------------
+    let mut json = format!("{{\n  \"cpu_cores\": {cores},\n");
+    for (n, secs, wps, eps) in &rows {
+        json.push_str(&format!(
+            "  \"fleet_{n}_secs\": {secs:.6},\n  \
+             \"fleet_{n}_workloads_per_sec\": {wps:.3},\n  \
+             \"fleet_{n}_events_per_sec\": {eps:.3},\n"
+        ));
+    }
+    json.push_str(&format!(
+        "  \"assessment_reuse_fresh_secs\": {fresh_secs:.6},\n  \
+         \"assessment_reuse_cached_secs\": {cached_secs:.6},\n  \
+         \"assessment_reuse_speedup\": {reuse_speedup:.3}\n}}\n"
+    ));
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    std::fs::write(out, &json).expect("write BENCH_fleet.json");
+    println!("\nwrote {out}");
+}

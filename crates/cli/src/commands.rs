@@ -13,7 +13,8 @@ use sim_kernel::{SimDuration, SimRng, SimTime};
 use spotverse::{
     merged_fleet_trace_jsonl, resolve_jobs, run_experiment_on, run_fleet_matrix, run_matrix,
     summary_line, trace_to_jsonl, CellOutcome, ExperimentConfig, ExperimentReport, FleetConfig,
-    FleetReport, FleetSweepCell, MarketCache, Monitor, NaiveMultiRegionStrategy, OnDemandStrategy,
+    FleetReport, FleetSweepCell, LoadProfile, MarketCache, Monitor, NaiveMultiRegionStrategy,
+    OnDemandStrategy,
     SingleRegionStrategy, SkyPilotStrategy, SpotVerseConfig, SpotVerseStrategy, Strategy,
     SweepCell, TraceConfig, WorkloadPhase,
 };
@@ -85,6 +86,11 @@ SIMULATE / TRACE FLAGS:
                              omit for a fault-free trace
 
 FLEET FLAGS:
+    --loadgen <profile>      generate the fleet from an arrival-process
+                             profile: poisson | diurnal | burst; replaces
+                             --instances/--spacing-mins/--workload
+    --workloads <n>          generated fleet size           (default 100)
+    --rate <r>               mean arrivals per hour         (default 12)
     --spacing-mins <m>       arrival gap between workloads  (default 60)
     --capacity <k>           per-region cap on concurrently running
                              instances; omit for unbounded
@@ -332,14 +338,40 @@ pub fn fleet(args: &ParsedArgs) -> Result<String, CliError> {
     };
     let jobs_flag = parse_jobs(args)?;
 
-    let rng = SimRng::seed_from_u64(seed);
-    let specs = paper_fleet(kind, instances, &rng);
-    let mut config = FleetConfig::staggered(
-        seed,
-        instance_type,
-        specs,
-        SimDuration::from_mins(spacing_mins),
-    );
+    let mut config = match args.opt_str("loadgen") {
+        Some(profile_name) => {
+            let rate = match args.opt_str("rate") {
+                None => 12.0,
+                Some(raw) => raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| r.is_finite() && *r > 0.0)
+                    .ok_or_else(|| {
+                        CliError::BadInput(format!("--rate: `{raw}` is not a positive number"))
+                    })?,
+            };
+            let count = args.u64_or("workloads", 100)? as usize;
+            if count == 0 {
+                return Err(CliError::BadInput("--workloads must be positive".into()));
+            }
+            let profile = LoadProfile::named(profile_name, rate).ok_or_else(|| {
+                CliError::BadInput(format!(
+                    "unknown loadgen profile `{profile_name}` (expected poisson | diurnal | burst)"
+                ))
+            })?;
+            profile.generate(seed, count, instance_type)
+        }
+        None => {
+            let rng = SimRng::seed_from_u64(seed);
+            let specs = paper_fleet(kind, instances, &rng);
+            FleetConfig::staggered(
+                seed,
+                instance_type,
+                specs,
+                SimDuration::from_mins(spacing_mins),
+            )
+        }
+    };
     config.start = SimTime::from_days(start_day);
     config.max_runtime = SimDuration::from_days(deadline_days);
     config.region_capacity = capacity;
@@ -634,6 +666,9 @@ pub fn schema(command: &str) -> &'static [&'static str] {
             "instance-type",
             "workload",
             "start-day",
+            "loadgen",
+            "workloads",
+            "rate",
             "spacing-mins",
             "capacity",
             "deadline-days",
@@ -977,6 +1012,37 @@ mod tests {
         assert!(run(["fleet", "--output", "xml"]).is_err());
         assert!(run(["fleet", "--strategy", "warp-drive"]).is_err());
         assert!(run(["fleet", "--instances", "0"]).is_err());
+        assert!(run(["fleet", "--loadgen", "sawtooth"]).is_err());
+        assert!(run(["fleet", "--loadgen", "poisson", "--workloads", "0"]).is_err());
+        assert!(run(["fleet", "--loadgen", "poisson", "--rate", "-3"]).is_err());
+        assert!(run(["fleet", "--loadgen", "poisson", "--rate", "brisk"]).is_err());
+    }
+
+    #[test]
+    fn fleet_loadgen_generates_and_completes() {
+        let out = run([
+            "fleet", "--loadgen", "poisson", "--workloads", "6", "--rate", "30", "--seed", "17",
+        ])
+        .unwrap();
+        assert!(out.contains("6/6"), "generated fleet should finish:\n{out}");
+        // Generated spec ids, not the staggered fleet's w-NN ids.
+        assert!(out.contains("g-0000"), "missing generated ids in:\n{out}");
+    }
+
+    #[test]
+    fn fleet_loadgen_trace_is_deterministic_and_multi_tenant() {
+        let argv = [
+            "fleet", "--loadgen", "burst", "--workloads", "8", "--rate", "40", "--seed", "3",
+            "--output", "trace",
+        ];
+        let a = run(argv).unwrap();
+        let b = run(argv).unwrap();
+        assert_eq!(a, b, "same seed + profile must give byte-identical traces");
+        assert!(a.contains("\"event\":\"workloads_arrived\""));
+        // Generated fleets are multi-tenant: arrivals carry tenant and
+        // priority annotations.
+        assert!(a.contains("\"tenant\":["), "missing tenant field in:\n{a}");
+        assert!(a.contains("\"priority\":["), "missing priority field in:\n{a}");
     }
 
     #[test]

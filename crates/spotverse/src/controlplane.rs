@@ -59,6 +59,16 @@ pub struct ControlPlane {
     pub(crate) collect_failing: bool,
     pub(crate) degraded_since: Option<SimTime>,
     pub(crate) tracer: Tracer,
+    /// Serve decisions from one parsed snapshot per collection epoch
+    /// instead of re-scanning and re-parsing the KV rows per decision.
+    /// The underlying scan is unbilled and side-effect-free, so the two
+    /// modes are observationally identical; `false` is the ablation arm
+    /// the `fleet_scale` bench measures against.
+    pub(crate) snapshot_reuse: bool,
+    /// The parsed snapshot for the current collection epoch: assessments
+    /// in catalog order plus the oldest `collected_at` stamp. Cleared by
+    /// every collection attempt that could have touched the rows.
+    pub(crate) snapshot_cache: Option<(Vec<RegionAssessment>, SimTime)>,
 }
 
 impl std::fmt::Debug for ControlPlane {
@@ -118,6 +128,8 @@ impl ControlPlane {
             collect_failing: false,
             degraded_since: None,
             tracer: Tracer::new(trace),
+            snapshot_reuse: true,
+            snapshot_cache: None,
         };
 
         // Hand each managed service its own seeded fault stream.
@@ -160,29 +172,60 @@ impl ControlPlane {
     pub(crate) fn decision_inputs(&mut self, now: SimTime) -> (Vec<RegionAssessment>, bool) {
         if self.monitor_pipeline {
             let ttl = self.telemetry_ttl;
-            match self.monitor.assessments_no_older_than(&self.kv, now, ttl) {
-                Ok((snapshot, age)) => {
-                    if self.collect_failing {
-                        self.freshness.stale_serves += 1;
-                        self.freshness.max_staleness = self.freshness.max_staleness.max(age);
-                        self.tracer.record(now, TraceEvent::StaleServe { age });
-                    }
-                    return (snapshot, false);
+            if self.snapshot_reuse {
+                // Batched assessment: every decision sharing a snapshot
+                // epoch reuses one parsed read. The rows only change when
+                // a collection runs, which clears the cache, so this
+                // serves the exact values the per-decision scan would.
+                if self.snapshot_cache.is_none() {
+                    self.snapshot_cache = self.monitor.read_snapshot(&self.kv).ok();
                 }
-                Err(MonitorError::Stale { .. }) => {
-                    if let Ok((snapshot, age)) =
-                        self.monitor.latest_assessments_with_age(&self.kv, now)
-                    {
-                        self.freshness.degraded_decisions += 1;
-                        self.freshness.max_staleness = self.freshness.max_staleness.max(age);
-                        if self.degraded_since.is_none() {
-                            self.degraded_since = Some(now);
+                if let Some((rows, collected_at)) = &self.snapshot_cache {
+                    let snapshot = rows.clone();
+                    let age = now.saturating_duration_since(*collected_at);
+                    if age <= ttl {
+                        if self.collect_failing {
+                            self.freshness.stale_serves += 1;
+                            self.freshness.max_staleness = self.freshness.max_staleness.max(age);
+                            self.tracer.record(now, TraceEvent::StaleServe { age });
                         }
-                        self.tracer.record(now, TraceEvent::DegradedDecision { age });
-                        return (snapshot, true);
+                        return (snapshot, false);
                     }
+                    self.freshness.degraded_decisions += 1;
+                    self.freshness.max_staleness = self.freshness.max_staleness.max(age);
+                    if self.degraded_since.is_none() {
+                        self.degraded_since = Some(now);
+                    }
+                    self.tracer.record(now, TraceEvent::DegradedDecision { age });
+                    return (snapshot, true);
                 }
-                Err(_) => {}
+                // No snapshot yet: fall through to the fresh market read,
+                // exactly like the uncached NoSnapshot path.
+            } else {
+                match self.monitor.assessments_no_older_than(&self.kv, now, ttl) {
+                    Ok((snapshot, age)) => {
+                        if self.collect_failing {
+                            self.freshness.stale_serves += 1;
+                            self.freshness.max_staleness = self.freshness.max_staleness.max(age);
+                            self.tracer.record(now, TraceEvent::StaleServe { age });
+                        }
+                        return (snapshot, false);
+                    }
+                    Err(MonitorError::Stale { .. }) => {
+                        if let Ok((snapshot, age)) =
+                            self.monitor.latest_assessments_with_age(&self.kv, now)
+                        {
+                            self.freshness.degraded_decisions += 1;
+                            self.freshness.max_staleness = self.freshness.max_staleness.max(age);
+                            if self.degraded_since.is_none() {
+                                self.degraded_since = Some(now);
+                            }
+                            self.tracer.record(now, TraceEvent::DegradedDecision { age });
+                            return (snapshot, true);
+                        }
+                    }
+                    Err(_) => {}
+                }
             }
         }
         let overlay = self.chaos.as_ref().map(|c| c.overlay());
@@ -228,7 +271,7 @@ impl ControlPlane {
         now: SimTime,
     ) -> Result<CollectOutcome, MonitorError> {
         let overlay = self.chaos.as_ref().map(|c| c.overlay());
-        self.monitor.collect_memoized(
+        let result = self.monitor.collect_memoized(
             &self.market,
             overlay,
             now,
@@ -237,7 +280,15 @@ impl ControlPlane {
             &mut self.kv,
             &mut self.metrics,
             self.ec2.ledger_mut(),
-        )
+        );
+        // Any attempt that was not an epoch-memo hit may have rewritten
+        // snapshot rows — including a *failed* cycle that persisted some
+        // rows before the fault — so the parsed-snapshot cache must be
+        // rebuilt on the next decision.
+        if !matches!(result, Ok(CollectOutcome::Reused)) {
+            self.snapshot_cache = None;
+        }
+        result
     }
 
     /// The run's resilience telemetry, assembled from the breakers and

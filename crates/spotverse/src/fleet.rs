@@ -42,6 +42,37 @@ use crate::strategy::{Strategy, StrategyContext};
 use crate::trace::{DecisionKind, TraceEvent, Tracer};
 use crate::workload::{WorkloadPhase, WorkloadReport, WorkloadRuntime};
 
+/// A tenant's scheduling tier within an arrival batch.
+///
+/// Priorities order placement *within* a batch of workloads arriving
+/// together: higher tiers are handed to the strategy first, so under
+/// round-robin initial placement they claim the top-ranked regions, and
+/// under capacity pressure they launch before lower tiers contend for
+/// slots. Fleets that never set a priority (every committed golden trace)
+/// are all [`Priority::Standard`], for which the ordering is a stable
+/// no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Best-effort batch analysis: placed last within its batch.
+    Batch,
+    /// The default tier.
+    #[default]
+    Standard,
+    /// Latency-sensitive interactive work: placed first within its batch.
+    Interactive,
+}
+
+impl Priority {
+    /// Canonical snake_case label used in trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Batch => "batch",
+            Priority::Standard => "standard",
+            Priority::Interactive => "interactive",
+        }
+    }
+}
+
 /// One workload's slot in a fleet: the spec plus its arrival offset.
 #[derive(Debug, Clone)]
 pub struct FleetWorkload {
@@ -49,6 +80,19 @@ pub struct FleetWorkload {
     pub spec: WorkloadSpec,
     /// Arrival offset from the fleet start (ZERO = present at start).
     pub arrival: SimDuration,
+    /// Tenant label for multi-tenant generated fleets (`None` = the
+    /// single-tenant default; emits nothing in traces).
+    pub tenant: Option<String>,
+    /// Scheduling tier within this workload's arrival batch.
+    pub priority: Priority,
+}
+
+impl FleetWorkload {
+    /// A single-tenant, default-priority slot — the shape every
+    /// non-generated fleet uses.
+    pub fn new(spec: WorkloadSpec, arrival: SimDuration) -> Self {
+        FleetWorkload { spec, arrival, tenant: None, priority: Priority::Standard }
+    }
 }
 
 /// Fleet run configuration: the experiment knobs plus staggered arrivals
@@ -85,6 +129,12 @@ pub struct FleetConfig {
     /// Per-region cap on *concurrently running* instances (`None` =
     /// unbounded, the classic experiment behavior).
     pub region_capacity: Option<u32>,
+    /// Serve every decision within a snapshot epoch from one parsed
+    /// assessment read instead of re-scanning the Monitor's KV rows per
+    /// decision. Observationally identical either way (the underlying
+    /// scan is unbilled and side-effect-free); `false` exists as the
+    /// ablation arm for the `fleet_scale` bench.
+    pub reuse_decision_snapshot: bool,
 }
 
 impl FleetConfig {
@@ -110,6 +160,7 @@ impl FleetConfig {
             health: crate::health::HealthConfig::default(),
             trace: crate::trace::TraceConfig::default(),
             region_capacity: None,
+            reuse_decision_snapshot: true,
         }
     }
 
@@ -126,7 +177,7 @@ impl FleetConfig {
             workloads: config
                 .workloads
                 .iter()
-                .map(|spec| FleetWorkload { spec: spec.clone(), arrival: SimDuration::ZERO })
+                .map(|spec| FleetWorkload::new(spec.clone(), SimDuration::ZERO))
                 .collect(),
             start: config.start,
             monitor_period: config.monitor_period,
@@ -138,6 +189,7 @@ impl FleetConfig {
             health: config.health.clone(),
             trace: config.trace,
             region_capacity: None,
+            reuse_decision_snapshot: true,
         }
     }
 
@@ -151,7 +203,7 @@ impl FleetConfig {
         let workloads = specs
             .into_iter()
             .enumerate()
-            .map(|(i, spec)| FleetWorkload { spec, arrival: spacing * i as u64 })
+            .map(|(i, spec)| FleetWorkload::new(spec, spacing * i as u64))
             .collect();
         FleetConfig::new(seed, instance_type, workloads)
     }
@@ -171,6 +223,9 @@ pub struct FleetReport {
     pub capacity_deferrals: u64,
     /// Workloads that hit their per-workload deadline unfinished.
     pub expired: usize,
+    /// Simulator events delivered over the run — the denominator for the
+    /// throughput harness's events/sec metric.
+    pub events: u64,
 }
 
 #[derive(Debug)]
@@ -200,7 +255,10 @@ struct FleetModel {
     interruptions_by_region: BTreeMap<Region, u64>,
     completions: CumulativeCounter,
     launches_by_region: BTreeMap<Region, u64>,
-    running_by_region: BTreeMap<Region, u32>,
+    /// Concurrently running instances per region, indexed by the region's
+    /// position in [`Region::ALL`]. A flat array keeps the per-decision
+    /// capacity checks allocation- and tree-walk-free at fleet scale.
+    running_by_region: [u32; Region::ALL.len()],
     capacity_deferrals: u64,
     /// Global abort horizon: the latest per-workload deadline.
     horizon: SimTime,
@@ -225,19 +283,20 @@ impl FleetModel {
     /// Whether `region` is at its concurrent-instance cap.
     fn at_capacity(&self, region: Region) -> bool {
         match self.config.region_capacity {
-            Some(cap) => self.running_by_region.get(&region).copied().unwrap_or(0) >= cap,
+            Some(cap) => self.running_by_region[region as usize] >= cap,
             None => false,
         }
     }
 
     /// Extends a health-quarantine exclusion list with every region at
-    /// its concurrency cap. A structural no-op without a cap, so classic
-    /// experiment streams are untouched.
+    /// its concurrency cap, in [`Region::ALL`] order (matching the old
+    /// `BTreeMap` key order). A structural no-op without a cap, so
+    /// classic experiment streams are untouched.
     fn with_capacity_exclusions(&self, mut excluded: Vec<Region>) -> Vec<Region> {
         if self.config.region_capacity.is_none() {
             return excluded;
         }
-        for &region in self.running_by_region.keys() {
+        for region in Region::ALL {
             if self.at_capacity(region) && !excluded.contains(&region) {
                 excluded.push(region);
             }
@@ -246,13 +305,12 @@ impl FleetModel {
     }
 
     fn occupy_slot(&mut self, region: Region) {
-        *self.running_by_region.entry(region).or_insert(0) += 1;
+        self.running_by_region[region as usize] += 1;
     }
 
     fn free_slot(&mut self, region: Region) {
-        if let Some(count) = self.running_by_region.get_mut(&region) {
-            *count = count.saturating_sub(1);
-        }
+        let count = &mut self.running_by_region[region as usize];
+        *count = count.saturating_sub(1);
     }
 
     fn relocate(&mut self, w: usize, now: SimTime, previous: Region) -> Placement {
@@ -385,12 +443,12 @@ impl FleetModel {
         // single batch and every deadline equal to the horizon, so neither
         // loop schedules anything.
         let mut first_arrival = 0;
-        if let Some((at, ids)) = self.batches.first() {
-            if *at == now {
-                let ids = ids.clone();
-                first_arrival = 1;
-                self.place_batch(&ids, now, scheduler);
-            }
+        if self.batches.first().is_some_and(|(at, _)| *at == now) {
+            // Batches are placed exactly once, so the index list can be
+            // moved out instead of cloned.
+            let ids = std::mem::take(&mut self.batches[0].1);
+            first_arrival = 1;
+            self.place_batch(&ids, now, scheduler);
         }
         for b in first_arrival..self.batches.len() {
             scheduler.schedule_at(self.batches[b].0, Event::Arrive(b));
@@ -403,10 +461,31 @@ impl FleetModel {
     }
 
     fn handle_arrive(&mut self, b: usize, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
-        let ids = self.batches[b].1.clone();
-        self.cp
-            .tracer
-            .record(now, TraceEvent::WorkloadsArrived { batch: ids.clone() });
+        // Each batch arrives exactly once: move the index list out rather
+        // than cloning it per arrival (at 10k workloads that's 10k Vec
+        // allocations on the dispatch hot path), and only materialize the
+        // trace payload when the recorder is actually on.
+        let ids = std::mem::take(&mut self.batches[b].1);
+        if self.cp.tracer.enabled() {
+            let workloads = &self.config.workloads;
+            let tenants = if ids.iter().any(|&w| workloads[w].tenant.is_some()) {
+                ids.iter()
+                    .map(|&w| workloads[w].tenant.clone().unwrap_or_default())
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let priorities = if ids.iter().any(|&w| workloads[w].priority != Priority::Standard)
+            {
+                ids.iter().map(|&w| workloads[w].priority.label()).collect()
+            } else {
+                Vec::new()
+            };
+            self.cp.tracer.record(
+                now,
+                TraceEvent::WorkloadsArrived { batch: ids.clone(), tenants, priorities },
+            );
+        }
         self.place_batch(&ids, now, scheduler);
     }
 
@@ -846,7 +925,7 @@ pub fn run_fleet_on(
         .chaos
         .as_ref()
         .map(|scenario| ChaosEngine::new(scenario, config.seed, config.start));
-    let cp = ControlPlane::new(
+    let mut cp = ControlPlane::new(
         Arc::clone(&market),
         config.instance_type,
         config.seed,
@@ -857,6 +936,7 @@ pub fn run_fleet_on(
         chaos_engine,
         &root_rng,
     );
+    cp.snapshot_reuse = config.reuse_decision_snapshot;
 
     let start = config.start;
     let workloads: Vec<WorkloadRuntime> = config
@@ -867,7 +947,14 @@ pub fn run_fleet_on(
             WorkloadRuntime::new(&fw.spec, arrival, arrival + config.max_runtime)
         })
         .collect();
-    let batches = arrival_batches(&workloads);
+    let mut batches = arrival_batches(&workloads);
+    // Priority semantics: within one arrival batch, higher tiers are
+    // handed to the strategy (and launched) first. The sort is stable, so
+    // an all-default fleet keeps exact index order — committed golden
+    // traces are untouched.
+    for (_, ids) in &mut batches {
+        ids.sort_by_key(|&w| std::cmp::Reverse(config.workloads[w].priority));
+    }
     let horizon = workloads
         .iter()
         .map(|w| w.deadline)
@@ -886,7 +973,7 @@ pub fn run_fleet_on(
         interruptions_by_region: BTreeMap::new(),
         completions: CumulativeCounter::new("completions"),
         launches_by_region: BTreeMap::new(),
-        running_by_region: BTreeMap::new(),
+        running_by_region: [0; Region::ALL.len()],
         capacity_deferrals: 0,
         horizon,
         aborted: false,
@@ -906,6 +993,7 @@ pub fn run_fleet_on(
     sim.schedule_at(start, Event::Start);
     sim.run_until(|m| m.done());
     let final_time = sim.now();
+    let events = sim.events_delivered();
     let mut model = sim.into_model();
 
     // A run that ends while still degraded closes its interval here.
@@ -998,5 +1086,6 @@ pub fn run_fleet_on(
         workloads,
         capacity_deferrals: model.capacity_deferrals,
         expired: model.expired,
+        events,
     }
 }

@@ -53,6 +53,7 @@ mod experiment;
 pub mod fleet;
 mod forecast;
 pub mod health;
+pub mod loadgen;
 mod monitor;
 mod optimizer;
 mod provider;
@@ -71,7 +72,8 @@ pub use experiment::{
     run_experiment, run_experiment_on, CheckpointBackend, CheckpointTelemetry, CostBreakdown,
     ExperimentConfig, ExperimentReport, INTERRUPTION_HANDLER, LOG_BUCKET,
 };
-pub use fleet::{run_fleet, run_fleet_on, FleetConfig, FleetReport, FleetWorkload};
+pub use fleet::{run_fleet, run_fleet_on, FleetConfig, FleetReport, FleetWorkload, Priority};
+pub use loadgen::{ArrivalProcess, LoadProfile, TenantClass, WorkloadMix};
 pub use workload::{WorkloadPhase, WorkloadReport};
 pub use resilience::{retry_with_backoff, BackoffPolicy, RetryOutcome};
 pub use health::{

@@ -365,8 +365,9 @@ impl Monitor {
     }
 
     /// The shared snapshot read: parsed assessments in catalog order plus
-    /// the oldest `collected_at` stamp across the rows.
-    fn read_snapshot(
+    /// the oldest `collected_at` stamp across the rows. Crate-visible so
+    /// the control plane can fill its per-epoch snapshot cache.
+    pub(crate) fn read_snapshot(
         &self,
         kv: &KvStore,
     ) -> Result<(Vec<RegionAssessment>, SimTime), MonitorError> {

@@ -222,6 +222,13 @@ pub enum TraceEvent {
     WorkloadsArrived {
         /// Workload indices arriving together.
         batch: Vec<usize>,
+        /// Tenant label per batch entry. Empty for single-tenant fleets
+        /// (the default), in which case no `tenant` field is emitted —
+        /// committed golden traces stay byte-identical.
+        tenants: Vec<String>,
+        /// Priority label per batch entry. Empty when every entry is the
+        /// default tier, in which case no `priority` field is emitted.
+        priorities: Vec<&'static str>,
     },
     /// A launch was deferred because the target region was at its
     /// concurrent-instance capacity cap.
@@ -622,7 +629,7 @@ pub fn append_record_json(out: &mut String, cell: Option<&str>, record: &TraceRe
                 push_json_str(out, region.name());
             }
         }
-        TraceEvent::WorkloadsArrived { batch } => {
+        TraceEvent::WorkloadsArrived { batch, tenants, priorities } => {
             out.push_str(",\"batch\":[");
             for (i, w) in batch.iter().enumerate() {
                 if i > 0 {
@@ -631,6 +638,26 @@ pub fn append_record_json(out: &mut String, cell: Option<&str>, record: &TraceRe
                 let _ = write!(out, "{w}");
             }
             out.push(']');
+            if !tenants.is_empty() {
+                out.push_str(",\"tenant\":[");
+                for (i, t) in tenants.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_str(out, t);
+                }
+                out.push(']');
+            }
+            if !priorities.is_empty() {
+                out.push_str(",\"priority\":[");
+                for (i, p) in priorities.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_str(out, p);
+                }
+                out.push(']');
+            }
         }
         TraceEvent::CapacityDeferred { workload, region } => {
             let _ = write!(out, ",\"workload\":{workload},\"region\":");

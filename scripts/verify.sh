@@ -39,4 +39,29 @@ if grep -q "FAILED" <<<"$fleet_out"; then
     exit 1
 fi
 
+echo "==> loadgen smoke: 200-workload Poisson fleet, merged trace"
+loadgen_out=$(cargo run --release --quiet --bin spotverse -- \
+    fleet --loadgen poisson --workloads 200 --output trace)
+completions=$(grep -c '"event":"completed"' <<<"$loadgen_out" || true)
+echo "    $(wc -l <<<"$loadgen_out") trace lines, $completions completions"
+if [ "$completions" -eq 0 ]; then
+    echo "==> loadgen smoke FAILED: no workload completed" >&2
+    exit 1
+fi
+if ! python3 -c '
+import json, sys
+for n, line in enumerate(sys.stdin, 1):
+    if not isinstance(json.loads(line), dict):
+        sys.exit(f"line {n}: not a JSON object")
+' <<<"$loadgen_out"; then
+    echo "==> loadgen smoke FAILED: merged trace is not valid JSONL" >&2
+    exit 1
+fi
+
+echo "==> bench baselines: committed BENCH_*.json vs scripts/bench_baselines"
+# Cheap self-consistency gate — compares the committed numbers, does not
+# re-run benches. scripts/bench.sh re-measures and then runs this same
+# comparison against fresh numbers.
+scripts/bench_compare.sh
+
 echo "==> verify OK"

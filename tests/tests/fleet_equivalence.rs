@@ -44,6 +44,8 @@ fn fleet_of_one(config: &ExperimentConfig) -> FleetConfig {
         workloads: vec![FleetWorkload {
             spec: config.workloads[0].clone(),
             arrival: SimDuration::ZERO,
+            tenant: None,
+            priority: spotverse::Priority::Standard,
         }],
         start: config.start,
         monitor_period: config.monitor_period,
@@ -55,6 +57,7 @@ fn fleet_of_one(config: &ExperimentConfig) -> FleetConfig {
         health: config.health.clone(),
         trace: config.trace,
         region_capacity: None,
+        reuse_decision_snapshot: true,
     }
 }
 
