@@ -1,8 +1,13 @@
 //! Fleet-scale throughput: drives `run_fleet` over generated Poisson
-//! fleets at 1k/5k/10k workloads on one shared market, recording
-//! workloads/sec and events/sec — plus the measured win from the
-//! snapshot-epoch assessment cache — into `BENCH_fleet.json` at the repo
-//! root for regression tracking.
+//! fleets at 1k/5k/10k/25k workloads on one shared market, recording
+//! workloads/sec, events/sec, and heap allocations per delivered event —
+//! plus the measured win from the snapshot-epoch assessment cache — into
+//! `BENCH_fleet.json` at the repo root for regression tracking.
+//!
+//! The per-event allocation count comes from a counting wrapper around
+//! the system allocator installed for this whole binary; it is the
+//! regression tripwire for the allocation-free dispatch work described
+//! in docs/performance.md.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -11,7 +16,10 @@ use cloud_market::{InstanceType, MarketConfig, SpotMarket};
 use spotverse::{
     run_fleet_on, FleetReport, LoadProfile, SpotVerseConfig, SpotVerseStrategy,
 };
-use spotverse_bench::{header, section, BENCH_SEED};
+use spotverse_bench::{header, section, CountingAlloc, BENCH_SEED};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn strategy() -> Box<SpotVerseStrategy> {
     Box::new(SpotVerseStrategy::new(SpotVerseConfig::paper_default(
@@ -19,28 +27,36 @@ fn strategy() -> Box<SpotVerseStrategy> {
     )))
 }
 
-/// Runs one generated fleet and returns (best wall secs, report).
+/// Runs one generated fleet and returns (best wall secs, allocations
+/// during the best-timed rep's run, report).
 fn run_scale(
     market: &Arc<SpotMarket>,
     n: usize,
     reps: usize,
     reuse_snapshot: bool,
-) -> (f64, FleetReport) {
+) -> (f64, u64, FleetReport) {
     // Arrival rate scales with fleet size so the arrival window stays a
     // ~12-hour working day at every scale; throughput then measures the
     // engine, not an ever-longer simulated horizon.
     let profile = LoadProfile::poisson(n as f64 / 12.0);
     let mut best = f64::INFINITY;
+    let mut best_allocs = u64::MAX;
     let mut out = None;
     for _ in 0..reps {
         let mut config = profile.generate(BENCH_SEED, n, InstanceType::M5Xlarge);
         config.reuse_decision_snapshot = reuse_snapshot;
+        let allocs_before = CountingAlloc::allocations();
         let t = Instant::now();
         let report = run_fleet_on(Arc::clone(market), config, strategy());
-        best = best.min(t.elapsed().as_secs_f64());
+        let secs = t.elapsed().as_secs_f64();
+        let allocs = CountingAlloc::allocations() - allocs_before;
+        if secs < best {
+            best = secs;
+            best_allocs = allocs;
+        }
         out = Some(report);
     }
-    (best, out.expect("reps >= 1"))
+    (best, best_allocs, out.expect("reps >= 1"))
 }
 
 fn main() {
@@ -53,18 +69,23 @@ fn main() {
 
     section("generated Poisson fleets (12-hour arrival window, shared market)");
     let mut rows = Vec::new();
-    for &(n, reps) in &[(1_000usize, 5usize), (5_000, 3), (10_000, 2)] {
-        let (secs, report) = run_scale(&market, n, reps, true);
+    let mut allocs_per_event_10k = 0.0;
+    for &(n, reps) in &[(1_000usize, 5usize), (5_000, 3), (10_000, 2), (25_000, 1)] {
+        let (secs, allocs, report) = run_scale(&market, n, reps, true);
         let wps = n as f64 / secs;
         let eps = report.events as f64 / secs;
+        let ape = allocs as f64 / report.events as f64;
         println!(
-            "  {n:>6} workloads   {secs:>8.3} s   {wps:>9.0} workloads/s   {eps:>11.0} events/s   ({}/{} completed)",
+            "  {n:>6} workloads   {secs:>8.3} s   {wps:>9.0} workloads/s   {eps:>11.0} events/s   {ape:>6.2} allocs/event   ({}/{} completed)",
             report.aggregate.completed, n
         );
         assert!(
             report.aggregate.completed > 0,
             "a {n}-workload fleet must complete work"
         );
+        if n == 10_000 {
+            allocs_per_event_10k = ape;
+        }
         rows.push((n, secs, wps, eps));
     }
 
@@ -74,8 +95,8 @@ fn main() {
     // from the per-collection-epoch cache. Reports must be identical —
     // the cache is an optimization, not a semantic knob.
     section("assessment snapshot reuse (5k fleet, cache off vs on)");
-    let (fresh_secs, fresh_report) = run_scale(&market, 5_000, 3, false);
-    let (cached_secs, cached_report) = run_scale(&market, 5_000, 3, true);
+    let (fresh_secs, _, fresh_report) = run_scale(&market, 5_000, 3, false);
+    let (cached_secs, _, cached_report) = run_scale(&market, 5_000, 3, true);
     assert_eq!(
         fresh_report, cached_report,
         "snapshot cache must be observationally identical"
@@ -94,7 +115,8 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  \"assessment_reuse_fresh_secs\": {fresh_secs:.6},\n  \
+        "  \"allocs_per_event\": {allocs_per_event_10k:.3},\n  \
+         \"assessment_reuse_fresh_secs\": {fresh_secs:.6},\n  \
          \"assessment_reuse_cached_secs\": {cached_secs:.6},\n  \
          \"assessment_reuse_speedup\": {reuse_speedup:.3}\n}}\n"
     ));

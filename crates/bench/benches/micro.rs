@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks for the hot paths: market construction
-//! (serial vs parallel), Algorithm 1 region selection, interruption
-//! sampling, sweep-engine market caching, memoized monitor collection,
-//! and end-to-end experiment throughput.
+//! (lazy vs eager), Algorithm 1 region selection, interruption sampling,
+//! sweep-engine market caching, memoized monitor collection, and
+//! end-to-end experiment throughput.
 
 use std::sync::Arc;
 
@@ -23,8 +23,8 @@ fn bench_market_build(c: &mut Criterion) {
     group.bench_function("spot_market_build_210_days", |b| {
         b.iter(|| SpotMarket::new(MarketConfig::with_seed(std::hint::black_box(7))));
     });
-    group.bench_function("spot_market_build_210_days_serial", |b| {
-        b.iter(|| SpotMarket::new_serial(MarketConfig::with_seed(std::hint::black_box(7))));
+    group.bench_function("spot_market_build_210_days_eager", |b| {
+        b.iter(|| SpotMarket::new_eager(MarketConfig::with_seed(std::hint::black_box(7))));
     });
     group.finish();
 }

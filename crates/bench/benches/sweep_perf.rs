@@ -1,7 +1,7 @@
-//! Sweep-engine performance: measures the wins the parallel sweep engine
-//! claims — parallel market construction, shared-market chaos matrices,
-//! and memoized monitor collection — and records them in
-//! `BENCH_sweep.json` at the repo root for regression tracking.
+//! Sweep-engine performance: measures the wins the sweep engine claims —
+//! lazy market materialization, shared-market chaos matrices, and
+//! memoized monitor collection — and records them in `BENCH_sweep.json`
+//! at the repo root for regression tracking.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -45,20 +45,23 @@ fn main() {
         "this repo's parallel sweep engine (no direct paper figure)",
     );
 
-    // -- market construction: serial vs scoped-thread parallel ------------
+    // -- market construction: eager full build vs lazy segments -----------
+    // `new` only walks the daily interruption bands and demand episodes;
+    // price and placement trajectories materialize in segments on first
+    // query (DESIGN.md §13). `new_eager` is the old up-front build.
     section("market construction (210-day horizon, 12 regions)");
     let config = MarketConfig::with_seed(BENCH_SEED);
-    let serial_build = best_of(3, || {
-        std::hint::black_box(SpotMarket::new_serial(config));
+    let eager_build = best_of(3, || {
+        std::hint::black_box(SpotMarket::new_eager(config));
     });
-    let parallel_build = best_of(3, || {
+    let lazy_build = best_of(3, || {
         std::hint::black_box(SpotMarket::new(config));
     });
-    println!("  serial   {:>8.3} s", serial_build);
+    println!("  eager {:>10.6} s", eager_build);
     println!(
-        "  parallel {:>8.3} s   ({:.2}x)",
-        parallel_build,
-        serial_build / parallel_build
+        "  lazy  {:>10.6} s   ({:.0}x)",
+        lazy_build,
+        eager_build / lazy_build
     );
 
     // -- chaos-style matrix: strategies × (fault-free + scenarios) --------
@@ -153,9 +156,9 @@ fn main() {
     // -- record ------------------------------------------------------------
     let json = format!(
         "{{\n  \"cpu_cores\": {cores},\n  \
-         \"market_build_serial_secs\": {serial_build:.6},\n  \
-         \"market_build_parallel_secs\": {parallel_build:.6},\n  \
-         \"market_build_speedup\": {:.3},\n  \
+         \"market_build_eager_secs\": {eager_build:.6},\n  \
+         \"market_build_lazy_secs\": {lazy_build:.6},\n  \
+         \"market_lazy_construct_speedup\": {:.3},\n  \
          \"matrix_cells\": {n_cells},\n  \
          \"matrix_jobs\": {jobs},\n  \
          \"matrix_serial_secs\": {serial_matrix:.6},\n  \
@@ -168,7 +171,7 @@ fn main() {
          \"monitor_ticks_per_sec_unmemoized\": {unmemoized_rate:.1},\n  \
          \"monitor_ticks_per_sec_memoized\": {memoized_rate:.1},\n  \
          \"monitor_memo_speedup\": {:.3}\n}}\n",
-        serial_build / parallel_build,
+        eager_build / lazy_build,
         n_cells as f64 / serial_matrix,
         n_cells as f64 / parallel_matrix,
         memoized_rate / unmemoized_rate,

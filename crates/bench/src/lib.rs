@@ -6,10 +6,52 @@
 //! AWS testbed, so the *shape* — who wins, by roughly what factor — is the
 //! reproduction target (see EXPERIMENTS.md).
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use bio_workloads::{paper_fleet, WorkloadKind, WorkloadSpec};
 use cloud_market::InstanceType;
 use sim_kernel::{SimRng, SimTime};
 use spotverse::ExperimentConfig;
+
+/// Heap allocations observed by [`CountingAlloc`] since process start.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Allocation-counting wrapper around the system allocator.
+///
+/// Install it in a bench binary with
+/// `#[global_allocator] static A: CountingAlloc = CountingAlloc;` and
+/// difference [`CountingAlloc::allocations`] around the measured region.
+/// Counting is a relaxed atomic increment per `alloc`/`realloc` — cheap
+/// enough that throughput numbers from the same binary stay comparable.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Total allocation count so far (monotonic; difference across a
+    /// region of interest).
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+}
+
+// SAFETY: delegates every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the counter has no effect on the returned
+// memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
 
 /// The seed all bench experiments derive from (fixed for reproducible
 /// tables).

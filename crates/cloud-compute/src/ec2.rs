@@ -161,6 +161,11 @@ pub struct Ec2 {
     rng: SimRng,
     ledger: BillingLedger,
     instances: HashMap<InstanceId, InstanceRecord>,
+    /// Exact count of running spot instances per (region, type), kept in
+    /// lockstep with `instances` so `crowding_multiplier` is O(1) instead
+    /// of a scan over every record ever created (which made spot requests
+    /// superlinear in fleet size).
+    running_spot: [[u32; InstanceType::ALL.len()]; Region::ALL.len()],
     next_instance: u64,
     spot_attempts: u64,
     spot_fulfillments: u64,
@@ -176,6 +181,7 @@ impl Ec2 {
             rng: rng.fork("ec2"),
             ledger: BillingLedger::new(),
             instances: HashMap::new(),
+            running_spot: [[0; InstanceType::ALL.len()]; Region::ALL.len()],
             next_instance: 1,
             spot_attempts: 0,
             spot_fulfillments: 0,
@@ -260,6 +266,7 @@ impl Ec2 {
             id,
             InstanceRecord::new(id, region, instance_type, PurchaseModel::Spot, at, ready_at),
         );
+        self.running_spot[region as usize][instance_type as usize] += 1;
         Ok(SpotRequestOutcome::Fulfilled(LaunchedSpot {
             instance: id,
             ready_at,
@@ -345,6 +352,9 @@ impl Ec2 {
             .get_mut(&id)
             .expect("checked above")
             .terminate(at, reason, cost);
+        if model == PurchaseModel::Spot {
+            self.running_spot[region as usize][itype as usize] -= 1;
+        }
         Ok(cost)
     }
 
@@ -424,16 +434,7 @@ impl Ec2 {
     /// The crowding hazard multiplier for a new instance in this market,
     /// based on how many of this account's spot instances already run there.
     pub fn crowding_multiplier(&self, region: Region, instance_type: InstanceType) -> f64 {
-        let others = self
-            .instances
-            .values()
-            .filter(|r| {
-                r.is_running()
-                    && r.region() == region
-                    && r.instance_type() == instance_type
-                    && r.model() == PurchaseModel::Spot
-            })
-            .count() as f64;
+        let others = f64::from(self.running_spot[region as usize][instance_type as usize]);
         1.0 + self.config.crowding_coefficient
             * region.capacity_depth_coefficient()
             * (others / self.config.crowding_fleet_scale).min(1.0)
@@ -612,6 +613,49 @@ mod tests {
         assert!(open > 60 && open < 150, "open {open}");
         assert_eq!(e.spot_attempts(), 200);
         assert!(e.spot_fulfillments() > 50);
+    }
+
+    #[test]
+    fn crowding_counter_matches_record_scan() {
+        // The O(1) running-spot counters must agree with the full record
+        // scan they replaced, through launches, interruptions, and
+        // completed terminations across regions.
+        let mut e = ec2(11);
+        let mut live = Vec::new();
+        for i in 0..40u64 {
+            let region = Region::ALL[(i % 4) as usize];
+            let launch = fulfill(&mut e, region, SimTime::from_hours(i));
+            live.push(launch.instance);
+            if i % 3 == 0 {
+                let victim = live.remove(0);
+                let rec = e.instance(victim).unwrap();
+                let (at, reason) = if i % 2 == 0 {
+                    (rec.ready_at() + SimDuration::from_hours(1), TerminationReason::Completed)
+                } else {
+                    (rec.ready_at() + SimDuration::from_mins(7), TerminationReason::Interrupted)
+                };
+                e.terminate(victim, at, reason).unwrap();
+            }
+            for region in Region::ALL {
+                for itype in InstanceType::ALL {
+                    let scan = e
+                        .instances
+                        .values()
+                        .filter(|r| {
+                            r.is_running()
+                                && r.region() == region
+                                && r.instance_type() == itype
+                                && r.model() == PurchaseModel::Spot
+                        })
+                        .count() as u32;
+                    assert_eq!(
+                        e.running_spot[region as usize][itype as usize],
+                        scan,
+                        "{region:?}/{itype:?} after step {i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,11 +14,16 @@
 //!   real-world correlation that makes cheap, unstable regions expensive in
 //!   practice (the effect SpotVerse exploits).
 //!
-//! Everything is precomputed at construction from the seed, so any strategy
-//! run against the same [`MarketConfig`] observes the identical market.
+//! Every trajectory is a pure function of the seed, so any strategy run
+//! against the same [`MarketConfig`] observes the identical market. The
+//! expensive trajectories (hourly prices, daily placement scores) are
+//! materialized lazily in [`MARKET_SEGMENT_DAYS`]-day segments on first
+//! query (DESIGN.md §13): construction only walks the cheap daily band and
+//! episode processes, and a fleet that finishes inside the first month
+//! never pays for the remaining months of the horizon.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
 use sim_kernel::{SimDuration, SimRng, SimTime};
@@ -194,21 +199,196 @@ impl std::fmt::Display for MarketError {
 
 impl std::error::Error for MarketError {}
 
-/// One (region, instance type) market's precomputed trajectory.
-#[derive(Debug, Clone, PartialEq)]
+/// Length in days of one lazily-materialized trajectory segment.
+///
+/// Placement scores materialize in segments of this many days, prices in
+/// segments of this many days of hours. Chosen so a paper-scale experiment
+/// (a few weeks of sim time) touches two or three segments out of the
+/// default horizon's fifteen.
+pub const MARKET_SEGMENT_DAYS: usize = 14;
+
+const SEGMENT_HOURS: usize = MARKET_SEGMENT_DAYS * 24;
+
+/// A sequential trajectory generator: each call appends the next `n`
+/// values, advancing internal state (RNG stream position, process carry)
+/// so successive calls chain into one continuous sequence — the key to
+/// lazy segments staying bit-identical to a single eager front-to-back
+/// pass.
+trait SegmentGen: std::fmt::Debug + Send {
+    /// The element type of the generated sequence.
+    type Item: Copy + Send + Sync + PartialEq + std::fmt::Debug;
+    /// Appends the next `n` values of the sequence to `out`.
+    fn next_n(&mut self, n: usize, out: &mut Vec<Self::Item>);
+}
+
+/// One lazily-materialized trajectory: values are produced in fixed-size
+/// segments on first touch. Segments always fill front-to-back with the
+/// generator state chained across boundaries, so any query order yields
+/// exactly the values an eager build would have precomputed. Reads of
+/// filled segments are lock-free; the generator lock is held only while
+/// filling.
+#[derive(Debug)]
+struct LazyTrack<G: SegmentGen> {
+    len: usize,
+    seg_len: usize,
+    segments: Box<[Segment<G::Item>]>,
+    /// Next segment index to fill, plus the chained generator state.
+    gen: Mutex<(usize, G)>,
+}
+
+/// One once-filled slice of a [`LazyTrack`].
+type Segment<T> = OnceLock<Box<[T]>>;
+
+impl<G: SegmentGen> LazyTrack<G> {
+    fn new(len: usize, seg_len: usize, gen: G) -> Self {
+        let n_segs = len.div_ceil(seg_len).max(1);
+        LazyTrack {
+            len,
+            seg_len,
+            segments: (0..n_segs).map(|_| OnceLock::new()).collect(),
+            gen: Mutex::new((0, gen)),
+        }
+    }
+
+    /// The value at `idx`, clamped to the final element (callers have
+    /// already horizon-checked; the clamp mirrors the defensive indexing
+    /// of the old precomputed vectors).
+    fn get(&self, idx: usize) -> G::Item {
+        let idx = idx.min(self.len - 1);
+        let seg = idx / self.seg_len;
+        if let Some(s) = self.segments[seg].get() {
+            return s[idx % self.seg_len];
+        }
+        self.fill_through(seg);
+        self.segments[seg].get().expect("filled above")[idx % self.seg_len]
+    }
+
+    /// Fills every unfilled segment up to and including `seg`, in order.
+    #[cold]
+    fn fill_through(&self, seg: usize) {
+        let mut guard = self.gen.lock().expect("lazy-track generator poisoned");
+        let (next, gen) = &mut *guard;
+        while *next <= seg {
+            let n = self.seg_len.min(self.len - *next * self.seg_len);
+            let mut buf = Vec::with_capacity(n);
+            gen.next_n(n, &mut buf);
+            self.segments[*next]
+                .set(buf.into_boxed_slice())
+                .expect("segment filled twice");
+            *next += 1;
+        }
+    }
+
+    /// Materializes the whole trajectory (one front-to-back generator
+    /// pass when nothing is filled yet — the old eager build).
+    fn force_all(&self) {
+        self.fill_through(self.segments.len() - 1);
+    }
+
+    /// `(filled, total)` segment counts.
+    fn segments_filled(&self) -> (usize, usize) {
+        let filled = self.segments.iter().filter(|s| s.get().is_some()).count();
+        (filled, self.segments.len())
+    }
+}
+
+/// Logical equality: same sequence values, forcing materialization of
+/// both sides. Used by determinism tests comparing lazy and eager builds.
+impl<G: SegmentGen> PartialEq for LazyTrack<G> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && (0..self.len).all(|i| self.get(i) == other.get(i))
+    }
+}
+
+/// Daily placement-score AR(1) walk around the profile mean.
+#[derive(Debug)]
+struct PlacementGen {
+    rng: SimRng,
+    mean: f64,
+    sigma: f64,
+    deviation: f64,
+}
+
+impl SegmentGen for PlacementGen {
+    type Item = PlacementScore;
+
+    fn next_n(&mut self, n: usize, out: &mut Vec<PlacementScore>) {
+        for _ in 0..n {
+            self.deviation = 0.7 * self.deviation + self.rng.normal(0.0, self.sigma);
+            out.push(PlacementScore::from_f64_clamped(self.mean + self.deviation));
+        }
+    }
+}
+
+/// Hourly mean-reverting price process (episode multiplier baked in,
+/// clamped below on-demand).
+#[derive(Debug)]
+struct PriceGen {
+    rng: SimRng,
+    profile: MarketProfile,
+    episodes: Arc<[(SimTime, SimTime)]>,
+    od: f64,
+    price_mult: f64,
+    hours_total: usize,
+    h: usize,
+    x: f64,
+    episode_idx: usize,
+}
+
+impl SegmentGen for PriceGen {
+    type Item = f64;
+
+    fn next_n(&mut self, n: usize, out: &mut Vec<f64>) {
+        for _ in 0..n {
+            self.x = 0.97 * self.x + self.rng.normal(0.0, 0.022);
+            let frac = self.h as f64 / self.hours_total.max(1) as f64;
+            let day = self.h as f64 / 24.0;
+            let surge_mult = self.profile.surge_price_factor(day);
+            let base = self.profile.spot_base_at(frac).rate() * surge_mult;
+            let mid = SimTime::from_secs(self.h as u64 * 3600 + 1800);
+            while self.episode_idx < self.episodes.len() && self.episodes[self.episode_idx].1 < mid
+            {
+                self.episode_idx += 1;
+            }
+            let in_episode = self
+                .episodes
+                .get(self.episode_idx)
+                .is_some_and(|&(s, e)| s <= mid && mid < e);
+            let mult = if in_episode { self.price_mult } else { 1.0 };
+            out.push((base * (1.0 + self.x).max(0.3) * mult).clamp(0.15 * self.od, self.od));
+            self.h += 1;
+        }
+    }
+}
+
+/// One (region, instance type) market's trajectory. The cheap processes
+/// (daily band walk, demand episodes, the hazard thinning bound derived
+/// from them) are built eagerly; the expensive ones (hourly prices, daily
+/// placement scores) materialize lazily per segment.
+#[derive(Debug)]
 struct MarketState {
     profile: MarketProfile,
     /// Band per day.
     daily_band: Vec<InterruptionBand>,
-    /// Placement score per day.
-    daily_placement: Vec<PlacementScore>,
-    /// Spot price per hour (episode multiplier baked in, clamped below
-    /// on-demand).
-    hourly_price: Vec<f64>,
+    /// Placement score per day, lazily materialized.
+    daily_placement: LazyTrack<PlacementGen>,
+    /// Spot price per hour, lazily materialized.
+    hourly_price: LazyTrack<PriceGen>,
     /// Sorted, disjoint demand-episode windows.
-    episodes: Vec<(SimTime, SimTime)>,
+    episodes: Arc<[(SimTime, SimTime)]>,
     /// Maximum instantaneous hazard over the horizon (thinning bound).
     max_hazard: f64,
+}
+
+impl PartialEq for MarketState {
+    fn eq(&self, other: &Self) -> bool {
+        self.profile == other.profile
+            && self.daily_band == other.daily_band
+            && self.daily_placement == other.daily_placement
+            && self.hourly_price == other.hourly_price
+            && self.episodes == other.episodes
+            && self.max_hazard == other.max_hazard
+    }
 }
 
 impl MarketState {
@@ -244,17 +424,18 @@ impl MarketState {
             }
         }
 
-        // --- Placement-score walk (daily AR(1)) ----------------------------
+        // --- Placement-score walk (daily AR(1), lazily materialized) -------
         let placement_sigma = if itype == InstanceType::M5Xlarge { 0.10 } else { 0.30 };
-        let mut place_rng = rng.fork(&format!("placement:{label}"));
-        let mut daily_placement = Vec::with_capacity(days);
-        let mut deviation = 0.0_f64;
-        for _ in 0..days {
-            deviation = 0.7 * deviation + place_rng.normal(0.0, placement_sigma);
-            daily_placement.push(PlacementScore::from_f64_clamped(
-                profile.placement_mean() + deviation,
-            ));
-        }
+        let daily_placement = LazyTrack::new(
+            days,
+            MARKET_SEGMENT_DAYS,
+            PlacementGen {
+                rng: rng.fork(&format!("placement:{label}")),
+                mean: profile.placement_mean(),
+                sigma: placement_sigma,
+                deviation: 0.0,
+            },
+        );
 
         // --- Demand episodes -----------------------------------------------
         let mut ep_rng = rng.fork(&format!("episodes:{label}"));
@@ -281,31 +462,24 @@ impl MarketState {
             }
             t_hours = end_hours;
         }
+        let episodes: Arc<[(SimTime, SimTime)]> = episodes.into();
 
-        // --- Hourly price process ------------------------------------------
-        let mut price_rng = rng.fork(&format!("price:{label}"));
-        let od = profiles::on_demand_price(region, itype).rate();
-        let params = episode_params(base_band);
-        let mut hourly_price = Vec::with_capacity(hours);
-        let mut x = 0.0_f64; // AR(1) relative deviation
-        let mut episode_idx = 0usize;
-        for h in 0..hours {
-            x = 0.97 * x + price_rng.normal(0.0, 0.022);
-            let frac = h as f64 / hours.max(1) as f64;
-            let day = h as f64 / 24.0;
-            let surge_mult = profile.surge_price_factor(day);
-            let base = profile.spot_base_at(frac).rate() * surge_mult;
-            let mid = SimTime::from_secs(h as u64 * 3600 + 1800);
-            while episode_idx < episodes.len() && episodes[episode_idx].1 < mid {
-                episode_idx += 1;
-            }
-            let in_episode = episodes
-                .get(episode_idx)
-                .is_some_and(|&(s, e)| s <= mid && mid < e);
-            let mult = if in_episode { params.price_mult } else { 1.0 };
-            let price = (base * (1.0 + x).max(0.3) * mult).clamp(0.15 * od, od);
-            hourly_price.push(price);
-        }
+        // --- Hourly price process (lazily materialized) --------------------
+        let hourly_price = LazyTrack::new(
+            hours,
+            SEGMENT_HOURS,
+            PriceGen {
+                rng: rng.fork(&format!("price:{label}")),
+                od: profiles::on_demand_price(region, itype).rate(),
+                price_mult: episode_params(base_band).price_mult,
+                episodes: Arc::clone(&episodes),
+                profile: profile.clone(),
+                hours_total: hours,
+                h: 0,
+                x: 0.0,
+                episode_idx: 0,
+            },
+        );
 
         // --- Thinning bound -------------------------------------------------
         let max_band_hazard = daily_band
@@ -347,17 +521,6 @@ impl MarketState {
     }
 }
 
-/// Fewest CPU cores for which scoped-thread market construction pays
-/// for itself. Below this, [`SpotMarket::new`] builds serially: on a
-/// 2-core host the parallel path measured 0.84× the serial one, all
-/// spawn/join overhead.
-pub const MIN_PARALLEL_WORKERS: usize = 4;
-
-/// Shortest horizon worth parallelising. Each (region, instance type)
-/// trajectory costs O(horizon_days); short horizons finish before the
-/// worker threads amortize their startup.
-pub const MIN_PARALLEL_HORIZON_DAYS: u64 = 30;
-
 /// The simulated multi-region spot market.
 ///
 /// # Examples
@@ -384,78 +547,47 @@ pub struct SpotMarket {
 }
 
 impl SpotMarket {
-    /// Builds the market, precomputing all trajectories from the seed.
-    ///
-    /// Per-(region, instance type) trajectories build on parallel threads:
-    /// each forks its own labelled RNG streams from the master seed, so the
-    /// result is bit-identical to [`SpotMarket::new_serial`]. With fewer
-    /// than [`MIN_PARALLEL_WORKERS`] cores — or a catalog/horizon too
-    /// small to amortize thread spawning — the serial path is used
-    /// directly, since scoped-thread coordination costs more than it
-    /// saves there (measured 0.84× on a 2-core host).
+    /// Builds the market. Construction only walks the cheap daily band
+    /// and episode processes per (region, instance type); the hourly
+    /// price and daily placement trajectories materialize lazily in
+    /// [`MARKET_SEGMENT_DAYS`]-day segments on first query, bit-identical
+    /// to the eager reference build ([`SpotMarket::new_eager`]) because
+    /// segments fill front-to-back with chained generator state.
     pub fn new(config: MarketConfig) -> Self {
-        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        let workers = if workers < MIN_PARALLEL_WORKERS
-            || u64::from(config.horizon_days) < MIN_PARALLEL_HORIZON_DAYS
-        {
-            1
-        } else {
-            workers
-        };
-        Self::build(config, workers)
+        Self::build(config)
     }
 
-    /// Builds the market on the calling thread only — the reference
-    /// construction the parallel path must match exactly.
+    /// Identical to [`SpotMarket::new`]; retained for callers that predate
+    /// the removal of the scoped-thread parallel build (lazy segments made
+    /// construction too cheap to be worth parallelising).
     pub fn new_serial(config: MarketConfig) -> Self {
-        Self::build(config, 1)
+        Self::build(config)
     }
 
-    fn build(config: MarketConfig, workers: usize) -> Self {
+    /// The reference construction: builds the market and materializes
+    /// every trajectory up front in one front-to-back pass — exactly the
+    /// old eager precompute. Equivalence tests compare lazy markets,
+    /// queried in arbitrary orders, against this.
+    pub fn new_eager(config: MarketConfig) -> Self {
+        let market = Self::build(config);
+        for state in market.states.values() {
+            state.daily_placement.force_all();
+            state.hourly_price.force_all();
+        }
+        market
+    }
+
+    fn build(config: MarketConfig) -> Self {
         let rng = SimRng::seed_from_u64(config.seed).fork("spot-market");
-        let catalog: Vec<(InstanceType, MarketProfile)> = InstanceType::ALL
+        let states: HashMap<(Region, InstanceType), MarketState> = InstanceType::ALL
             .into_iter()
             .flat_map(|itype| {
                 profiles::profiles_for(itype).into_iter().map(move |p| (itype, p))
             })
-            .collect();
-        let workers = workers.clamp(1, catalog.len().max(1));
-        let built: Vec<((Region, InstanceType), MarketState)> = if workers <= 1 {
-            catalog
-                .into_iter()
-                .map(|(itype, p)| {
-                    ((p.region(), itype), MarketState::build(p, config.horizon_days, &rng))
-                })
-                .collect()
-        } else {
-            // Workers claim catalog indices off a shared counter; every
-            // trajectory forks its streams purely from (seed, label), so
-            // which thread builds which market cannot affect the result.
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut local = Vec::new();
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                let Some((itype, p)) = catalog.get(i) else { break };
-                                local.push((
-                                    (p.region(), *itype),
-                                    MarketState::build(p.clone(), config.horizon_days, &rng),
-                                ));
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("market build worker panicked"))
-                    .collect()
+            .map(|(itype, p)| {
+                ((p.region(), itype), MarketState::build(p, config.horizon_days, &rng))
             })
-        };
-        let states: HashMap<(Region, InstanceType), MarketState> = built.into_iter().collect();
+            .collect();
         let offerings = InstanceType::ALL
             .into_iter()
             .map(|itype| {
@@ -497,6 +629,18 @@ impl SpotMarket {
         self.states.contains_key(&(region, instance_type))
     }
 
+    /// `(filled, total)` lazy-trajectory segment counts summed across
+    /// every (region, instance type) market — how much of the horizon has
+    /// actually been paid for. Benches and tests use this to assert that
+    /// short experiments leave most of the market unmaterialized.
+    pub fn materialized_segments(&self) -> (usize, usize) {
+        self.states.values().fold((0, 0), |(filled, total), s| {
+            let (pf, pt) = s.daily_placement.segments_filled();
+            let (hf, ht) = s.hourly_price.segments_filled();
+            (filled + pf + hf, total + pt + ht)
+        })
+    }
+
     fn state(
         &self,
         region: Region,
@@ -534,7 +678,7 @@ impl SpotMarket {
         self.check_horizon(at)?;
         let state = self.state(region, instance_type)?;
         let hour = (at.as_secs() / 3600) as usize;
-        Ok(UsdPerHour::new(state.hourly_price[hour.min(state.hourly_price.len() - 1)]))
+        Ok(UsdPerHour::new(state.hourly_price.get(hour)))
     }
 
     /// The spot price in a specific availability zone: the regional price
@@ -611,8 +755,7 @@ impl SpotMarket {
     ) -> Result<PlacementScore, MarketError> {
         self.check_horizon(at)?;
         let state = self.state(region, instance_type)?;
-        let day = (at.as_days() as usize).min(state.daily_placement.len() - 1);
-        Ok(state.daily_placement[day])
+        Ok(state.daily_placement.get(at.as_days() as usize))
     }
 
     /// The instantaneous interruption hazard (events per instance-hour).
@@ -753,33 +896,78 @@ mod tests {
     }
 
     #[test]
-    fn parallel_build_matches_serial_exactly() {
-        // Field-for-field equality over every precomputed trajectory:
-        // bands, placement scores, hourly prices, episodes, hazard bounds.
-        // Forced worker counts, not `new()` — the small-host serial
-        // fallback must never excuse the parallel path from matching.
+    fn lazy_build_matches_eager_reference() {
+        // Field-for-field equality over every trajectory: bands, placement
+        // scores, hourly prices, episodes, hazard bounds. The lazy market
+        // is deliberately queried back-to-front and across segment
+        // boundaries first, so segments fill in an adversarial order
+        // before the wholesale comparison.
         for seed in [0, 7, 2024] {
             let config = MarketConfig { seed, horizon_days: 60 };
-            let serial = SpotMarket::new_serial(config);
-            for workers in [2, 8] {
+            let eager = SpotMarket::new_eager(config);
+            let lazy = SpotMarket::new(config);
+            for day in [59, 0, 28, MARKET_SEGMENT_DAYS as u64, 13, 41] {
+                let t = SimTime::from_days(day);
                 assert_eq!(
-                    SpotMarket::build(config, workers),
-                    serial,
-                    "seed {seed} workers {workers}"
+                    lazy.spot_price(Region::UsEast1, InstanceType::M5Xlarge, t),
+                    eager.spot_price(Region::UsEast1, InstanceType::M5Xlarge, t),
+                    "seed {seed} day {day}"
+                );
+                assert_eq!(
+                    lazy.placement_score(Region::CaCentral1, InstanceType::M5Xlarge, t),
+                    eager.placement_score(Region::CaCentral1, InstanceType::M5Xlarge, t),
+                    "seed {seed} day {day}"
                 );
             }
-            assert_eq!(SpotMarket::new(config), serial, "seed {seed} via new()");
+            assert_eq!(lazy, eager, "seed {seed}");
+            assert_eq!(SpotMarket::new_serial(config), eager, "seed {seed} via new_serial()");
         }
     }
 
     #[test]
-    fn small_hosts_and_short_horizons_build_serially() {
-        // `new()` on a sub-threshold horizon must pick the serial path;
-        // the choice is invisible in the output (previous test), so pin
-        // the gate constants instead of the behavior.
-        const { assert!(MIN_PARALLEL_WORKERS >= 2) };
-        // The default 210-day horizon must stay parallel-eligible.
-        const { assert!(MIN_PARALLEL_HORIZON_DAYS <= 210) };
+    fn short_experiments_leave_most_segments_unmaterialized() {
+        let m = market(); // default 210-day horizon
+        let (filled, total) = m.materialized_segments();
+        assert_eq!(filled, 0, "construction must not materialize anything");
+        // A month of price + placement queries against one market.
+        for day in 0..30 {
+            let t = SimTime::from_days(day);
+            m.spot_price(Region::UsEast1, InstanceType::M5Xlarge, t).unwrap();
+            m.placement_score(Region::UsEast1, InstanceType::M5Xlarge, t).unwrap();
+        }
+        let (filled, _) = m.materialized_segments();
+        let per_track = 30usize.div_ceil(MARKET_SEGMENT_DAYS);
+        assert_eq!(filled, 2 * per_track, "exactly the touched segments fill");
+        assert!(filled * 20 < total, "filled {filled} of {total}");
+    }
+
+    #[test]
+    fn concurrent_lazy_queries_agree_with_eager() {
+        // Hammer one market's tracks from several threads at once; every
+        // observed value must match the eager reference (no torn fills,
+        // no order dependence).
+        let config = MarketConfig { seed: 9, horizon_days: 56 };
+        let eager = SpotMarket::new_eager(config);
+        let lazy = SpotMarket::new(config);
+        std::thread::scope(|scope| {
+            for offset in 0..4u64 {
+                let (lazy, eager) = (&lazy, &eager);
+                scope.spawn(move || {
+                    for step in 0..56 {
+                        let day = (offset * 13 + step * 5) % 56;
+                        let t = SimTime::from_days(day) + SimDuration::from_hours(offset);
+                        assert_eq!(
+                            lazy.spot_price(Region::EuWest1, InstanceType::M5Xlarge, t),
+                            eager.spot_price(Region::EuWest1, InstanceType::M5Xlarge, t),
+                        );
+                        assert_eq!(
+                            lazy.placement_score(Region::EuWest1, InstanceType::M5Xlarge, t),
+                            eager.placement_score(Region::EuWest1, InstanceType::M5Xlarge, t),
+                        );
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -67,8 +67,10 @@ pub struct ControlPlane {
     pub(crate) snapshot_reuse: bool,
     /// The parsed snapshot for the current collection epoch: assessments
     /// in catalog order plus the oldest `collected_at` stamp. Cleared by
-    /// every collection attempt that could have touched the rows.
-    pub(crate) snapshot_cache: Option<(Vec<RegionAssessment>, SimTime)>,
+    /// every collection attempt that could have touched the rows. Shared
+    /// by `Arc` so serving a decision is a refcount bump, not a per-
+    /// decision `Vec` clone.
+    pub(crate) snapshot_cache: Option<(Arc<[RegionAssessment]>, SimTime)>,
 }
 
 impl std::fmt::Debug for ControlPlane {
@@ -169,7 +171,7 @@ impl ControlPlane {
     /// trusting expired metrics. Without the pipeline (or before the
     /// first snapshot) decisions read the market directly — either way
     /// they observe it *through* any active fault overlay.
-    pub(crate) fn decision_inputs(&mut self, now: SimTime) -> (Vec<RegionAssessment>, bool) {
+    pub(crate) fn decision_inputs(&mut self, now: SimTime) -> (Arc<[RegionAssessment]>, bool) {
         if self.monitor_pipeline {
             let ttl = self.telemetry_ttl;
             if self.snapshot_reuse {
@@ -178,10 +180,14 @@ impl ControlPlane {
                 // a collection runs, which clears the cache, so this
                 // serves the exact values the per-decision scan would.
                 if self.snapshot_cache.is_none() {
-                    self.snapshot_cache = self.monitor.read_snapshot(&self.kv).ok();
+                    self.snapshot_cache = self
+                        .monitor
+                        .read_snapshot(&self.kv)
+                        .ok()
+                        .map(|(rows, at)| (rows.into(), at));
                 }
                 if let Some((rows, collected_at)) = &self.snapshot_cache {
-                    let snapshot = rows.clone();
+                    let snapshot = Arc::clone(rows);
                     let age = now.saturating_duration_since(*collected_at);
                     if age <= ttl {
                         if self.collect_failing {
@@ -209,7 +215,7 @@ impl ControlPlane {
                             self.freshness.max_staleness = self.freshness.max_staleness.max(age);
                             self.tracer.record(now, TraceEvent::StaleServe { age });
                         }
-                        return (snapshot, false);
+                        return (snapshot.into(), false);
                     }
                     Err(MonitorError::Stale { .. }) => {
                         if let Ok((snapshot, age)) =
@@ -221,7 +227,7 @@ impl ControlPlane {
                                 self.degraded_since = Some(now);
                             }
                             self.tracer.record(now, TraceEvent::DegradedDecision { age });
-                            return (snapshot, true);
+                            return (snapshot.into(), true);
                         }
                     }
                     Err(_) => {}
@@ -233,7 +239,7 @@ impl ControlPlane {
             .monitor
             .fresh_assessments_with_overlay(&self.market, overlay, now)
             .expect("market assessments within horizon");
-        (snapshot, false)
+        (snapshot.into(), false)
     }
 
     /// Marks the collection pipeline healthy again and settles any open

@@ -96,17 +96,27 @@ impl Strategy for DeadlineAwareStrategy {
         "spotverse-deadline"
     }
 
-    fn initial_placements(&mut self, ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
+    fn initial_placements_into(
+        &mut self,
+        ctx: &mut StrategyContext<'_>,
+        n: usize,
+        out: &mut Vec<Placement>,
+    ) {
         // At fleet start the full duration must fit; if it already does not,
         // everything goes straight to on-demand.
         if self.policy.must_go_on_demand(ctx.now, self.policy.workload_duration) {
             let od = self.optimizer.cheapest_on_demand(ctx.assessments);
             self.pinned_on_demand += n as u32;
-            return vec![Placement::OnDemand(od); n];
+            out.extend(std::iter::repeat_n(Placement::OnDemand(od), n));
+            return;
         }
         match self.optimizer.config().initial_placement() {
-            InitialPlacement::SingleRegion(region) => vec![Placement::Spot(*region); n],
-            InitialPlacement::Distributed => self.optimizer.initial_placements(ctx.assessments, n, &[]),
+            InitialPlacement::SingleRegion(region) => {
+                out.extend(std::iter::repeat_n(Placement::Spot(*region), n));
+            }
+            InitialPlacement::Distributed => {
+                self.optimizer.initial_placements_into(ctx.assessments, n, &[], out);
+            }
         }
     }
 

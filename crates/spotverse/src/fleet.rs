@@ -252,13 +252,19 @@ struct FleetModel {
     completed: usize,
     expired: usize,
     interruptions: CumulativeCounter,
-    interruptions_by_region: BTreeMap<Region, u64>,
+    /// Interruptions per region, indexed like `running_by_region`; the
+    /// report's sparse `BTreeMap` is assembled once at the end of the run.
+    interruptions_by_region: [u64; Region::ALL.len()],
     completions: CumulativeCounter,
-    launches_by_region: BTreeMap<Region, u64>,
+    /// Launches per region, indexed like `running_by_region`.
+    launches_by_region: [u64; Region::ALL.len()],
     /// Concurrently running instances per region, indexed by the region's
     /// position in [`Region::ALL`]. A flat array keeps the per-decision
     /// capacity checks allocation- and tree-walk-free at fleet scale.
     running_by_region: [u32; Region::ALL.len()],
+    /// Pooled batch-placement buffer, reused across arrival batches so a
+    /// Poisson fleet (mostly batches of one) places without allocating.
+    placements_scratch: Vec<Placement>,
     capacity_deferrals: u64,
     /// Global abort horizon: the latest per-workload deadline.
     horizon: SimTime,
@@ -376,8 +382,16 @@ impl FleetModel {
         let (assessments, degraded) = self.cp.decision_inputs(now);
         let n = ids.len();
         let mut quarantined = Vec::new();
-        let placements = if degraded {
-            vec![Placement::OnDemand(cheapest_on_demand(&assessments)); n]
+        // Reuse the pooled buffer: under Poisson arrivals nearly every
+        // batch is small, and a fresh Vec per batch dominated the dispatch
+        // allocation profile.
+        let mut placements = std::mem::take(&mut self.placements_scratch);
+        placements.clear();
+        if degraded {
+            placements.extend(std::iter::repeat_n(
+                Placement::OnDemand(cheapest_on_demand(&assessments)),
+                n,
+            ));
         } else {
             quarantined = self.cp.health.quarantined(now);
             if !quarantined.is_empty() {
@@ -391,8 +405,8 @@ impl FleetModel {
                 quarantined: &quarantined,
                 rng: &mut self.strategy_rng,
             };
-            self.strategy.initial_placements(&mut ctx, n)
-        };
+            self.strategy.initial_placements_into(&mut ctx, n, &mut placements);
+        }
         debug_assert_eq!(placements.len(), n);
         if self.cp.tracer.enabled() {
             let candidates = if degraded {
@@ -413,12 +427,13 @@ impl FleetModel {
                 },
             );
         }
-        for (i, placement) in placements.into_iter().enumerate() {
+        for (i, &placement) in placements.iter().enumerate() {
             let w = ids[i];
             self.workloads[w].placement = placement;
             self.workloads[w].phase = WorkloadPhase::Requesting;
             scheduler.schedule_in(SimDuration::ZERO, Event::Launch(w));
         }
+        self.placements_scratch = placements;
     }
 
     fn handle_start(&mut self, now: SimTime, scheduler: &mut Scheduler<'_, Event>) {
@@ -609,7 +624,7 @@ impl FleetModel {
     }
 
     fn note_launch(&mut self, region: Region) {
-        *self.launches_by_region.entry(region).or_insert(0) += 1;
+        self.launches_by_region[region as usize] += 1;
     }
 
     /// The retry sweep. If the pending placement's region has since been
@@ -664,7 +679,7 @@ impl FleetModel {
 
         // Account the interruption.
         self.interruptions.increment(now);
-        *self.interruptions_by_region.entry(region).or_insert(0) += 1;
+        self.interruptions_by_region[region as usize] += 1;
         self.workloads[w].interruptions += 1;
         // Interruptions strike the breaker only while the region is under
         // active chaos stress (blackout or hazard inflation) — natural
@@ -775,13 +790,20 @@ impl FleetModel {
         self.workloads[w].phase = WorkloadPhase::Completed;
         self.completed += 1;
         self.completions.increment(now);
-        // Clear any checkpoint state.
+        // Clear any checkpoint state. The borrow split lets the key be
+        // lent straight from the workload spec instead of cloned.
         if self.workloads[w].spec.kind.is_checkpointable() {
-            let spec_id = self.workloads[w].spec.id.clone();
-            let ledger = self.cp.ec2.ledger_mut();
-            let _ = self.cp.kv.update_item("spotverse-checkpoints", &spec_id, now, ledger, |item| {
-                item.insert("completed".into(), aws_stack::AttrValue::Bool(true));
-            });
+            let FleetModel { workloads, cp, .. } = self;
+            let ControlPlane { kv, ec2, .. } = cp;
+            let _ = kv.update_item(
+                "spotverse-checkpoints",
+                &workloads[w].spec.id,
+                now,
+                ec2.ledger_mut(),
+                |item| {
+                    item.insert("completed".into(), aws_stack::AttrValue::Bool(true));
+                },
+            );
         }
     }
 
@@ -880,13 +902,37 @@ impl Model for FleetModel {
     }
 }
 
+/// Converts a flat per-region counter (indexed by [`Region::ALL`]
+/// position) back into the sparse map the report serializes: only
+/// regions that were actually touched appear, matching the old
+/// `BTreeMap`-with-`entry()` accounting exactly.
+fn region_count_map(counts: &[u64; Region::ALL.len()]) -> BTreeMap<Region, u64> {
+    Region::ALL
+        .iter()
+        .zip(counts)
+        .filter(|&(_, &n)| n != 0)
+        .map(|(&region, &n)| (region, n))
+        .collect()
+}
+
 /// Groups workload indices into arrival batches, ascending by time.
+///
+/// Sorting a pre-sized flat vector replaces the old per-instant
+/// `BTreeMap` build: one allocation up front instead of a node per
+/// distinct arrival time, and the stable sort preserves the
+/// index-ascending order within a batch that the map's push order gave.
 fn arrival_batches(workloads: &[WorkloadRuntime]) -> Vec<(SimTime, Vec<usize>)> {
-    let mut by_time: BTreeMap<SimTime, Vec<usize>> = BTreeMap::new();
-    for (w, runtime) in workloads.iter().enumerate() {
-        by_time.entry(runtime.arrival).or_default().push(w);
+    let mut arrivals: Vec<(SimTime, usize)> = Vec::with_capacity(workloads.len());
+    arrivals.extend(workloads.iter().enumerate().map(|(w, r)| (r.arrival, w)));
+    arrivals.sort_by_key(|&(at, _)| at);
+    let mut batches: Vec<(SimTime, Vec<usize>)> = Vec::new();
+    for (at, w) in arrivals {
+        match batches.last_mut() {
+            Some((t, ids)) if *t == at => ids.push(w),
+            _ => batches.push((at, vec![w])),
+        }
     }
-    by_time.into_iter().collect()
+    batches
 }
 
 /// Runs a fleet, building a fresh market from the config.
@@ -970,10 +1016,11 @@ pub fn run_fleet_on(
         completed: 0,
         expired: 0,
         interruptions: CumulativeCounter::new("interruptions"),
-        interruptions_by_region: BTreeMap::new(),
+        interruptions_by_region: [0; Region::ALL.len()],
         completions: CumulativeCounter::new("completions"),
-        launches_by_region: BTreeMap::new(),
+        launches_by_region: [0; Region::ALL.len()],
         running_by_region: [0; Region::ALL.len()],
+        placements_scratch: Vec::new(),
         capacity_deferrals: 0,
         horizon,
         aborted: false,
@@ -1063,10 +1110,10 @@ pub fn run_fleet_on(
         makespan,
         mean_completion,
         interruptions: model.interruptions.count(),
-        interruptions_by_region: model.interruptions_by_region,
+        interruptions_by_region: region_count_map(&model.interruptions_by_region),
         cumulative_interruptions: model.interruptions.series().clone(),
         completions_over_time: model.completions.series().clone(),
-        launches_by_region: model.launches_by_region,
+        launches_by_region: region_count_map(&model.launches_by_region),
         cost,
         instance_hours,
         spot_attempts: model.cp.ec2.spot_attempts(),

@@ -164,12 +164,21 @@ impl Strategy for ForecastingSpotVerseStrategy {
         "spotverse-forecast"
     }
 
-    fn initial_placements(&mut self, ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
+    fn initial_placements_into(
+        &mut self,
+        ctx: &mut StrategyContext<'_>,
+        n: usize,
+        out: &mut Vec<Placement>,
+    ) {
         self.forecaster.observe(ctx.assessments);
         let predicted = self.forecaster.predict(ctx.assessments);
         match self.optimizer.config().initial_placement() {
-            InitialPlacement::SingleRegion(region) => vec![Placement::Spot(*region); n],
-            InitialPlacement::Distributed => self.optimizer.initial_placements(&predicted, n, &[]),
+            InitialPlacement::SingleRegion(region) => {
+                out.extend(std::iter::repeat_n(Placement::Spot(*region), n));
+            }
+            InitialPlacement::Distributed => {
+                self.optimizer.initial_placements_into(&predicted, n, &[], out);
+            }
         }
     }
 

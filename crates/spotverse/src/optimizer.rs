@@ -202,14 +202,27 @@ impl Optimizer {
         n: usize,
         excluded: &[Region],
     ) -> Vec<Placement> {
+        let mut out = Vec::with_capacity(n);
+        self.initial_placements_into(assessments, n, excluded, &mut out);
+        out
+    }
+
+    /// [`initial_placements`](Optimizer::initial_placements), appended to
+    /// a caller-owned vector (the fleet loop pools one across batches).
+    pub fn initial_placements_into(
+        &self,
+        assessments: &[RegionAssessment],
+        n: usize,
+        excluded: &[Region],
+        out: &mut Vec<Placement>,
+    ) {
         let selected = self.select_regions(assessments, excluded);
         if selected.is_empty() {
             let od = self.cheapest_on_demand(assessments);
-            return vec![Placement::OnDemand(od); n];
+            out.extend(std::iter::repeat_n(Placement::OnDemand(od), n));
+            return;
         }
-        (0..n)
-            .map(|i| Placement::Spot(selected[i % selected.len()].region))
-            .collect()
+        out.extend((0..n).map(|i| Placement::Spot(selected[i % selected.len()].region)));
     }
 
     /// Migration target for a workload interrupted in

@@ -122,11 +122,20 @@ impl Strategy for ProviderAdaptedStrategy {
         &self.name
     }
 
-    fn initial_placements(&mut self, ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
+    fn initial_placements_into(
+        &mut self,
+        ctx: &mut StrategyContext<'_>,
+        n: usize,
+        out: &mut Vec<Placement>,
+    ) {
         let degraded = degrade_assessments(ctx.assessments, self.availability);
         match self.optimizer.config().initial_placement() {
-            InitialPlacement::SingleRegion(region) => vec![Placement::Spot(*region); n],
-            InitialPlacement::Distributed => self.optimizer.initial_placements(&degraded, n, &[]),
+            InitialPlacement::SingleRegion(region) => {
+                out.extend(std::iter::repeat_n(Placement::Spot(*region), n));
+            }
+            InitialPlacement::Distributed => {
+                self.optimizer.initial_placements_into(&degraded, n, &[], out);
+            }
         }
     }
 

@@ -86,8 +86,24 @@ pub trait Strategy: fmt::Debug {
     /// A short display name for reports.
     fn name(&self) -> &str;
 
-    /// Initial placements for a fleet of `n` workloads.
-    fn initial_placements(&mut self, ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement>;
+    /// Initial placements for a fleet of `n` workloads, appended to `out`.
+    ///
+    /// The fleet event loop calls this with a pooled scratch vector so a
+    /// run of many small arrival batches (a Poisson fleet is mostly
+    /// batches of one) does not allocate a fresh `Vec` per decision.
+    fn initial_placements_into(
+        &mut self,
+        ctx: &mut StrategyContext<'_>,
+        n: usize,
+        out: &mut Vec<Placement>,
+    );
+
+    /// Initial placements for a fleet of `n` workloads, as a fresh vector.
+    fn initial_placements(&mut self, ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
+        let mut out = Vec::with_capacity(n);
+        self.initial_placements_into(ctx, n, &mut out);
+        out
+    }
 
     /// Where to relaunch a workload that was interrupted (or whose request
     /// keeps failing) in `previous_region`.
@@ -124,8 +140,13 @@ impl Strategy for SingleRegionStrategy {
         "single-region"
     }
 
-    fn initial_placements(&mut self, _ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
-        vec![Placement::Spot(self.region); n]
+    fn initial_placements_into(
+        &mut self,
+        _ctx: &mut StrategyContext<'_>,
+        n: usize,
+        out: &mut Vec<Placement>,
+    ) {
+        out.extend(std::iter::repeat_n(Placement::Spot(self.region), n));
     }
 
     fn relocate(&mut self, _ctx: &mut StrategyContext<'_>, _previous: Region) -> Placement {
@@ -158,9 +179,14 @@ impl Strategy for OnDemandStrategy {
         "on-demand"
     }
 
-    fn initial_placements(&mut self, ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
+    fn initial_placements_into(
+        &mut self,
+        ctx: &mut StrategyContext<'_>,
+        n: usize,
+        out: &mut Vec<Placement>,
+    ) {
         let region = self.pinned.unwrap_or_else(|| ctx.cheapest_on_demand_region());
-        vec![Placement::OnDemand(region); n]
+        out.extend(std::iter::repeat_n(Placement::OnDemand(region), n));
     }
 
     fn relocate(&mut self, ctx: &mut StrategyContext<'_>, _previous: Region) -> Placement {
@@ -201,10 +227,13 @@ impl Strategy for NaiveMultiRegionStrategy {
         "naive-multi-region"
     }
 
-    fn initial_placements(&mut self, _ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
-        (0..n)
-            .map(|i| Placement::Spot(self.regions[i % self.regions.len()]))
-            .collect()
+    fn initial_placements_into(
+        &mut self,
+        _ctx: &mut StrategyContext<'_>,
+        n: usize,
+        out: &mut Vec<Placement>,
+    ) {
+        out.extend((0..n).map(|i| Placement::Spot(self.regions[i % self.regions.len()])));
     }
 
     fn relocate(&mut self, ctx: &mut StrategyContext<'_>, _previous: Region) -> Placement {
@@ -229,9 +258,14 @@ impl Strategy for SkyPilotStrategy {
         "skypilot"
     }
 
-    fn initial_placements(&mut self, ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
+    fn initial_placements_into(
+        &mut self,
+        ctx: &mut StrategyContext<'_>,
+        n: usize,
+        out: &mut Vec<Placement>,
+    ) {
         // SkyPilot provisions each job in the cheapest available market.
-        vec![Placement::Spot(ctx.cheapest_spot_region()); n]
+        out.extend(std::iter::repeat_n(Placement::Spot(ctx.cheapest_spot_region()), n));
     }
 
     fn relocate(&mut self, ctx: &mut StrategyContext<'_>, _previous: Region) -> Placement {
@@ -266,12 +300,19 @@ impl Strategy for SpotVerseStrategy {
         "spotverse"
     }
 
-    fn initial_placements(&mut self, ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
+    fn initial_placements_into(
+        &mut self,
+        ctx: &mut StrategyContext<'_>,
+        n: usize,
+        out: &mut Vec<Placement>,
+    ) {
         match self.optimizer.config().initial_placement() {
-            InitialPlacement::SingleRegion(region) => vec![Placement::Spot(*region); n],
+            InitialPlacement::SingleRegion(region) => {
+                out.extend(std::iter::repeat_n(Placement::Spot(*region), n));
+            }
             InitialPlacement::Distributed => self
                 .optimizer
-                .initial_placements(ctx.assessments, n, ctx.quarantined),
+                .initial_placements_into(ctx.assessments, n, ctx.quarantined, out),
         }
     }
 
@@ -331,12 +372,19 @@ impl Strategy for AblatedSpotVerseStrategy {
         &self.name
     }
 
-    fn initial_placements(&mut self, ctx: &mut StrategyContext<'_>, n: usize) -> Vec<Placement> {
+    fn initial_placements_into(
+        &mut self,
+        ctx: &mut StrategyContext<'_>,
+        n: usize,
+        out: &mut Vec<Placement>,
+    ) {
         match self.optimizer.config().initial_placement() {
-            InitialPlacement::SingleRegion(region) => vec![Placement::Spot(*region); n],
+            InitialPlacement::SingleRegion(region) => {
+                out.extend(std::iter::repeat_n(Placement::Spot(*region), n));
+            }
             InitialPlacement::Distributed => self
                 .optimizer
-                .initial_placements(ctx.assessments, n, ctx.quarantined),
+                .initial_placements_into(ctx.assessments, n, ctx.quarantined, out),
         }
     }
 

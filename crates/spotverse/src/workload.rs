@@ -222,7 +222,7 @@ impl WorkloadRuntime {
                 .invocation
                 .plan()
                 .units_completed_within(self.invocation.units_done(), elapsed);
-        let spec_id = self.spec.id.clone();
+        let spec_id = &self.spec.id;
         let generation = self.checkpoints.next_generation;
         self.checkpoints.next_generation += 1;
         cp.telemetry.writes += 1;
@@ -236,7 +236,7 @@ impl WorkloadRuntime {
             now,
             |e| matches!(e, KvError::Throttled { .. }),
             |at| {
-                kv.update_item("spotverse-checkpoints", &spec_id, at, ec2.ledger_mut(), |item| {
+                kv.update_item("spotverse-checkpoints", spec_id, at, ec2.ledger_mut(), |item| {
                     item.insert("units_done".into(), aws_stack::AttrValue::N(units_done as f64));
                     item.insert("generation".into(), aws_stack::AttrValue::N(generation as f64));
                     item.insert("at".into(), aws_stack::AttrValue::N(at.as_secs() as f64));

@@ -3,9 +3,9 @@
 # baselines in scripts/bench_baselines/, failing on a >10% regression.
 #
 # Key conventions (see crates/bench/benches/*.rs):
-#   *_secs                    lower is better  -> fail if > 1.10x baseline
-#   *_per_sec / *_speedup     higher is better -> fail if < 0.90x baseline
-#   anything else (counters, core counts)      -> informational, skipped
+#   *_secs / *allocs_per_event  lower is better  -> fail if > 1.10x baseline
+#   *_per_sec / *_speedup       higher is better -> fail if < 0.90x baseline
+#   anything else (counters, core counts)        -> informational, skipped
 #
 # Timings on a loaded machine are noisy; the 10% band is deliberately
 # generous. Re-run scripts/bench.sh once before trusting a failure.
@@ -39,7 +39,7 @@ for current in BENCH_*.json; do
             continue
         fi
         case "$key" in
-        *_secs) direction=lower ;;
+        *_secs | *allocs_per_event) direction=lower ;;
         *_per_sec | *_speedup) direction=higher ;;
         *)
             compared=$((compared + 1))

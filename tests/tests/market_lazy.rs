@@ -1,0 +1,100 @@
+//! Lazy market materialization must be observationally invisible: a
+//! market whose trajectories fill segment-by-segment on demand, in
+//! whatever order queries arrive, answers every query bit-identically to
+//! the eager reference build (`SpotMarket::new_eager`), including the
+//! `BeyondHorizon` error edges at and around segment boundaries.
+
+use cloud_market::{
+    InstanceType, MarketConfig, MarketError, Region, SpotMarket, MARKET_SEGMENT_DAYS,
+};
+use proptest::prelude::*;
+use sim_kernel::{SimDuration, SimTime};
+
+/// One observation per query kind the market exposes, rendered
+/// comparable (prices, placement, band, episode membership, hazard).
+type Observation = (
+    Result<String, MarketError>,
+    Result<String, MarketError>,
+    Result<String, MarketError>,
+    Result<bool, MarketError>,
+    Result<String, MarketError>,
+);
+
+/// Every query kind the market exposes over (region, type, time), as one
+/// comparable value.
+fn observe(m: &SpotMarket, region: Region, itype: InstanceType, at: SimTime) -> Observation {
+    (
+        m.spot_price(region, itype, at).map(|p| format!("{p:?}")),
+        m.placement_score(region, itype, at).map(|s| format!("{s:?}")),
+        m.interruption_band(region, itype, at).map(|b| format!("{b:?}")),
+        m.in_demand_episode(region, itype, at),
+        m.hazard_rate(region, itype, at).map(|h| format!("{h:?}")),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary interleavings of queries across regions, types, and
+    /// instants — including instants past the horizon — observe exactly
+    /// what the eager build precomputed.
+    #[test]
+    fn lazy_is_observationally_eager(
+        seed in 0u64..10_000,
+        horizon_days in 15u32..75,
+        queries in prop::collection::vec(
+            (0usize..Region::ALL.len(), 0usize..InstanceType::ALL.len(), 0u64..80 * 24 + 2),
+            1..60,
+        ),
+    ) {
+        let config = MarketConfig { seed, horizon_days };
+        let eager = SpotMarket::new_eager(config);
+        let lazy = SpotMarket::new(config);
+        for (r, i, hour) in queries {
+            let (region, itype) = (Region::ALL[r], InstanceType::ALL[i]);
+            let at = SimTime::from_secs(hour * 3600 + 17);
+            prop_assert_eq!(
+                observe(&lazy, region, itype, at),
+                observe(&eager, region, itype, at),
+                "seed {} horizon {} {:?}/{:?} at {:?}", seed, horizon_days, region, itype, at
+            );
+        }
+        // After the scattered queries, the whole markets still compare
+        // equal (forces the rest of both to materialize).
+        prop_assert_eq!(lazy, eager);
+    }
+
+    /// The exact edges: the last instant inside the horizon, the horizon
+    /// itself, and the seconds straddling every segment boundary.
+    #[test]
+    fn segment_and_horizon_edges_match(seed in 0u64..10_000, segments in 1u32..5) {
+        let horizon_days = segments * MARKET_SEGMENT_DAYS as u32;
+        let config = MarketConfig { seed, horizon_days };
+        let eager = SpotMarket::new_eager(config);
+        let lazy = SpotMarket::new(config);
+        let horizon = SimTime::from_days(u64::from(horizon_days));
+        let mut edges = vec![
+            SimTime::ZERO,
+            horizon - SimDuration::from_secs(1),
+            horizon,
+            horizon + SimDuration::from_secs(1),
+        ];
+        for boundary in (1..=segments as u64).map(|s| s * MARKET_SEGMENT_DAYS as u64) {
+            let t = SimTime::from_days(boundary);
+            edges.push(t - SimDuration::from_secs(1));
+            edges.push(t);
+            edges.push(t + SimDuration::from_secs(1));
+        }
+        for at in edges {
+            for region in [Region::UsEast1, Region::CaCentral1] {
+                prop_assert_eq!(
+                    observe(&lazy, region, InstanceType::M5Xlarge, at),
+                    observe(&eager, region, InstanceType::M5Xlarge, at),
+                    "seed {} at {:?}", seed, at
+                );
+            }
+        }
+        let at_horizon = lazy.spot_price(Region::UsEast1, InstanceType::M5Xlarge, horizon);
+        prop_assert!(matches!(at_horizon, Err(MarketError::BeyondHorizon { .. })));
+    }
+}

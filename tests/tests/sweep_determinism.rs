@@ -1,5 +1,5 @@
-//! Sweep-engine determinism: the parallel paths introduced for the sweep
-//! engine (parallel market construction, the bounded worker pool, the
+//! Sweep-engine determinism: the concurrency machinery under the sweep
+//! engine (lazy market materialization, the bounded worker pool, the
 //! shared market cache) must be invisible in the output — bit-identical
 //! reports for any worker count, faulted or fault-free.
 
@@ -14,7 +14,7 @@ fn fleet_config(seed: u64, n: usize) -> spotverse::ExperimentConfig {
 }
 
 #[test]
-fn parallel_market_construction_matches_serial() {
+fn lazy_market_construction_matches_eager() {
     for seed in [1, 2024, 0xDEAD] {
         let config = MarketConfig {
             seed,
@@ -22,8 +22,8 @@ fn parallel_market_construction_matches_serial() {
         };
         assert_eq!(
             SpotMarket::new(config),
-            SpotMarket::new_serial(config),
-            "seed {seed}: parallel build must be field-for-field identical"
+            SpotMarket::new_eager(config),
+            "seed {seed}: lazy build must be field-for-field identical"
         );
     }
 }
