@@ -8,6 +8,8 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use sim_kernel::SimTime;
 
+use crate::fault::{ServiceFault, ServiceFaultInjector, ServiceOp};
+
 /// A bus event, in EventBridge's source/detail-type/detail shape.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BusEvent {
@@ -136,12 +138,24 @@ pub struct EventBus {
     rules: Vec<Rule>,
     published: u64,
     delivered: u64,
+    lost: u64,
+    duplicated: u64,
+    injector: Option<Box<dyn ServiceFaultInjector>>,
 }
 
 impl EventBus {
     /// Creates an empty bus.
     pub fn new() -> Self {
         EventBus::default()
+    }
+
+    /// Installs a fault injector consulted once per matched target on
+    /// every publish: [`ServiceFault::Lost`] (or `Throttled`) drops that
+    /// delivery, [`ServiceFault::Duplicate`] delivers it twice
+    /// (at-least-once semantics), and delays pass through untouched.
+    /// Chaos-only; without an injector delivery is exact.
+    pub fn set_fault_injector(&mut self, injector: Box<dyn ServiceFaultInjector>) {
+        self.injector = Some(injector);
     }
 
     /// Installs a rule.
@@ -173,15 +187,33 @@ impl EventBus {
     }
 
     /// Publishes an event, returning the targets it was routed to, in rule
-    /// installation order.
+    /// installation order. With a fault injector installed, each matched
+    /// target may be dropped ([`ServiceFault::Lost`]/`Throttled`) or
+    /// appear twice ([`ServiceFault::Duplicate`]).
     pub fn publish(&mut self, event: BusEvent) -> Vec<String> {
         self.published += 1;
-        let targets: Vec<String> = self
+        let matched: Vec<String> = self
             .rules
             .iter()
             .filter(|r| r.matches(&event))
             .map(|r| r.target.clone())
             .collect();
+        let mut targets = Vec::with_capacity(matched.len());
+        for target in matched {
+            match self
+                .injector
+                .as_mut()
+                .and_then(|i| i.intercept(ServiceOp::EventDeliver, event.at))
+            {
+                Some(ServiceFault::Lost | ServiceFault::Throttled) => self.lost += 1,
+                Some(ServiceFault::Duplicate) => {
+                    self.duplicated += 1;
+                    targets.push(target.clone());
+                    targets.push(target);
+                }
+                Some(ServiceFault::Delayed(_)) | None => targets.push(target),
+            }
+        }
         self.delivered += targets.len() as u64;
         targets
     }
@@ -199,6 +231,16 @@ impl EventBus {
     /// Total deliveries (event × matching rule).
     pub fn delivered_count(&self) -> u64 {
         self.delivered
+    }
+
+    /// Deliveries dropped by the fault injector.
+    pub fn lost_count(&self) -> u64 {
+        self.lost
+    }
+
+    /// Deliveries duplicated by the fault injector.
+    pub fn duplicated_count(&self) -> u64 {
+        self.duplicated
     }
 }
 
@@ -256,6 +298,57 @@ mod tests {
         bus.disable_rule("a").unwrap();
         assert!(bus.publish(interruption_event()).is_empty());
         assert_eq!(bus.rules().len(), 1);
+    }
+
+    /// Scripted injector: plays back a fixed fate per delivery, in order.
+    #[derive(Debug)]
+    struct Script(std::vec::IntoIter<Option<ServiceFault>>);
+
+    impl ServiceFaultInjector for Script {
+        fn intercept(&mut self, op: ServiceOp, _at: SimTime) -> Option<ServiceFault> {
+            assert_eq!(op, ServiceOp::EventDeliver);
+            self.0.next().flatten()
+        }
+    }
+
+    #[test]
+    fn lost_delivery_drops_the_target() {
+        let mut bus = EventBus::new();
+        bus.put_rule(Rule::new("a", "aws.ec2", None, "t1")).unwrap();
+        bus.put_rule(Rule::new("b", "aws.ec2", None, "t2")).unwrap();
+        bus.set_fault_injector(Box::new(Script(
+            vec![Some(ServiceFault::Lost), None].into_iter(),
+        )));
+        assert_eq!(bus.publish(interruption_event()), vec!["t2".to_string()]);
+        assert_eq!(bus.lost_count(), 1);
+        assert_eq!(bus.delivered_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_delivery_yields_the_target_twice() {
+        let mut bus = EventBus::new();
+        bus.put_rule(Rule::new("a", "aws.ec2", None, "t")).unwrap();
+        bus.set_fault_injector(Box::new(Script(
+            vec![Some(ServiceFault::Duplicate)].into_iter(),
+        )));
+        assert_eq!(
+            bus.publish(interruption_event()),
+            vec!["t".to_string(), "t".to_string()]
+        );
+        assert_eq!(bus.duplicated_count(), 1);
+        assert_eq!(bus.delivered_count(), 2);
+    }
+
+    #[test]
+    fn delayed_and_clean_deliveries_are_exact() {
+        let mut bus = EventBus::new();
+        bus.put_rule(Rule::new("a", "aws.ec2", None, "t")).unwrap();
+        bus.set_fault_injector(Box::new(Script(
+            vec![Some(ServiceFault::Delayed(sim_kernel::SimDuration::from_secs(5)))].into_iter(),
+        )));
+        assert_eq!(bus.publish(interruption_event()), vec!["t".to_string()]);
+        assert_eq!(bus.lost_count(), 0);
+        assert_eq!(bus.duplicated_count(), 0);
     }
 
     #[test]

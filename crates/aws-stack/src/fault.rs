@@ -22,6 +22,8 @@ pub enum ServiceOp {
     ObjectPut,
     /// A function invocation.
     FunctionInvoke,
+    /// Delivery of one event-bus event to one matched target.
+    EventDeliver,
 }
 
 impl std::fmt::Display for ServiceOp {
@@ -32,6 +34,7 @@ impl std::fmt::Display for ServiceOp {
             ServiceOp::ObjectGet => "object-get",
             ServiceOp::ObjectPut => "object-put",
             ServiceOp::FunctionInvoke => "function-invoke",
+            ServiceOp::EventDeliver => "event-deliver",
         };
         f.write_str(name)
     }
@@ -44,6 +47,14 @@ pub enum ServiceFault {
     Throttled,
     /// The call succeeds but its outcome is delayed by this much.
     Delayed(SimDuration),
+    /// The call vanishes in transit. Request/response services surface
+    /// this as a retryable (throttling-class) error; for event delivery
+    /// the event is silently dropped and the target never fires.
+    Lost,
+    /// The call is delivered twice. Only meaningful for event delivery
+    /// (at-least-once semantics); idempotent request/response services
+    /// treat a duplicate as a clean success.
+    Duplicate,
 }
 
 /// Decides the fate of each control-plane call. Implementations must be

@@ -49,6 +49,15 @@ pub struct RetryPolicy {
     pub initial_backoff: SimDuration,
     /// Backoff multiplier between retries.
     pub backoff_rate: f64,
+    /// Hard cap on any single backoff delay. Geometric growth overflows
+    /// `f64` to `inf` for large retry counts; the cap keeps the delay
+    /// finite (and bounded) no matter how many retries have elapsed.
+    pub max_delay: SimDuration,
+    /// Maximum deterministic jitter added by [`RetryPolicy::backoff_jittered`].
+    /// Zero (the default) disables jitter entirely, so plain
+    /// [`RetryPolicy::backoff_before`] users are byte-identical to before
+    /// the field existed.
+    pub jitter: SimDuration,
 }
 
 impl Default for RetryPolicy {
@@ -57,17 +66,56 @@ impl Default for RetryPolicy {
             max_attempts: 3,
             initial_backoff: SimDuration::from_secs(30),
             backoff_rate: 2.0,
+            max_delay: SimDuration::from_hours(1),
+            jitter: SimDuration::ZERO,
         }
     }
 }
 
 impl RetryPolicy {
-    /// The backoff before retry number `retry` (1-based).
+    /// The backoff before retry number `retry` (1-based), capped at
+    /// [`RetryPolicy::max_delay`].
     pub fn backoff_before(&self, retry: u32) -> SimDuration {
-        let factor = self.backoff_rate.powi(retry.saturating_sub(1) as i32);
-        SimDuration::from_secs(
-            (self.initial_backoff.as_secs() as f64 * factor).round() as u64
-        )
+        let cap = self.max_delay.as_secs().max(self.initial_backoff.as_secs());
+        // powi on an i32 exponent: clamp huge retry counts before the cast
+        // can wrap; anything past the clamp is already far beyond the cap.
+        let exponent = retry.saturating_sub(1).min(1024) as i32;
+        let raw = self.initial_backoff.as_secs() as f64 * self.backoff_rate.powi(exponent);
+        let secs = if raw.is_finite() && raw < cap as f64 {
+            raw.round() as u64
+        } else {
+            cap
+        };
+        SimDuration::from_secs(secs.min(cap))
+    }
+
+    /// [`RetryPolicy::backoff_before`] plus a deterministic jitter draw in
+    /// `[0, jitter]` seconds, hashed from `(seed, retry, key)` — the same
+    /// construction as the health-breaker quarantine jitter. Distinct keys
+    /// (e.g. shard ids) spread re-dispatches so they don't thundering-herd
+    /// the event bus; identical inputs always produce the identical delay.
+    pub fn backoff_jittered(&self, retry: u32, seed: u64, key: &str) -> SimDuration {
+        let base = self.backoff_before(retry);
+        let max_jitter = self.jitter.as_secs();
+        if max_jitter == 0 {
+            return base;
+        }
+        // FNV-1a over the inputs, then a SplitMix64 finalizer.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for byte in seed
+            .to_le_bytes()
+            .iter()
+            .chain(u64::from(retry).to_le_bytes().iter())
+            .chain(key.as_bytes())
+        {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let mut z = h.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        base + SimDuration::from_secs(z % (max_jitter + 1))
     }
 }
 
@@ -233,8 +281,16 @@ impl FunctionRuntime {
                     clock += config.exec_duration.min(config.timeout);
                     continue;
                 }
+                Some(ServiceFault::Lost) => {
+                    // The request never reached the runtime; the attempt is
+                    // consumed waiting for a response that never comes.
+                    last_error = format!("invocation of `{name}` lost in transit");
+                    clock += config.exec_duration.min(config.timeout);
+                    continue;
+                }
                 Some(ServiceFault::Delayed(d)) => clock += d,
-                None => {}
+                // Invocations are deduplicated by the runtime itself.
+                Some(ServiceFault::Duplicate) | None => {}
             }
             clock += config.exec_duration.min(config.timeout);
             match body(attempt) {
@@ -369,10 +425,47 @@ mod tests {
             max_attempts: 5,
             initial_backoff: SimDuration::from_secs(10),
             backoff_rate: 2.0,
+            ..RetryPolicy::default()
         };
         assert_eq!(p.backoff_before(1), SimDuration::from_secs(10));
         assert_eq!(p.backoff_before(2), SimDuration::from_secs(20));
         assert_eq!(p.backoff_before(3), SimDuration::from_secs(40));
+    }
+
+    #[test]
+    fn backoff_saturates_at_max_delay() {
+        let p = RetryPolicy {
+            max_attempts: 100,
+            initial_backoff: SimDuration::from_secs(30),
+            backoff_rate: 2.0,
+            max_delay: SimDuration::from_mins(15),
+            jitter: SimDuration::ZERO,
+        };
+        // 30 * 2^63 would be ~2.8e20 — far past u64 seconds as a SimTime
+        // increment; the cap keeps it finite and bounded.
+        assert_eq!(p.backoff_before(64), SimDuration::from_mins(15));
+        // Still capped where the f64 itself is infinite.
+        assert_eq!(p.backoff_before(4096), SimDuration::from_mins(15));
+        // And untouched below the cap.
+        assert_eq!(p.backoff_before(2), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            jitter: SimDuration::from_secs(40),
+            ..RetryPolicy::default()
+        };
+        let a = p.backoff_jittered(2, 7, "shard-3");
+        let b = p.backoff_jittered(2, 7, "shard-3");
+        assert_eq!(a, b, "same inputs, same delay");
+        let base = p.backoff_before(2);
+        assert!(a >= base && a <= base + SimDuration::from_secs(40));
+        // Distinct keys spread out (for this seed they genuinely differ).
+        assert_ne!(a, p.backoff_jittered(2, 7, "shard-4"));
+        // Zero jitter is exactly the plain backoff.
+        let plain = RetryPolicy::default();
+        assert_eq!(plain.backoff_jittered(2, 7, "shard-3"), plain.backoff_before(2));
     }
 
     #[test]

@@ -186,10 +186,13 @@ impl KvStore {
     fn check_fault(&mut self, op: ServiceOp, table: &str, at: SimTime) -> Result<(), KvError> {
         let fault = self.injector.as_mut().and_then(|i| i.intercept(op, at));
         match fault {
-            Some(ServiceFault::Throttled) => Err(KvError::Throttled {
+            // A lost request surfaces exactly like a throttle: the caller
+            // sees a retryable failure and the write never lands.
+            Some(ServiceFault::Throttled | ServiceFault::Lost) => Err(KvError::Throttled {
                 table: table.to_owned(),
             }),
-            Some(ServiceFault::Delayed(_)) | None => Ok(()),
+            // KV calls are idempotent at this layer; a duplicate is harmless.
+            Some(ServiceFault::Delayed(_) | ServiceFault::Duplicate) | None => Ok(()),
         }
     }
 

@@ -187,11 +187,14 @@ impl ObjectStore {
         at: SimTime,
     ) -> Result<sim_kernel::SimDuration, ObjectStoreError> {
         match self.injector.as_mut().and_then(|i| i.intercept(op, at)) {
-            Some(ServiceFault::Throttled) => Err(ObjectStoreError::Throttled {
+            // Lost uploads/downloads fail like throttles: retryable, no
+            // partial state.
+            Some(ServiceFault::Throttled | ServiceFault::Lost) => Err(ObjectStoreError::Throttled {
                 bucket: bucket.to_owned(),
             }),
             Some(ServiceFault::Delayed(d)) => Ok(d),
-            None => Ok(sim_kernel::SimDuration::ZERO),
+            // Puts and gets are idempotent; duplicates change nothing.
+            Some(ServiceFault::Duplicate) | None => Ok(sim_kernel::SimDuration::ZERO),
         }
     }
 

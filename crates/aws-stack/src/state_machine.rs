@@ -442,6 +442,7 @@ mod tests {
                     max_attempts: 2,
                     initial_backoff: SimDuration::from_secs(10),
                     backoff_rate: 2.0,
+                    ..RetryPolicy::default()
                 },
                 next: Some("Ok".to_owned()),
                 catch: Some("Recover".to_owned()),

@@ -129,6 +129,149 @@ proptest! {
         prop_assert!((avg - expected_sum / values.len() as f64).abs() < 1e-6 * (1.0 + avg.abs()));
     }
 
+    /// Concurrent lease claims: for any interleaving of claimants over a
+    /// small key space, the conditional write admits exactly one winner
+    /// per lease key — the first claimant in arrival order — and the
+    /// stored lease records that winner.
+    #[test]
+    fn conditional_claim_admits_exactly_one_winner_per_key(
+        claims in prop::collection::vec((0usize..4, 0usize..6), 1..40),
+    ) {
+        let mut kv = KvStore::new();
+        let mut ledger = BillingLedger::new();
+        kv.create_table("leases", Region::UsEast1).unwrap();
+        let mut winners: Vec<Option<usize>> = vec![None; 4];
+        let mut successes = [0u32; 4];
+        for (key_idx, owner) in &claims {
+            let key = format!("shard-{key_idx}");
+            let mut item = Item::new();
+            item.insert("owner".into(), AttrValue::S(format!("claimant-{owner}")));
+            let won = kv
+                .conditional_put("leases", &key, item, SimTime::ZERO, &mut ledger, |cur| {
+                    cur.is_none()
+                })
+                .is_ok();
+            if won {
+                successes[*key_idx] += 1;
+                winners[*key_idx].get_or_insert(*owner);
+            }
+        }
+        for key_idx in 0..4 {
+            let contested = claims.iter().any(|(k, _)| *k == key_idx);
+            prop_assert_eq!(successes[key_idx], u32::from(contested),
+                "exactly one winner iff the key was contested");
+            let first = claims.iter().find(|(k, _)| *k == key_idx).map(|(_, o)| *o);
+            prop_assert_eq!(winners[key_idx], first, "the first claimant wins");
+            if contested {
+                let key = format!("shard-{key_idx}");
+                let item = kv.get_item("leases", &key, SimTime::ZERO, &mut ledger).unwrap().unwrap();
+                let expected = format!("claimant-{}", first.unwrap());
+                prop_assert_eq!(item["owner"].as_str(), Some(expected.as_str()));
+            }
+        }
+    }
+
+    /// Expiring leases admit exactly one winner per expiry epoch: replaying
+    /// timed claims against a reference model, a claim wins iff no
+    /// unexpired lease is held at its instant.
+    #[test]
+    fn conditional_claim_respects_lease_expiry_epochs(
+        gaps in prop::collection::vec(0u64..400, 1..30),
+    ) {
+        const LEASE_SECS: u64 = 600;
+        let mut kv = KvStore::new();
+        let mut ledger = BillingLedger::new();
+        kv.create_table("leases", Region::UsEast1).unwrap();
+        let mut now = 0u64;
+        let mut model_expiry: Option<u64> = None;
+        for (i, gap) in gaps.iter().enumerate() {
+            now += gap;
+            let at = SimTime::from_secs(now);
+            let mut item = Item::new();
+            item.insert("owner".into(), AttrValue::S(format!("claimant-{i}")));
+            item.insert("expires".into(), AttrValue::N((now + LEASE_SECS) as f64));
+            let won = kv
+                .conditional_put("leases", "shard-0", item, at, &mut ledger, |cur| {
+                    match cur {
+                        None => true,
+                        Some(held) => {
+                            let expires = held["expires"].as_number().unwrap_or(0.0) as u64;
+                            expires <= now
+                        }
+                    }
+                })
+                .is_ok();
+            let model_won = model_expiry.is_none_or(|e| e <= now);
+            prop_assert_eq!(won, model_won, "claim {} at t={}", i, now);
+            if model_won {
+                model_expiry = Some(now + LEASE_SECS);
+            }
+        }
+    }
+
+    /// The orchestrator's consumer path (result-exists pre-check, then a
+    /// conditional lease claim, then a keyed result write) is idempotent:
+    /// any duplicated delivery stream leaves stores byte-identical to the
+    /// deduplicated stream.
+    #[test]
+    fn duplicated_deliveries_leave_consumer_state_identical(
+        stream in prop::collection::vec(0usize..6, 1..30),
+    ) {
+        fn consume(stream: &[usize]) -> Vec<Option<String>> {
+            let mut kv = KvStore::new();
+            let mut s3 = ObjectStore::new();
+            let mut ledger = BillingLedger::new();
+            kv.create_table("leases", Region::UsEast1).unwrap();
+            s3.create_bucket("results", Region::UsEast1).unwrap();
+            for (i, shard) in stream.iter().enumerate() {
+                let key = format!("shard-{shard}");
+                if s3.get_metadata("results", &key).is_ok() {
+                    continue; // idempotent duplicate: result already durable
+                }
+                let mut item = Item::new();
+                item.insert("owner".into(), AttrValue::S(format!("exec-{i}")));
+                if kv
+                    .conditional_put("leases", &key, item, SimTime::ZERO, &mut ledger, |cur| {
+                        cur.is_none()
+                    })
+                    .is_err()
+                {
+                    continue;
+                }
+                s3.put_object(
+                    "results",
+                    key,
+                    ObjectBody::from_text(format!("result-{shard}")),
+                    Region::UsEast1,
+                    SimTime::ZERO,
+                    &mut ledger,
+                )
+                .unwrap();
+            }
+            (0..6)
+                .map(|shard| {
+                    let key = format!("shard-{shard}");
+                    s3.get_metadata("results", &key).ok().and_then(|o| {
+                        o.body().as_text().map(str::to_owned)
+                    })
+                })
+                .collect()
+        }
+        let mut deduped: Vec<usize> = Vec::new();
+        for shard in &stream {
+            if !deduped.contains(shard) {
+                deduped.push(*shard);
+            }
+        }
+        let raw = consume(&stream);
+        let clean = consume(&deduped);
+        prop_assert_eq!(&raw, &clean, "duplicates must be byte-level no-ops");
+        for (shard, stored) in raw.iter().enumerate() {
+            let expected = stream.contains(&shard).then(|| format!("result-{shard}"));
+            prop_assert_eq!(stored, &expected);
+        }
+    }
+
     /// Event-bus delivery count equals the number of matching rules, for
     /// arbitrary rule sets.
     #[test]

@@ -11,8 +11,8 @@ use cloud_market::{InstanceType, MarketConfig, Region, SpotMarket};
 use aws_stack::{FunctionRuntime, KvStore, MetricsService};
 use sim_kernel::SimTime;
 use spotverse::{
-    resolve_jobs, run_matrix, MarketCache, Monitor, SnapshotMemo, SpotVerseConfig,
-    SpotVerseStrategy, Strategy, SweepCell,
+    resolve_jobs, run_matrix, run_matrix_orchestrated, MarketCache, Monitor, OrchestratorConfig,
+    SnapshotMemo, SpotVerseConfig, SpotVerseStrategy, Strategy, SweepCell,
 };
 use spotverse_bench::{bench_config, bench_fleet, header, section, BENCH_SEED};
 
@@ -67,7 +67,7 @@ fn main() {
     // -- chaos-style matrix: strategies × (fault-free + scenarios) --------
     // Fleet sized so per-cell simulation dominates the one shared market
     // build; speedup then tracks the worker count.
-    section("chaos matrix throughput (3 strategies x 6 cells, one seed)");
+    section("chaos matrix throughput (3 strategies x 9 cells, one seed)");
     let base = bench_config(
         BENCH_SEED,
         InstanceType::M5Xlarge,
@@ -153,6 +153,32 @@ fn main() {
         memoized_rate / unmemoized_rate
     );
 
+    // -- orchestrated sweep: distributed re-host vs in-process ------------
+    // Fault-free, the orchestrator runs the identical cell computations
+    // plus the lease/dispatch/persist machinery; the delta is pure
+    // orchestration overhead (DESIGN.md §14).
+    section("orchestrated sweep overhead (6 cells, fault-free)");
+    let orch_cells: Vec<SweepCell> = (0..6)
+        .map(|i| SweepCell::new(format!("cell-{i}"), "spotverse", base.clone()))
+        .collect();
+    let orch_inprocess = best_of(2, || {
+        let cache = MarketCache::new();
+        std::hint::black_box(run_matrix(&orch_cells, 1, &cache, strategy_for));
+    });
+    let orch_config = OrchestratorConfig::default();
+    let orchestrated = best_of(2, || {
+        let cache = MarketCache::new();
+        std::hint::black_box(run_matrix_orchestrated(
+            &orch_cells,
+            &orch_config,
+            &cache,
+            strategy_for,
+        ));
+    });
+    let orch_overhead_pct = (orchestrated / orch_inprocess - 1.0) * 100.0;
+    println!("  in-process   {orch_inprocess:>8.3} s");
+    println!("  orchestrated {orchestrated:>8.3} s   (+{orch_overhead_pct:.1}%)");
+
     // -- record ------------------------------------------------------------
     let json = format!(
         "{{\n  \"cpu_cores\": {cores},\n  \
@@ -170,7 +196,10 @@ fn main() {
          \"market_cache_hits\": {hits},\n  \
          \"monitor_ticks_per_sec_unmemoized\": {unmemoized_rate:.1},\n  \
          \"monitor_ticks_per_sec_memoized\": {memoized_rate:.1},\n  \
-         \"monitor_memo_speedup\": {:.3}\n}}\n",
+         \"monitor_memo_speedup\": {:.3},\n  \
+         \"orchestrate_inprocess_secs\": {orch_inprocess:.6},\n  \
+         \"orchestrate_matrix_secs\": {orchestrated:.6},\n  \
+         \"orchestrate_overhead_pct\": {orch_overhead_pct:.1}\n}}\n",
         eager_build / lazy_build,
         n_cells as f64 / serial_matrix,
         n_cells as f64 / parallel_matrix,

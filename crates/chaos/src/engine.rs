@@ -32,6 +32,15 @@ struct ControlWindow {
     added_latency: SimDuration,
 }
 
+/// A compiled event-delivery disruption window (absolute times).
+#[derive(Debug, Clone)]
+struct DeliveryWindow {
+    from: SimTime,
+    until: SimTime,
+    lose_probability: f64,
+    duplicate_probability: f64,
+}
+
 /// A compiled checkpoint-corruption window (absolute times).
 #[derive(Debug, Clone)]
 struct CkptWindow {
@@ -55,6 +64,7 @@ pub struct ChaosEngine {
     overlay: MarketOverlay,
     notice_windows: Vec<NoticeWindow>,
     control_windows: Vec<ControlWindow>,
+    delivery_windows: Vec<DeliveryWindow>,
     ckpt_windows: Vec<CkptWindow>,
     notice_rng: SimRng,
 }
@@ -65,6 +75,7 @@ impl ChaosEngine {
         let mut overlay = MarketOverlay::new();
         let mut notice_windows = Vec::new();
         let mut control_windows = Vec::new();
+        let mut delivery_windows = Vec::new();
         let mut ckpt_windows = Vec::new();
         for directive in scenario.directives() {
             match directive {
@@ -110,6 +121,17 @@ impl ChaosEngine {
                     throttle_probability: *throttle_probability,
                     added_latency: *added_latency,
                 }),
+                FaultDirective::DeliveryDisruption {
+                    from,
+                    until,
+                    lose_probability,
+                    duplicate_probability,
+                } => delivery_windows.push(DeliveryWindow {
+                    from: start + *from,
+                    until: start + *until,
+                    lose_probability: *lose_probability,
+                    duplicate_probability: *duplicate_probability,
+                }),
                 FaultDirective::CheckpointCorruption {
                     from,
                     until,
@@ -128,6 +150,7 @@ impl ChaosEngine {
             overlay,
             notice_windows,
             control_windows,
+            delivery_windows,
             ckpt_windows,
             notice_rng,
         }
@@ -162,6 +185,7 @@ impl ChaosEngine {
     pub fn service_injector(&self, label: &str) -> Box<dyn aws_stack::ServiceFaultInjector> {
         Box::new(ServiceChaos {
             windows: self.control_windows.clone(),
+            delivery: self.delivery_windows.clone(),
             rng: SimRng::seed_from_u64(self.seed)
                 .fork("chaos-service")
                 .fork(label),
@@ -262,15 +286,34 @@ impl FaultInjector for ComputeChaos {
 #[derive(Debug)]
 struct ServiceChaos {
     windows: Vec<ControlWindow>,
+    delivery: Vec<DeliveryWindow>,
     rng: SimRng,
 }
 
 impl aws_stack::ServiceFaultInjector for ServiceChaos {
     fn intercept(
         &mut self,
-        _op: aws_stack::ServiceOp,
+        op: aws_stack::ServiceOp,
         at: SimTime,
     ) -> Option<aws_stack::ServiceFault> {
+        // Event deliveries answer only to delivery windows; request/response
+        // calls only to control windows. Keeps the two fault families on
+        // disjoint RNG-consumption paths so adding one never perturbs the
+        // other.
+        if op == aws_stack::ServiceOp::EventDeliver {
+            for w in &self.delivery {
+                if at >= w.from && at < w.until {
+                    if w.lose_probability > 0.0 && self.rng.chance(w.lose_probability) {
+                        return Some(aws_stack::ServiceFault::Lost);
+                    }
+                    if w.duplicate_probability > 0.0 && self.rng.chance(w.duplicate_probability) {
+                        return Some(aws_stack::ServiceFault::Duplicate);
+                    }
+                    return None;
+                }
+            }
+            return None;
+        }
         for w in &self.windows {
             if at >= w.from && at < w.until {
                 if w.throttle_probability > 0.0 && self.rng.chance(w.throttle_probability) {
@@ -370,11 +413,42 @@ mod tests {
                     assert_eq!(d, SimDuration::from_secs(20));
                     delayed += 1;
                 }
-                None => {}
+                other => panic!("unexpected control-plane fault {other:?}"),
             }
         }
         assert!(throttled > 40, "p=0.4 over 200 calls, got {throttled}");
         assert_eq!(throttled + delayed, 200);
+    }
+
+    #[test]
+    fn delivery_disruption_loses_and_duplicates_only_event_delivery() {
+        let engine = ChaosEngine::new(&scenario::sweep_shard_chaos(), 7, SimTime::ZERO);
+        let mut inj = engine.service_injector("bus");
+        let mut lost = 0;
+        let mut duplicated = 0;
+        let mut clean = 0;
+        for _ in 0..300 {
+            match inj.intercept(aws_stack::ServiceOp::EventDeliver, t(2)) {
+                Some(aws_stack::ServiceFault::Lost) => lost += 1,
+                Some(aws_stack::ServiceFault::Duplicate) => duplicated += 1,
+                None => clean += 1,
+                other => panic!("unexpected delivery fault {other:?}"),
+            }
+        }
+        assert!(lost > 50, "p=0.3 over 300 deliveries, got {lost}");
+        assert!(duplicated > 15, "p=0.2 of the rest, got {duplicated}");
+        assert!(clean > 100);
+        // Outside the window deliveries are exact and draw no randomness.
+        assert_eq!(inj.intercept(aws_stack::ServiceOp::EventDeliver, t(72)), None);
+        // Request/response ops never see delivery faults — only the
+        // control-plane window's throttle/delay family.
+        let mut kv = engine.service_injector("kv");
+        for _ in 0..200 {
+            assert!(!matches!(
+                kv.intercept(aws_stack::ServiceOp::KvWrite, t(2)),
+                Some(aws_stack::ServiceFault::Lost | aws_stack::ServiceFault::Duplicate)
+            ));
+        }
     }
 
     #[test]

@@ -85,6 +85,21 @@ pub enum FaultDirective {
         /// Extra latency on calls that do succeed.
         added_latency: SimDuration,
     },
+    /// Event-delivery disruption: each event-bus delivery in the window is
+    /// lost with `lose_probability` or (failing that) duplicated with
+    /// `duplicate_probability` — the at-least-once/at-most-once failure
+    /// modes a real EventBridge consumer must survive. Only event
+    /// delivery is affected; request/response services are untouched.
+    DeliveryDisruption {
+        /// Window start offset.
+        from: SimDuration,
+        /// Window end offset.
+        until: SimDuration,
+        /// Chance a delivery is silently dropped.
+        lose_probability: f64,
+        /// Chance a (non-lost) delivery arrives twice.
+        duplicate_probability: f64,
+    },
     /// Checkpoint-store corruption: with `probability`, a checkpoint
     /// generation written in the window reads back invalid, forcing the
     /// controller to fall back to an older generation or restart.
@@ -107,6 +122,7 @@ impl FaultDirective {
             FaultDirective::HazardBurst { .. } => "hazard_burst",
             FaultDirective::NoticeDisruption { .. } => "notice_disruption",
             FaultDirective::ControlPlaneDegradation { .. } => "control_plane_degradation",
+            FaultDirective::DeliveryDisruption { .. } => "delivery_disruption",
             FaultDirective::CheckpointCorruption { .. } => "checkpoint_corruption",
         }
     }
@@ -238,8 +254,30 @@ pub fn region_flap() -> ChaosScenario {
         .with(flap(11, 14))
 }
 
+/// `sweep_shard_chaos`: the environment a distributed sweep orchestrator
+/// must survive — a two-day stretch where the control plane throttles a
+/// quarter of all calls and adds latency, while the event bus loses 30 %
+/// of shard dispatches outright and duplicates another 20 %. Tuned so
+/// shards miss claims, leases expire, and re-drives occasionally exhaust
+/// their attempts into the dead-letter path.
+pub fn sweep_shard_chaos() -> ChaosScenario {
+    ChaosScenario::new("sweep_shard_chaos")
+        .with(FaultDirective::ControlPlaneDegradation {
+            from: SimDuration::ZERO,
+            until: SimDuration::from_hours(48),
+            throttle_probability: 0.25,
+            added_latency: SimDuration::from_secs(15),
+        })
+        .with(FaultDirective::DeliveryDisruption {
+            from: SimDuration::ZERO,
+            until: SimDuration::from_hours(48),
+            lose_probability: 0.3,
+            duplicate_probability: 0.2,
+        })
+}
+
 /// Names of every scenario in the shipped library, in display order.
-pub const SCENARIO_NAMES: [&str; 7] = [
+pub const SCENARIO_NAMES: [&str; 8] = [
     "region_blackout",
     "notice_loss",
     "throttle_storm",
@@ -247,6 +285,7 @@ pub const SCENARIO_NAMES: [&str; 7] = [
     "flaky_checkpoints",
     "telemetry_blackout",
     "region_flap",
+    "sweep_shard_chaos",
 ];
 
 /// The full shipped scenario library.
@@ -259,6 +298,7 @@ pub fn library() -> Vec<ChaosScenario> {
         flaky_checkpoints(),
         telemetry_blackout(),
         region_flap(),
+        sweep_shard_chaos(),
     ]
 }
 
@@ -327,5 +367,9 @@ mod tests {
             vec!["control_plane_degradation"]
         );
         assert_eq!(correlated_crunch().directive_kinds(), vec!["hazard_burst"]);
+        assert_eq!(
+            sweep_shard_chaos().directive_kinds(),
+            vec!["control_plane_degradation", "delivery_disruption"]
+        );
     }
 }

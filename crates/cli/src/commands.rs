@@ -11,12 +11,12 @@ use cloud_market::history::{archive_to_csv, collect_archive};
 use cloud_market::{InstanceType, Region, SpotMarket};
 use sim_kernel::{SimDuration, SimRng, SimTime};
 use spotverse::{
-    merged_fleet_trace_jsonl, resolve_jobs, run_experiment_on, run_fleet_matrix, run_matrix,
-    summary_line, trace_to_jsonl, CellOutcome, ExperimentConfig, ExperimentReport, FleetConfig,
-    FleetReport, FleetSweepCell, LoadProfile, MarketCache, Monitor, NaiveMultiRegionStrategy,
-    OnDemandStrategy,
-    SingleRegionStrategy, SkyPilotStrategy, SpotVerseConfig, SpotVerseStrategy, Strategy,
-    SweepCell, TraceConfig, WorkloadPhase,
+    merged_fleet_trace_jsonl, merged_trace_jsonl, resolve_jobs, run_experiment_on,
+    run_fleet_matrix, run_matrix, run_matrix_orchestrated, summary_line, trace_to_jsonl,
+    CellOutcome, ExperimentConfig, ExperimentReport, FleetConfig, FleetReport, FleetSweepCell,
+    LoadProfile, MarketCache, Monitor, NaiveMultiRegionStrategy, OnDemandStrategy,
+    OrchestratorConfig, SingleRegionStrategy, SkyPilotStrategy, SpotVerseConfig,
+    SpotVerseStrategy, Strategy, SweepCell, TraceConfig, WorkloadPhase,
 };
 
 use crate::args::{ArgError, ParsedArgs};
@@ -61,6 +61,8 @@ COMMANDS:
     fleet       multiplex N staggered workloads over one shared control
                 plane, with optional per-region concurrency caps
     compare     run every strategy on the same market and print a table
+    sweep       run a strategies × seeds cell matrix, in-process or
+                re-hosted on the distributed orchestrator
     chaos       fault-injection matrix: strategies × scenarios, with the
                 degradation vs the fault-free run
     advisor     show per-region scores (Algorithm 1's inputs) at an instant
@@ -106,10 +108,26 @@ COMPARE / CHAOS FLAGS:
                              min(cells, CPU cores). Output is identical
                              for any value.
 
+SWEEP FLAGS:
+    --strategy <name>        as simulate, or `all`          (default spotverse)
+    --seeds <n>              cells per strategy, at seeds
+                             seed..seed+n                   (default 1)
+    --orchestrated <bool>    true re-hosts the sweep on the distributed
+                             shard orchestrator (leases, re-drives,
+                             dead-letters)                  (default false)
+    --scenario <name>        chaos scenario faulting the *orchestration*
+                             services (requires --orchestrated true);
+                             e.g. sweep_shard_chaos
+    --shard-size <n>         cells per dispatched shard     (default 1)
+    --max-attempts <n>       attempts before dead-letter    (default 4)
+    --output <form>          table | trace (merged JSONL)   (default table)
+    --jobs <n>               as compare (in-process mode only)
+
 CHAOS FLAGS:
     --scenario <name>        region_blackout | notice_loss | throttle_storm |
                              correlated_crunch | flaky_checkpoints |
-                             telemetry_blackout | region_flap | all
+                             telemetry_blackout | region_flap |
+                             sweep_shard_chaos | all
                                                         (default all)
     --strategy <name>        as simulate, or `all`      (default all)
 
@@ -434,6 +452,168 @@ pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `spotverse sweep`: a strategies × seeds cell matrix. In-process it runs
+/// on the parallel sweep engine; with `--orchestrated true` the same cells
+/// are re-hosted on the distributed shard orchestrator (event-bus
+/// dispatch, KV leases, re-drives, dead-letters), optionally with a chaos
+/// scenario faulting the orchestration services. Fault-free, both modes
+/// print byte-identical cell output (`--output trace` is byte-identical
+/// end to end).
+pub fn sweep(args: &ParsedArgs) -> Result<String, CliError> {
+    let base_seed = args.u64_or("seed", 2024)?;
+    let instances = args.u64_or("instances", 20)? as usize;
+    if instances == 0 {
+        return Err(CliError::BadInput("--instances must be positive".into()));
+    }
+    let instance_type = parse_instance_type(args.str_or("instance-type", "m5.xlarge"))?;
+    let kind = parse_workload(args.str_or("workload", "genome"))?;
+    let start_day = args.u64_or("start-day", 1)?;
+    let threshold = args.u8_or("threshold", 6)?;
+    let region = parse_region(args.str_or("region", "ca-central-1"))?;
+    let seeds = args.u64_or("seeds", 1)?;
+    if seeds == 0 {
+        return Err(CliError::BadInput("--seeds must be positive".into()));
+    }
+    let strategy_arg = args.str_or("strategy", "spotverse");
+    let strategies: Vec<&str> = if strategy_arg == "all" {
+        vec!["single-region", "naive-multi", "skypilot", "spotverse", "on-demand"]
+    } else {
+        // Validate a user-supplied name up front so the sweep closure can
+        // rely on it.
+        build_strategy(strategy_arg, instance_type, threshold, region)?;
+        vec![strategy_arg]
+    };
+    let orchestrated = match args.str_or("orchestrated", "false") {
+        "true" => true,
+        "false" => false,
+        other => {
+            return Err(CliError::BadInput(format!(
+                "--orchestrated: `{other}` is not true | false"
+            )))
+        }
+    };
+    let output = args.str_or("output", "table");
+    if output != "table" && output != "trace" {
+        return Err(CliError::BadInput(format!(
+            "unknown output `{output}` (expected table | trace)"
+        )));
+    }
+    let scenario = match args.opt_str("scenario") {
+        None => None,
+        Some(name) => Some(chaos::by_name(name).ok_or_else(|| {
+            CliError::BadInput(format!(
+                "unknown scenario `{name}` (expected {})",
+                chaos::SCENARIO_NAMES.join(" | ")
+            ))
+        })?),
+    };
+    if scenario.is_some() && !orchestrated {
+        return Err(CliError::BadInput(
+            "--scenario faults the orchestration services; it requires --orchestrated true".into(),
+        ));
+    }
+    let mut cells: Vec<SweepCell> = Vec::with_capacity(strategies.len() * seeds as usize);
+    for name in &strategies {
+        for s in 0..seeds {
+            let seed = base_seed + s;
+            let rng = SimRng::seed_from_u64(seed);
+            let mut config =
+                ExperimentConfig::new(seed, instance_type, paper_fleet(kind, instances, &rng));
+            config.start = SimTime::from_days(start_day);
+            if output == "trace" {
+                config.trace = TraceConfig::enabled();
+            }
+            cells.push(SweepCell::new(format!("{name}/s{seed}"), *name, config));
+        }
+    }
+    let cache = MarketCache::new();
+    let strategy_for = |cell: &SweepCell| {
+        build_strategy(&cell.strategy, instance_type, threshold, region)
+            .expect("sweep strategy names validated before the sweep")
+    };
+    if !orchestrated {
+        let jobs = resolve_jobs(parse_jobs(args)?, cells.len());
+        let outcomes = run_matrix(&cells, jobs, &cache, strategy_for);
+        return Ok(match output {
+            "trace" => merged_trace_jsonl(&outcomes),
+            _ => render_sweep_cells(&outcomes),
+        });
+    }
+    let shard_size = args.u64_or("shard-size", 1)? as usize;
+    if shard_size == 0 {
+        return Err(CliError::BadInput("--shard-size must be positive".into()));
+    }
+    let max_attempts = args.u64_or("max-attempts", 4)? as u32;
+    if max_attempts == 0 {
+        return Err(CliError::BadInput("--max-attempts must be positive".into()));
+    }
+    let orch_config = OrchestratorConfig {
+        seed: base_seed,
+        shard_size,
+        max_attempts,
+        chaos: scenario,
+        ..OrchestratorConfig::default()
+    };
+    let report = run_matrix_orchestrated(&cells, &orch_config, &cache, strategy_for);
+    if output == "trace" {
+        return Ok(merged_trace_jsonl(&report.outcomes));
+    }
+    let mut out = render_sweep_cells(&report.outcomes);
+    let s = &report.stats;
+    out.push_str(&format!(
+        "orchestration: shards {}  dispatches {}  redrives {}  lease-expiries {}  \
+         duplicate-executions {}  bus-lost {}  bus-duplicated {}  service-cost {}\n",
+        s.shards,
+        s.dispatches,
+        s.redrives,
+        s.lease_expiries,
+        s.duplicate_executions,
+        s.bus_lost,
+        s.bus_duplicated,
+        s.service_cost,
+    ));
+    let completed = report.outcomes.iter().filter(|o| o.result.is_ok()).count();
+    let dead = report.outcomes.len() - completed;
+    out.push_str(&format!(
+        "cells: {} total = {completed} completed + {dead} dead-lettered\n",
+        report.outcomes.len(),
+    ));
+    for dl in &report.dead_letters {
+        out.push_str(&format!(
+            "dead-letter shard {} [{}]{}:",
+            dl.shard,
+            dl.labels.join(", "),
+            if dl.recorded { "" } else { " (record write lost)" },
+        ));
+        for a in &dl.attempts {
+            out.push_str(&format!(
+                "  attempt {} @{}s: {}",
+                a.attempt,
+                a.dispatched_at.as_secs(),
+                a.failure,
+            ));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Cell rows shared by both sweep modes: a summary line per successful
+/// cell, a FAILED line per failed (e.g. dead-lettered) cell.
+fn render_sweep_cells(outcomes: &[CellOutcome]) -> String {
+    let mut out = String::new();
+    for outcome in outcomes {
+        match &outcome.result {
+            Ok(report) => {
+                out.push_str(&summary_line(report));
+                out.push('\n');
+            }
+            Err(e) => out.push_str(&format!("{:<20} FAILED: {e}\n", outcome.label)),
+        }
+    }
+    out
+}
+
 /// One row of the chaos table. A failed cell renders as a FAILED line with
 /// the captured panic/error message; deltas print as `-` when there is no
 /// fault-free baseline to compare against.
@@ -688,6 +868,23 @@ pub fn schema(command: &str) -> &'static [&'static str] {
             "region",
             "jobs",
         ],
+        "sweep" => &[
+            "seed",
+            "instances",
+            "instance-type",
+            "workload",
+            "start-day",
+            "strategy",
+            "threshold",
+            "region",
+            "seeds",
+            "orchestrated",
+            "scenario",
+            "shard-size",
+            "max-attempts",
+            "output",
+            "jobs",
+        ],
         "chaos" => &[
             "seed",
             "instances",
@@ -738,6 +935,7 @@ where
         "simulate" => simulate(&ParsedArgs::parse(rest, schema("simulate"))?),
         "fleet" => fleet(&ParsedArgs::parse(rest, schema("fleet"))?),
         "compare" => compare(&ParsedArgs::parse(rest, schema("compare"))?),
+        "sweep" => sweep(&ParsedArgs::parse(rest, schema("sweep"))?),
         "chaos" => chaos_matrix(&ParsedArgs::parse(rest, schema("chaos"))?),
         "advisor" => advisor(&ParsedArgs::parse(rest, schema("advisor"))?),
         "trace" => trace(&ParsedArgs::parse(rest, schema("trace"))?),
@@ -833,6 +1031,77 @@ mod tests {
         assert!(out.contains("on-demand"));
         assert!(out.contains("3/3"));
         assert!(out.contains("cost breakdown"));
+    }
+
+    #[test]
+    fn sweep_modes_agree_fault_free() {
+        let base = [
+            "sweep",
+            "--instances",
+            "2",
+            "--seed",
+            "7",
+            "--workload",
+            "ngs",
+            "--strategy",
+            "on-demand",
+            "--seeds",
+            "2",
+            "--output",
+            "trace",
+        ];
+        let inprocess = run(base).unwrap();
+        let mut orch: Vec<String> = base.iter().map(|s| (*s).to_owned()).collect();
+        orch.push("--orchestrated".into());
+        orch.push("true".into());
+        let orchestrated = run(orch).unwrap();
+        assert_eq!(
+            inprocess, orchestrated,
+            "fault-free orchestration must be byte-identical to in-process"
+        );
+        assert!(inprocess.contains("\"cell\":\"on-demand/s7\""));
+        assert!(inprocess.contains("\"cell\":\"on-demand/s8\""));
+    }
+
+    #[test]
+    fn sweep_orchestrated_chaos_accounts_for_every_cell() {
+        let out = run([
+            "sweep",
+            "--instances",
+            "2",
+            "--seed",
+            "7",
+            "--workload",
+            "ngs",
+            "--strategy",
+            "on-demand",
+            "--seeds",
+            "2",
+            "--orchestrated",
+            "true",
+            "--scenario",
+            "sweep_shard_chaos",
+        ])
+        .unwrap();
+        assert!(out.contains("orchestration: shards 2"), "footer missing: {out}");
+        let accounting = out
+            .lines()
+            .find(|l| l.starts_with("cells: 2 total = "))
+            .expect("accounting line present");
+        assert!(accounting.contains("completed"));
+        assert!(accounting.contains("dead-lettered"));
+    }
+
+    #[test]
+    fn sweep_rejects_bad_inputs() {
+        let err = run(["sweep", "--orchestrated", "maybe"]).unwrap_err();
+        assert!(err.to_string().contains("maybe"));
+        let err = run(["sweep", "--scenario", "sweep_shard_chaos"]).unwrap_err();
+        assert!(err.to_string().contains("--orchestrated true"));
+        let err = run(["sweep", "--orchestrated", "true", "--scenario", "meteor"]).unwrap_err();
+        assert!(err.to_string().contains("meteor"));
+        let err = run(["sweep", "--seeds", "0"]).unwrap_err();
+        assert!(err.to_string().contains("--seeds"));
     }
 
     #[test]

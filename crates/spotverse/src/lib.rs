@@ -56,6 +56,7 @@ pub mod health;
 pub mod loadgen;
 mod monitor;
 mod optimizer;
+pub mod orchestrate;
 mod provider;
 mod report;
 mod repetitions;
@@ -84,6 +85,11 @@ pub use monitor::{
     CollectOutcome, Monitor, MonitorError, SnapshotMemo, COLLECTOR_FUNCTION, METRICS_TABLE,
 };
 pub use deadline::{DeadlineAwareStrategy, DeadlinePolicy};
+pub use orchestrate::{
+    run_matrix_orchestrated, AttemptRecord, DeadLetter, OrchestratedSweepReport,
+    OrchestrationStats, OrchestratorConfig, DEADLETTER_TABLE, EXECUTOR_FUNCTION, LEASE_TABLE,
+    RESULT_BUCKET,
+};
 pub use forecast::{ForecastingSpotVerseStrategy, HoltSmoother, MetricForecaster};
 pub use optimizer::{
     CandidateOutcome, CandidateVerdict, MigrationPolicy, Optimizer, Placement, RegionAssessment,

@@ -347,17 +347,20 @@ pub fn run_matrix<F>(
 where
     F: Fn(&SweepCell) -> Box<dyn Strategy> + Sync,
 {
-    run_pool(
-        cells,
-        jobs,
-        |cell| {
-            run_guarded(&cell.label, &cell.strategy, || {
-                let market = cache.get_or_build(cell.config.market);
-                run_experiment_on(market, cell.config.clone(), strategy_for(cell))
-            })
-        },
-        lost_outcome,
-    )
+    run_pool(cells, jobs, |cell| run_cell(cell, cache, &strategy_for), lost_outcome)
+}
+
+/// Executes one cell exactly as `run_matrix` does — the shared path the
+/// orchestrator's shard workers also take, so an orchestrated sweep is
+/// byte-identical to the in-process pool cell for cell.
+pub(crate) fn run_cell<F>(cell: &SweepCell, cache: &MarketCache, strategy_for: &F) -> CellOutcome
+where
+    F: Fn(&SweepCell) -> Box<dyn Strategy> + Sync,
+{
+    run_guarded(&cell.label, &cell.strategy, || {
+        let market = cache.get_or_build(cell.config.market);
+        run_experiment_on(market, cell.config.clone(), strategy_for(cell))
+    })
 }
 
 /// One cell of a *fleet* matrix: a [`FleetConfig`] instead of an

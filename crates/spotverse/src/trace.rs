@@ -247,6 +247,47 @@ pub enum TraceEvent {
         /// Usage billed at forced termination ($), if an instance ran.
         billed: Option<f64>,
     },
+    /// An orchestrated sweep shard was dispatched over the event bus.
+    ShardDispatched {
+        /// The shard index.
+        shard: usize,
+        /// 1-based dispatch attempt.
+        attempt: u32,
+        /// Cells carried by the shard.
+        cells: usize,
+    },
+    /// A shard worker's lease passed its expiry without renewal.
+    LeaseExpired {
+        /// The shard index.
+        shard: usize,
+        /// The attempt whose lease lapsed.
+        attempt: u32,
+    },
+    /// A failed shard attempt was re-dispatched with backoff.
+    ShardRedriven {
+        /// The shard index.
+        shard: usize,
+        /// The new (1-based) attempt about to be dispatched.
+        attempt: u32,
+        /// Backoff before the re-dispatch (seconds, jitter included).
+        backoff_s: u64,
+    },
+    /// A shard exhausted its attempts and moved to the dead-letter record.
+    ShardDeadLettered {
+        /// The shard index.
+        shard: usize,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// A shard worker persisted (or idempotently re-confirmed) its result.
+    ShardCompleted {
+        /// The shard index.
+        shard: usize,
+        /// The attempt that finished.
+        attempt: u32,
+        /// Whether the result object already existed (duplicate execution).
+        duplicate: bool,
+    },
     /// The run ended.
     RunEnded {
         /// Workloads that completed.
@@ -279,6 +320,11 @@ impl TraceEvent {
             TraceEvent::WorkloadsArrived { .. } => "workloads_arrived",
             TraceEvent::CapacityDeferred { .. } => "capacity_deferred",
             TraceEvent::WorkloadExpired { .. } => "workload_expired",
+            TraceEvent::ShardDispatched { .. } => "shard_dispatched",
+            TraceEvent::LeaseExpired { .. } => "lease_expired",
+            TraceEvent::ShardRedriven { .. } => "shard_redriven",
+            TraceEvent::ShardDeadLettered { .. } => "shard_dead_lettered",
+            TraceEvent::ShardCompleted { .. } => "shard_completed",
             TraceEvent::RunEnded { .. } => "run_ended",
         }
     }
@@ -449,7 +495,7 @@ impl TraceStats {
 // `Display`, and lowercase labels throughout. Golden tests compare this
 // byte-for-byte.
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -672,6 +718,27 @@ pub fn append_record_json(out: &mut String, cell: Option<&str>, record: &TraceRe
             if let Some(billed) = billed {
                 let _ = write!(out, ",\"billed\":{billed}");
             }
+        }
+        TraceEvent::ShardDispatched { shard, attempt, cells } => {
+            let _ = write!(out, ",\"shard\":{shard},\"attempt\":{attempt},\"cells\":{cells}");
+        }
+        TraceEvent::LeaseExpired { shard, attempt } => {
+            let _ = write!(out, ",\"shard\":{shard},\"attempt\":{attempt}");
+        }
+        TraceEvent::ShardRedriven { shard, attempt, backoff_s } => {
+            let _ = write!(
+                out,
+                ",\"shard\":{shard},\"attempt\":{attempt},\"backoff_s\":{backoff_s}"
+            );
+        }
+        TraceEvent::ShardDeadLettered { shard, attempts } => {
+            let _ = write!(out, ",\"shard\":{shard},\"attempts\":{attempts}");
+        }
+        TraceEvent::ShardCompleted { shard, attempt, duplicate } => {
+            let _ = write!(
+                out,
+                ",\"shard\":{shard},\"attempt\":{attempt},\"duplicate\":{duplicate}"
+            );
         }
         TraceEvent::RunEnded { completed, aborted } => {
             let _ = write!(out, ",\"completed\":{completed},\"aborted\":{aborted}");

@@ -58,6 +58,31 @@ for n, line in enumerate(sys.stdin, 1):
     exit 1
 fi
 
+echo "==> orchestrated sweep smoke: fault-free byte-equivalence + chaos accounting"
+sweep_args=(sweep --instances 2 --workload ngs --strategy on-demand --seeds 2 --output trace)
+inproc_out=$(cargo run --release --quiet --bin spotverse -- "${sweep_args[@]}")
+orch_out=$(cargo run --release --quiet --bin spotverse -- "${sweep_args[@]}" --orchestrated true)
+if [ "$inproc_out" != "$orch_out" ]; then
+    echo "==> orchestrated sweep smoke FAILED: fault-free orchestration diverged from in-process" >&2
+    exit 1
+fi
+echo "    fault-free traces byte-identical ($(wc -l <<<"$inproc_out") lines)"
+chaos_sweep_out=$(cargo run --release --quiet --bin spotverse -- \
+    sweep --instances 2 --workload ngs --strategy on-demand --seeds 4 \
+    --orchestrated true --scenario sweep_shard_chaos)
+echo "$chaos_sweep_out"
+accounting=$(grep '^cells: ' <<<"$chaos_sweep_out" || true)
+if [ -z "$accounting" ]; then
+    echo "==> orchestrated sweep smoke FAILED: no accounting line under chaos" >&2
+    exit 1
+fi
+# Every cell must be accounted for: total = completed + dead-lettered.
+read -r total completed dead <<<"$(awk '/^cells: /{print $2, $5, $8}' <<<"$chaos_sweep_out")"
+if [ "$total" -ne $((completed + dead)) ] || [ "$total" -ne 4 ]; then
+    echo "==> orchestrated sweep smoke FAILED: $accounting does not reconcile" >&2
+    exit 1
+fi
+
 echo "==> bench baselines: committed BENCH_*.json vs scripts/bench_baselines"
 # Cheap self-consistency gate — compares the committed numbers, does not
 # re-run benches. scripts/bench.sh re-measures and then runs this same
