@@ -16,7 +16,8 @@ use spotverse::{
     CellOutcome, ExperimentConfig, ExperimentReport, FleetConfig, FleetReport, FleetSweepCell,
     LoadProfile, MarketCache, Monitor, NaiveMultiRegionStrategy, OnDemandStrategy,
     OrchestratorConfig, SingleRegionStrategy, SkyPilotStrategy, SpotVerseConfig,
-    SpotVerseStrategy, Strategy, SweepCell, TraceConfig, WorkloadPhase,
+    render_analysis, render_analysis_json, ReplayCursor, SpotVerseStrategy, Strategy, SweepCell,
+    TimeWindow, TraceConfig, WorkloadPhase,
 };
 
 use crate::args::{ArgError, ParsedArgs};
@@ -68,6 +69,9 @@ COMMANDS:
     advisor     show per-region scores (Algorithm 1's inputs) at an instant
     trace       run one strategy with the decision recorder on and print
                 the canonical JSONL trace (optionally under a scenario)
+    analyse     replay trace JSONL files (single runs, merged sweeps,
+                fleet traces) into derived analytics views: cost ledgers,
+                breaker timelines, occupancy, distributions, win matrices
     traces      export a SpotLake-style market archive as CSV
     workflow    export one of the paper's workflows as a Galaxy .ga document
     help        show this message
@@ -130,6 +134,11 @@ CHAOS FLAGS:
                              sweep_shard_chaos | all
                                                         (default all)
     --strategy <name>        as simulate, or `all`      (default all)
+
+ANALYSE (positional args are trace JSONL files):
+    --from <secs>            fold only records at sim-time >= secs
+    --until <secs>           fold only records at sim-time <  secs
+    --output <form>          table | json               (default table)
 
 ADVISOR / TRACES FLAGS:
     --day <d>                advisor snapshot day       (default 1)
@@ -811,6 +820,62 @@ pub fn traces(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(archive_to_csv(&rows))
 }
 
+fn parse_sim_time_flag(args: &ParsedArgs, flag: &str) -> Result<Option<SimTime>, CliError> {
+    match args.opt_str(flag) {
+        None => Ok(None),
+        Some(raw) => raw.parse::<u64>().map(SimTime::from_secs).map(Some).map_err(|_| {
+            CliError::BadInput(format!("--{flag}: `{raw}` is not a sim-time in seconds"))
+        }),
+    }
+}
+
+/// `spotverse analyse`: replay trace JSONL files into derived views.
+pub fn analyse(args: &ParsedArgs) -> Result<String, CliError> {
+    let files = args.positionals();
+    if files.is_empty() {
+        return Err(CliError::BadInput(
+            "analyse requires at least one trace JSONL file (see `spotverse trace`)".into(),
+        ));
+    }
+    let window = TimeWindow {
+        from: parse_sim_time_flag(args, "from")?,
+        until: parse_sim_time_flag(args, "until")?,
+    };
+    let output = args.str_or("output", "table");
+    let mut cursor = ReplayCursor::new(window);
+    let multi = files.len() > 1;
+    for path in files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::BadInput(format!("{path}: {e}")))?;
+        if multi {
+            // Keep records from different files apart: unlabelled records
+            // get the file stem as their cell key.
+            let stem = std::path::Path::new(path)
+                .file_stem()
+                .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+            cursor.set_default_cell(Some(stem));
+        }
+        cursor
+            .feed(&text)
+            .map_err(|e| CliError::BadInput(format!("{path}: {e}")))?;
+        if !text.ends_with('\n') {
+            cursor
+                .feed("\n")
+                .map_err(|e| CliError::BadInput(format!("{path}: {e}")))?;
+        }
+    }
+    let state = cursor
+        .finish()
+        .map_err(|e| CliError::BadInput(format!("{e}")))?;
+    match output {
+        "table" => Ok(render_analysis(&state)),
+        "json" => Ok(render_analysis_json(&state)),
+        other => Err(CliError::BadInput(format!(
+            "unknown output `{other}` (expected table | json)"
+        ))),
+    }
+}
+
 /// `spotverse workflow`: export a paper workflow as a `.ga` document.
 pub fn workflow(args: &ParsedArgs) -> Result<String, CliError> {
     let kind = parse_workload(args.str_or("workload", "genome"))?;
@@ -909,6 +974,7 @@ pub fn schema(command: &str) -> &'static [&'static str] {
             "region",
             "scenario",
         ],
+        "analyse" => &["from", "until", "output"],
         "traces" => &["seed", "instance-type", "days"],
         "workflow" => &["workload", "duration-hours"],
         _ => &[],
@@ -939,6 +1005,7 @@ where
         "chaos" => chaos_matrix(&ParsedArgs::parse(rest, schema("chaos"))?),
         "advisor" => advisor(&ParsedArgs::parse(rest, schema("advisor"))?),
         "trace" => trace(&ParsedArgs::parse(rest, schema("trace"))?),
+        "analyse" | "analyze" => analyse(&ParsedArgs::parse(rest, schema("analyse"))?),
         "traces" => traces(&ParsedArgs::parse(rest, schema("traces"))?),
         "workflow" => workflow(&ParsedArgs::parse(rest, schema("workflow"))?),
         "help" | "--help" | "-h" => Ok(usage()),

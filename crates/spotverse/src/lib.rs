@@ -58,6 +58,7 @@ mod monitor;
 mod optimizer;
 pub mod orchestrate;
 mod provider;
+pub mod replay;
 mod report;
 mod repetitions;
 pub mod resilience;
@@ -91,6 +92,11 @@ pub use orchestrate::{
     RESULT_BUCKET,
 };
 pub use forecast::{ForecastingSpotVerseStrategy, HoltSmoother, MetricForecaster};
+pub use replay::{
+    parse_trace_jsonl, render_analysis, render_analysis_json, replay_lines, replay_str,
+    trace_lines_to_jsonl, CellState, ReplayCursor, ReplayState, TimeWindow, TraceLine,
+    TraceParseError,
+};
 pub use optimizer::{
     CandidateOutcome, CandidateVerdict, MigrationPolicy, Optimizer, Placement, RegionAssessment,
 };

@@ -1,0 +1,252 @@
+//! Incremental replay cursor.
+//!
+//! [`ReplayCursor`] consumes JSONL text in arbitrary chunks — lines may
+//! be split anywhere, including mid-escape — buffers the trailing
+//! partial line, and folds each completed line into a [`ReplayState`].
+//! Because every view is a pure fold, the final state is identical for
+//! any chunking of the same document, and a cursor serialized mid-stream
+//! with [`ReplayCursor::snapshot`] resumes via [`ReplayCursor::resume`]
+//! to the same final state as an uninterrupted pass.
+
+use sim_kernel::SimTime;
+
+use super::json::{self, Fields, JsonVal};
+use super::parse::{parse_trace_line, TraceParseError};
+use super::views::{ReplayState, TimeWindow};
+
+/// Snapshot format version; bumped when the layout changes.
+const SNAPSHOT_VERSION: u64 = 1;
+
+/// An incremental, resumable trace replayer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayCursor {
+    window: TimeWindow,
+    /// Cell key assigned to records with no `"cell"` prefix (used by the
+    /// CLI to keep multi-file inputs apart). `None` maps them to `""`.
+    default_cell: Option<String>,
+    /// Trailing bytes of an incomplete line from the previous chunk.
+    partial: String,
+    /// Lines fully consumed so far (1-based numbering of the *next* line
+    /// is `consumed + 1`).
+    consumed: u64,
+    state: ReplayState,
+}
+
+impl Default for ReplayCursor {
+    fn default() -> Self {
+        ReplayCursor::new(TimeWindow::ALL)
+    }
+}
+
+impl ReplayCursor {
+    /// A fresh cursor folding records inside `window`.
+    #[must_use]
+    pub fn new(window: TimeWindow) -> Self {
+        ReplayCursor {
+            window,
+            default_cell: None,
+            partial: String::new(),
+            consumed: 0,
+            state: ReplayState::default(),
+        }
+    }
+
+    /// Sets the cell key used for records with no `"cell"` prefix.
+    pub fn set_default_cell(&mut self, cell: Option<String>) {
+        self.default_cell = cell;
+    }
+
+    /// Lines fully consumed so far.
+    #[must_use]
+    pub fn lines_consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// The state folded so far (excluding any buffered partial line).
+    #[must_use]
+    pub fn state(&self) -> &ReplayState {
+        &self.state
+    }
+
+    fn consume_line(&mut self, line: &str) -> Result<(), TraceParseError> {
+        self.consumed += 1;
+        if line.is_empty() {
+            return Ok(());
+        }
+        let parsed = parse_trace_line(line).map_err(|message| TraceParseError {
+            line: usize::try_from(self.consumed).unwrap_or(usize::MAX),
+            message,
+        })?;
+        match (&self.default_cell, parsed.cell()) {
+            (Some(default), None) => {
+                let mut relabelled = parsed;
+                match &mut relabelled {
+                    super::parse::TraceLine::Record { cell, .. }
+                    | super::parse::TraceLine::Truncated { cell, .. } => {
+                        *cell = Some(default.clone());
+                    }
+                }
+                self.state.fold_line(&relabelled, self.window);
+            }
+            _ => self.state.fold_line(&parsed, self.window),
+        }
+        Ok(())
+    }
+
+    /// Feeds one chunk of JSONL text. Complete lines are folded
+    /// immediately; a trailing unterminated line is buffered for the
+    /// next chunk (or [`ReplayCursor::finish`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line, numbered across all chunks fed
+    /// so far. The cursor is left positioned after the bad line.
+    pub fn feed(&mut self, chunk: &str) -> Result<(), TraceParseError> {
+        let mut rest = chunk;
+        while let Some(nl) = rest.find('\n') {
+            let (head, tail) = rest.split_at(nl);
+            rest = &tail[1..];
+            if self.partial.is_empty() {
+                self.consume_line(head)?;
+            } else {
+                let mut line = std::mem::take(&mut self.partial);
+                line.push_str(head);
+                self.consume_line(&line)?;
+            }
+        }
+        self.partial.push_str(rest);
+        Ok(())
+    }
+
+    /// Flushes a buffered final line without a trailing newline and
+    /// returns the finished state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse failure of the flushed line, if any.
+    pub fn finish(mut self) -> Result<ReplayState, TraceParseError> {
+        if !self.partial.is_empty() {
+            let line = std::mem::take(&mut self.partial);
+            self.consume_line(&line)?;
+        }
+        Ok(self.state)
+    }
+
+    /// Serializes the cursor — window, position, buffered partial line,
+    /// and all folded view state — to canonical JSON text.
+    #[must_use]
+    pub fn snapshot(&self) -> String {
+        let mut obj = vec![
+            ("version".to_owned(), json::num_u64(SNAPSHOT_VERSION)),
+            ("consumed".to_owned(), json::num_u64(self.consumed)),
+            ("partial".to_owned(), JsonVal::Str(self.partial.clone())),
+        ];
+        if let Some(from) = self.window.from {
+            obj.push(("from".to_owned(), json::num_u64(from.as_secs())));
+        }
+        if let Some(until) = self.window.until {
+            obj.push(("until".to_owned(), json::num_u64(until.as_secs())));
+        }
+        if let Some(cell) = &self.default_cell {
+            obj.push(("default_cell".to_owned(), JsonVal::Str(cell.clone())));
+        }
+        obj.push(("cells".to_owned(), self.state.to_json()));
+        let mut out = String::new();
+        json::write_into(&JsonVal::Obj(obj), &mut out);
+        out
+    }
+
+    /// Rebuilds a cursor from a [`ReplayCursor::snapshot`] string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed element (including a
+    /// version mismatch).
+    pub fn resume(snapshot: &str) -> Result<Self, String> {
+        let mut f = Fields::new(json::parse(snapshot)?.into_obj()?);
+        let version = f.require("version")?.as_u64()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "snapshot version {version} is not the supported {SNAPSHOT_VERSION}"
+            ));
+        }
+        let consumed = f.require("consumed")?.as_u64()?;
+        let partial = f.require("partial")?.into_str()?;
+        let from = f.take("from").map(|v| v.as_u64().map(SimTime::from_secs)).transpose()?;
+        let until = f.take("until").map(|v| v.as_u64().map(SimTime::from_secs)).transpose()?;
+        let default_cell = f.take("default_cell").map(JsonVal::into_str).transpose()?;
+        let state = ReplayState::from_json(f.require("cells")?)?;
+        f.finish()?;
+        Ok(ReplayCursor {
+            window: TimeWindow { from, until },
+            default_cell,
+            partial,
+            consumed,
+            state,
+        })
+    }
+}
+
+/// Replays a whole document through a fresh cursor in one pass.
+///
+/// # Errors
+///
+/// Returns the first malformed line.
+pub fn replay_str(input: &str, window: TimeWindow) -> Result<ReplayState, TraceParseError> {
+    let mut cursor = ReplayCursor::new(window);
+    cursor.feed(input)?;
+    cursor.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = concat!(
+        "{\"seq\":0,\"t\":86400,\"event\":\"run_started\",\"strategy\":\"spotverse\",\"seed\":2024,\"workloads\":3}\n",
+        "{\"seq\":1,\"t\":86400,\"event\":\"launched\",\"workload\":0,\"region\":\"us-east-1\",\"spot\":true,\"instance\":\"i-00000001\"}\n",
+        "{\"seq\":2,\"t\":90000,\"event\":\"completed\",\"workload\":0,\"region\":\"us-east-1\",\"instance\":\"i-00000001\",\"billed\":2.25}\n",
+        "{\"seq\":3,\"t\":90060,\"event\":\"run_ended\",\"completed\":3,\"aborted\":false}\n",
+    );
+
+    #[test]
+    fn chunked_equals_single_pass() {
+        let whole = replay_str(DOC, TimeWindow::ALL).unwrap();
+        for split in [1usize, 17, 80, 81, 82, DOC.len() - 1] {
+            let mut cursor = ReplayCursor::default();
+            cursor.feed(&DOC[..split]).unwrap();
+            cursor.feed(&DOC[split..]).unwrap();
+            assert_eq!(cursor.finish().unwrap(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_matches() {
+        let whole = replay_str(DOC, TimeWindow::ALL).unwrap();
+        let split = 100;
+        let mut cursor = ReplayCursor::default();
+        cursor.feed(&DOC[..split]).unwrap();
+        let snap = cursor.snapshot();
+        let mut resumed = ReplayCursor::resume(&snap).unwrap();
+        resumed.feed(&DOC[split..]).unwrap();
+        assert_eq!(resumed.finish().unwrap(), whole);
+    }
+
+    #[test]
+    fn errors_carry_global_line_numbers() {
+        let mut cursor = ReplayCursor::default();
+        cursor.feed(DOC).unwrap();
+        let err = cursor.feed("garbage\n").unwrap_err();
+        assert_eq!(err.line, 5);
+    }
+
+    #[test]
+    fn default_cell_labels_unprefixed_records() {
+        let mut cursor = ReplayCursor::default();
+        cursor.set_default_cell(Some("fileA".to_owned()));
+        cursor.feed(DOC).unwrap();
+        let state = cursor.finish().unwrap();
+        assert_eq!(state.cells.len(), 1);
+        assert_eq!(state.cells[0].0, "fileA");
+    }
+}

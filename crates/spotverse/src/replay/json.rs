@@ -1,0 +1,403 @@
+//! A lossless JSON value model for the replay read side.
+//!
+//! The canonical trace JSONL is written by hand (`trace.rs`) with fixed
+//! key order and Rust's shortest-round-trip float formatting. To replay a
+//! document and re-serialize it byte-identically, the parser must lose
+//! nothing: objects keep insertion order (no sorting) and numbers keep
+//! their raw source text so `2`, `2.0`, and a 20-significant-digit price
+//! all survive exactly. This sets it apart from the pretty-printing JSON
+//! model in `galaxy-flow`, which holds all numbers as `f64` and sorts
+//! object keys.
+
+use std::fmt::Write as _;
+
+use crate::trace::push_json_str;
+
+/// A parsed JSON value with nothing normalized away.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JsonVal {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number, kept as its raw source text.
+    Num(String),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonVal>),
+    /// An object in source key order.
+    Obj(Vec<(String, JsonVal)>),
+}
+
+impl JsonVal {
+    pub(crate) fn type_name(&self) -> &'static str {
+        match self {
+            JsonVal::Null => "null",
+            JsonVal::Bool(_) => "bool",
+            JsonVal::Num(_) => "number",
+            JsonVal::Str(_) => "string",
+            JsonVal::Arr(_) => "array",
+            JsonVal::Obj(_) => "object",
+        }
+    }
+
+    pub(crate) fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            JsonVal::Num(raw) => raw
+                .parse::<u64>()
+                .map_err(|_| format!("`{raw}` is not an unsigned integer")),
+            other => Err(format!("expected an integer, found {}", other.type_name())),
+        }
+    }
+
+    pub(crate) fn as_usize(&self) -> Result<usize, String> {
+        self.as_u64().map(|n| n as usize)
+    }
+
+    pub(crate) fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            JsonVal::Num(raw) => raw
+                .parse::<f64>()
+                .map_err(|_| format!("`{raw}` is not a number")),
+            other => Err(format!("expected a number, found {}", other.type_name())),
+        }
+    }
+
+    pub(crate) fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            JsonVal::Bool(b) => Ok(*b),
+            other => Err(format!("expected a bool, found {}", other.type_name())),
+        }
+    }
+
+    pub(crate) fn into_str(self) -> Result<String, String> {
+        match self {
+            JsonVal::Str(s) => Ok(s),
+            other => Err(format!("expected a string, found {}", other.type_name())),
+        }
+    }
+
+    pub(crate) fn into_arr(self) -> Result<Vec<JsonVal>, String> {
+        match self {
+            JsonVal::Arr(items) => Ok(items),
+            other => Err(format!("expected an array, found {}", other.type_name())),
+        }
+    }
+
+    pub(crate) fn into_obj(self) -> Result<Vec<(String, JsonVal)>, String> {
+        match self {
+            JsonVal::Obj(entries) => Ok(entries),
+            other => Err(format!("expected an object, found {}", other.type_name())),
+        }
+    }
+}
+
+/// Parses one complete JSON document, rejecting trailing garbage.
+pub(crate) fn parse(input: &str) -> Result<JsonVal, String> {
+    let mut p = Scanner { bytes: input.as_bytes(), pos: 0 };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Scanner<'_> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, String> {
+        Err(format!("{} (byte {})", message.into(), self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonVal, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonVal::Str(self.string()?)),
+            Some(b't') => self.keyword("true", JsonVal::Bool(true)),
+            Some(b'f') => self.keyword("false", JsonVal::Bool(false)),
+            Some(b'n') => self.keyword("null", JsonVal::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => self.err(format!("unexpected byte `{}`", b as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: JsonVal) -> Result<JsonVal, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected `{word}`"))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonVal, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| {
+            b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+        }) {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII");
+        match raw.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(JsonVal::Num(raw.to_owned())),
+            _ => self.err(format!("invalid number `{raw}`")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| "non-ASCII in \\u escape".to_owned())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.pos))?;
+                    let ch = rest.chars().next().expect("non-empty checked above");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonVal, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonVal::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonVal::Arr(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonVal, String> {
+        self.expect(b'{')?;
+        let mut entries: Vec<(String, JsonVal)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonVal::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if entries.iter().any(|(k, _)| *k == key) {
+                return self.err(format!("duplicate key `{key}`"));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonVal::Obj(entries));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+}
+
+/// Writes a value back out canonically: insertion-order keys, raw number
+/// text verbatim, the same string escapes the trace writer uses. For a
+/// value built by [`parse`] from canonical input, `write ∘ parse` is the
+/// identity.
+pub(crate) fn write_into(value: &JsonVal, out: &mut String) {
+    match value {
+        JsonVal::Null => out.push_str("null"),
+        JsonVal::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        JsonVal::Num(raw) => out.push_str(raw),
+        JsonVal::Str(s) => push_json_str(out, s),
+        JsonVal::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_into(item, out);
+            }
+            out.push(']');
+        }
+        JsonVal::Obj(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_str(out, key);
+                out.push(':');
+                write_into(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Convenience helpers for building snapshot documents.
+pub(crate) fn num_u64(n: u64) -> JsonVal {
+    JsonVal::Num(n.to_string())
+}
+
+pub(crate) fn num_f64(n: f64) -> JsonVal {
+    JsonVal::Num(format!("{n}"))
+}
+
+/// Field cursor over a parsed object: every field must be taken exactly
+/// once, so corrupt or unexpected fields fail loudly instead of being
+/// silently ignored.
+pub(crate) struct Fields {
+    entries: Vec<(String, Option<JsonVal>)>,
+}
+
+impl Fields {
+    pub(crate) fn new(obj: Vec<(String, JsonVal)>) -> Self {
+        Fields { entries: obj.into_iter().map(|(k, v)| (k, Some(v))).collect() }
+    }
+
+    /// Takes an optional field.
+    pub(crate) fn take(&mut self, key: &str) -> Option<JsonVal> {
+        self.entries
+            .iter_mut()
+            .find(|(k, v)| k == key && v.is_some())
+            .and_then(|(_, v)| v.take())
+    }
+
+    /// Takes a required field.
+    pub(crate) fn require(&mut self, key: &str) -> Result<JsonVal, String> {
+        self.take(key).ok_or_else(|| format!("missing field `{key}`"))
+    }
+
+    /// Rejects any field not taken by the decoder.
+    pub(crate) fn finish(self) -> Result<(), String> {
+        match self.entries.iter().find(|(_, v)| v.is_some()) {
+            Some((k, _)) => Err(format!("unexpected field `{k}`")),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_number_text_survives() {
+        for raw in ["2", "2.5", "0.05460761339122153", "-3", "1e3"] {
+            let doc = format!("{{\"x\":{raw}}}");
+            let parsed = parse(&doc).unwrap();
+            let mut out = String::new();
+            write_into(&parsed, &mut out);
+            assert_eq!(out, doc, "raw number `{raw}` must round-trip byte-identically");
+        }
+    }
+
+    #[test]
+    fn key_order_is_preserved() {
+        let doc = "{\"z\":1,\"a\":2,\"m\":[true,null]}";
+        let mut out = String::new();
+        write_into(&parse(doc).unwrap(), &mut out);
+        assert_eq!(out, doc);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"open").is_err());
+        assert!(parse("1e999").is_err(), "non-finite numbers rejected");
+        assert!(parse("{\"a\":1,\"a\":2}").is_err(), "duplicate keys rejected");
+    }
+
+    #[test]
+    fn fields_cursor_is_exhaustive() {
+        let obj = parse("{\"a\":1,\"b\":\"x\"}").unwrap().into_obj().unwrap();
+        let mut fields = Fields::new(obj.clone());
+        assert_eq!(fields.require("a").unwrap().as_u64().unwrap(), 1);
+        assert!(fields.finish().unwrap_err().contains("`b`"));
+        let mut fields = Fields::new(obj);
+        fields.require("a").unwrap();
+        assert_eq!(fields.take("b").unwrap().into_str().unwrap(), "x");
+        assert!(fields.take("b").is_none(), "fields are taken at most once");
+        fields.finish().unwrap();
+    }
+}

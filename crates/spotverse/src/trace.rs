@@ -445,6 +445,22 @@ pub struct TraceStats {
 }
 
 impl TraceStats {
+    /// Rebuilds the aggregates from a *parsed* single-run record stream,
+    /// choosing the anchor the write side used: the `run_started` record's
+    /// timestamp when one is present (experiment and fleet traces), else
+    /// [`SimTime::ZERO`] (the orchestrator's shard trace). Feeding records
+    /// from more than one cell of a merged JSONL document sums counters
+    /// across cells and is almost never what reconciliation wants — split
+    /// by `cell` first.
+    #[must_use]
+    pub fn rebuild(events: &[TraceRecord]) -> Self {
+        let start = events
+            .iter()
+            .find(|r| matches!(r.event, TraceEvent::RunStarted { .. }))
+            .map_or(SimTime::ZERO, |r| r.at);
+        TraceStats::from_events(events, start)
+    }
+
     /// Computes the aggregates for `events`, anchored at run `start`.
     #[must_use]
     pub fn from_events(events: &[TraceRecord], start: SimTime) -> Self {
@@ -476,6 +492,9 @@ impl TraceStats {
                     stats.billed_total += billed;
                 }
                 TraceEvent::Completed { billed, .. } => stats.billed_total += billed,
+                TraceEvent::WorkloadExpired { billed: Some(billed), .. } => {
+                    stats.billed_total += billed;
+                }
                 TraceEvent::CheckpointSave { .. } => stats.checkpoint_saves += 1,
                 TraceEvent::CheckpointRestore { .. } => stats.checkpoint_restores += 1,
                 TraceEvent::Breaker { .. } => stats.breaker_transitions += 1,
@@ -756,14 +775,23 @@ pub fn append_trace_jsonl(out: &mut String, cell: Option<&str>, trace: &RunTrace
         out.push('\n');
     }
     if trace.dropped > 0 {
-        out.push('{');
-        if let Some(cell) = cell {
-            out.push_str("\"cell\":");
-            push_json_str(out, cell);
-            out.push(',');
-        }
-        let _ = writeln!(out, "\"truncated\":true,\"dropped\":{}}}", trace.dropped);
+        append_truncation_json(out, cell, trace.dropped);
+        out.push('\n');
     }
+}
+
+/// Appends the canonical truncation marker line (no trailing newline) a
+/// capacity-capped trace ends with. The read side
+/// ([`crate::replay`]) parses this back into
+/// [`TraceLine::Truncated`](crate::replay::TraceLine).
+pub fn append_truncation_json(out: &mut String, cell: Option<&str>, dropped: u64) {
+    out.push('{');
+    if let Some(cell) = cell {
+        out.push_str("\"cell\":");
+        push_json_str(out, cell);
+        out.push(',');
+    }
+    let _ = write!(out, "\"truncated\":true,\"dropped\":{dropped}}}");
 }
 
 /// The canonical JSONL form of a single run's trace.

@@ -9,8 +9,13 @@ cd "$(dirname "$0")/.."
 echo "==> regenerating golden traces (UPDATE_GOLDEN=1)"
 UPDATE_GOLDEN=1 cargo test -q -p spotverse-integration --test golden_traces
 
-echo "==> re-running the suite against the fresh goldens"
+echo "==> regenerating golden analytics snapshots (UPDATE_GOLDEN=1)"
+# After the traces, so snapshots of committed traces see the fresh bytes.
+UPDATE_GOLDEN=1 cargo test -q -p spotverse-integration --test golden_analytics
+
+echo "==> re-running the suites against the fresh goldens"
 cargo test -q -p spotverse-integration --test golden_traces
+cargo test -q -p spotverse-integration --test golden_analytics
 
 echo "==> golden diff summary"
 git --no-pager diff --stat -- tests/golden

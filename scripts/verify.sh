@@ -17,6 +17,9 @@ echo "==> golden traces: byte-identical replay of committed traces"
 # Drift fails here; bless intentional changes with scripts/regen-golden.sh.
 cargo test -q -p spotverse-integration --test golden_traces
 
+echo "==> golden analytics: analyse views of committed traces"
+cargo test -q -p spotverse-integration --test golden_analytics
+
 echo "==> lint: cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -80,6 +83,31 @@ fi
 read -r total completed dead <<<"$(awk '/^cells: /{print $2, $5, $8}' <<<"$chaos_sweep_out")"
 if [ "$total" -ne $((completed + dead)) ] || [ "$total" -ne 4 ]; then
     echo "==> orchestrated sweep smoke FAILED: $accounting does not reconcile" >&2
+    exit 1
+fi
+
+echo "==> analyse smoke: CLI output matches committed analytics snapshots"
+# The CLI shares its renderer with the golden-analytics suite, so the
+# committed snapshots gate the CLI byte-for-byte.
+for trace in tests/golden/*.jsonl; do
+    name=$(basename "$trace" .jsonl)
+    snapshot="tests/golden/analytics/$name.txt"
+    if ! cargo run --release --quiet --bin spotverse -- analyse "$trace" \
+        | diff -u "$snapshot" - >/dev/null; then
+        echo "==> analyse smoke FAILED: $trace drifted from $snapshot" >&2
+        exit 1
+    fi
+done
+echo "    $(ls tests/golden/*.jsonl | wc -l) traces match their snapshots"
+# Round-trip gate: analyse of a freshly generated trace reproduces the
+# run's own report figures (cost + makespan) exactly.
+trace_tmp=$(mktemp)
+cargo run --release --quiet --bin spotverse -- trace --instances 3 --workload ngs > "$trace_tmp"
+analyse_out=$(cargo run --release --quiet --bin spotverse -- analyse "$trace_tmp")
+rm -f "$trace_tmp"
+if ! grep -q "completed=3" <<<"$analyse_out"; then
+    echo "==> analyse smoke FAILED: fresh trace did not analyse to a completed run" >&2
+    echo "$analyse_out" >&2
     exit 1
 fi
 

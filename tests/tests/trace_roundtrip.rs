@@ -1,0 +1,201 @@
+//! Read-side parser round-trip: the committed golden traces must parse
+//! into typed records and re-serialize byte-identically, corrupt input
+//! must fail with a structured error naming the line (never a panic),
+//! and `TraceStats` rebuilt from parsed merged multi-cell JSONL must
+//! agree with the write-side aggregates — including the billed dollars
+//! of deadline-expired workloads, which the write side used to drop.
+
+use std::fs;
+use std::path::PathBuf;
+
+use bio_workloads::{paper_fleet, WorkloadKind};
+use cloud_market::InstanceType;
+use sim_kernel::{SimDuration, SimRng, SimTime};
+use spotverse::{
+    parse_trace_jsonl, run_fleet, run_matrix, trace_lines_to_jsonl, trace_to_jsonl, FleetConfig,
+    MarketCache, SweepCell, TraceConfig, TraceEvent, TraceLine, TraceRecord, TraceStats,
+};
+use spotverse_integration::{spotverse_strategy, traced_config};
+
+const GOLDENS: [&str; 5] = [
+    "spotverse_ngs3_seed2024_t4.jsonl",
+    "spotverse_ngs3_seed2024_t5.jsonl",
+    "spotverse_ngs3_seed2024_t6.jsonl",
+    "spotverse_genome10_seed2024_region_flap.jsonl",
+    "fleet_ngs3_seed2024_cap1.jsonl",
+];
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden").join(name);
+    fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run scripts/regen-golden.sh", path.display()))
+}
+
+/// Every committed golden parses and re-serializes byte-identically.
+#[test]
+fn goldens_round_trip_byte_identical() {
+    for name in GOLDENS {
+        let doc = golden(name);
+        let lines = parse_trace_jsonl(&doc)
+            .unwrap_or_else(|e| panic!("{name}: golden must parse, got {e}"));
+        assert!(!lines.is_empty(), "{name}: golden is non-empty");
+        assert_eq!(trace_lines_to_jsonl(&lines), doc, "{name}: round trip must be byte-identical");
+    }
+}
+
+/// A freshly generated trace (not just the committed bytes) round-trips,
+/// and the parsed records equal the in-memory ones the writer saw.
+#[test]
+fn fresh_trace_round_trips_to_typed_records()  {
+    let config = traced_config(WorkloadKind::NgsPreprocessing, 3, 99);
+    let report = spotverse::run_experiment(config, spotverse_strategy());
+    let trace = report.trace.expect("tracing enabled");
+    let doc = trace_to_jsonl(&trace);
+    let lines = parse_trace_jsonl(&doc).expect("fresh trace parses");
+    let records: Vec<TraceRecord> = lines
+        .iter()
+        .map(|l| match l {
+            TraceLine::Record { cell, record } => {
+                assert!(cell.is_none(), "single-run trace has no cell prefix");
+                record.clone()
+            }
+            TraceLine::Truncated { .. } => panic!("untruncated at this size"),
+        })
+        .collect();
+    assert_eq!(records, trace.events, "parse must invert the writer exactly");
+    assert_eq!(trace_lines_to_jsonl(&lines), doc);
+}
+
+/// Corrupted input fails with the 1-based line number, never a panic.
+#[test]
+fn corruption_is_rejected_with_line_numbers() {
+    let doc = golden("spotverse_ngs3_seed2024_t6.jsonl");
+    let n_lines = doc.lines().count();
+
+    // Truncate the final line mid-token.
+    let truncated: String = doc[..doc.len() - 20].to_owned();
+    let err = parse_trace_jsonl(&truncated).unwrap_err();
+    assert_eq!(err.line, n_lines, "truncation detected on the last line");
+
+    // Corrupt one line in the middle: flip a field name.
+    let corrupted: String = doc
+        .lines()
+        .enumerate()
+        .map(|(i, l)| if i == 2 { l.replace("\"event\"", "\"evnt\"") } else { l.to_owned() })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let err = parse_trace_jsonl(&corrupted).unwrap_err();
+    assert_eq!(err.line, 3);
+    assert!(err.to_string().starts_with("trace line 3:"), "{err}");
+
+    // Assorted garbage: none of these may panic.
+    for bad in [
+        "null",
+        "[1,2]",
+        "{\"seq\":0}",
+        "{\"seq\":0,\"t\":0,\"event\":\"run_ended\",\"completed\":1,\"aborted\":false,\"aborted\":false}",
+        "{\"seq\":-1,\"t\":0,\"event\":\"run_ended\",\"completed\":1,\"aborted\":false}",
+        "{\"seq\":0,\"t\":0,\"event\":\"launched\",\"workload\":0,\"region\":\"us-east-1\",\"spot\":true,\"instance\":\"j-zz\"}",
+        "{\"truncated\":false,\"dropped\":1}",
+    ] {
+        assert!(
+            parse_trace_jsonl(bad).is_err(),
+            "`{bad}` must be rejected with an error"
+        );
+    }
+}
+
+fn split_by_cell(lines: &[TraceLine]) -> Vec<(String, Vec<TraceRecord>)> {
+    let mut cells: Vec<(String, Vec<TraceRecord>)> = Vec::new();
+    for line in lines {
+        let TraceLine::Record { cell, record } = line else { continue };
+        let key = cell.clone().unwrap_or_default();
+        match cells.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, records)) => records.push(record.clone()),
+            None => cells.push((key, vec![record.clone()])),
+        }
+    }
+    cells
+}
+
+/// `TraceStats` rebuilt from parsed merged multi-cell JSONL agrees with
+/// the write-side stats of each constituent run — the read side must
+/// split by cell and re-anchor at each cell's own `run_started`.
+#[test]
+fn trace_stats_reconcile_across_merged_cells() {
+    let cells: Vec<SweepCell> = (0..3)
+        .map(|i| {
+            let mut config = traced_config(WorkloadKind::NgsPreprocessing, 3, 300 + i);
+            if i == 1 {
+                config.chaos = Some(chaos::region_flap());
+            }
+            SweepCell::new(format!("cell-{i}"), "spotverse", config)
+        })
+        .collect();
+    let cache = MarketCache::new();
+    let outcomes = run_matrix(&cells, 2, &cache, |_| spotverse_strategy());
+    let merged = spotverse::merged_trace_jsonl(&outcomes);
+    let lines = parse_trace_jsonl(&merged).expect("merged trace parses");
+    let by_cell = split_by_cell(&lines);
+    assert_eq!(by_cell.len(), cells.len(), "every cell present in the merged document");
+    for ((key, records), (cell, outcome)) in by_cell.iter().zip(cells.iter().zip(&outcomes)) {
+        assert_eq!(key, &cell.label);
+        let report = outcome.report().expect("cell succeeded");
+        let trace = report.trace.as_ref().expect("tracing enabled");
+        assert_eq!(records, &trace.events, "{key}: parsed records equal the originals");
+        let rebuilt = TraceStats::rebuild(records);
+        let live = TraceStats::from_events(&trace.events, cell.config.start);
+        assert_eq!(rebuilt, live, "{key}: read-side stats equal write-side stats");
+    }
+}
+
+/// The latent write-side gap, now fixed: `billed_total` includes the
+/// dollars billed when a deadline-expired workload's instance is forced
+/// down, so a fleet that completes nothing still reconciles its spend.
+#[test]
+fn expired_workload_billing_lands_in_stats() {
+    let rng = SimRng::seed_from_u64(77);
+    let specs = paper_fleet(WorkloadKind::GenomeReconstruction, 3, &rng);
+    let mut config =
+        FleetConfig::staggered(77, InstanceType::M5Xlarge, specs, SimDuration::from_hours(1));
+    config.max_runtime = SimDuration::from_hours(2); // genome runs need far longer
+    config.trace = TraceConfig::enabled();
+    let report = run_fleet(config, spotverse_strategy());
+    assert!(report.expired > 0, "deadline must bite for this test to mean anything");
+    let trace = report.aggregate.trace.as_ref().expect("tracing enabled");
+
+    let mut expired_billed = 0.0f64;
+    let mut event_billed = 0.0f64;
+    for record in &trace.events {
+        match &record.event {
+            TraceEvent::Interrupted { billed, .. } | TraceEvent::Completed { billed, .. } => {
+                event_billed += billed;
+            }
+            TraceEvent::WorkloadExpired { billed: Some(billed), .. } => {
+                expired_billed += billed;
+                event_billed += billed;
+            }
+            _ => {}
+        }
+    }
+    assert!(expired_billed > 0.0, "an expired workload had a running instance billed");
+
+    let stats = TraceStats::from_events(&trace.events, SimTime::from_days(1));
+    assert!(
+        (stats.billed_total - event_billed).abs() < 1e-9,
+        "billed_total ({}) must include expired-workload billing ({event_billed})",
+        stats.billed_total,
+    );
+
+    // And the read side agrees after a JSONL round trip.
+    let doc = trace_to_jsonl(trace);
+    let lines = parse_trace_jsonl(&doc).expect("fleet trace parses");
+    let records: Vec<TraceRecord> = lines
+        .iter()
+        .filter_map(|l| match l {
+            TraceLine::Record { record, .. } => Some(record.clone()),
+            TraceLine::Truncated { .. } => None,
+        })
+        .collect();
+    assert_eq!(TraceStats::rebuild(&records), stats);
+}
