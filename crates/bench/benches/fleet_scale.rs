@@ -14,7 +14,8 @@ use std::time::Instant;
 
 use cloud_market::{InstanceType, MarketConfig, SpotMarket};
 use spotverse::{
-    run_fleet_on, FleetReport, LoadProfile, SpotVerseConfig, SpotVerseStrategy,
+    replay_str, run_fleet_on, trace_to_jsonl, FleetReport, LoadProfile, SpotVerseConfig,
+    SpotVerseStrategy, TimeWindow, TraceConfig,
 };
 use spotverse_bench::{header, section, CountingAlloc, BENCH_SEED};
 
@@ -34,6 +35,7 @@ fn run_scale(
     n: usize,
     reps: usize,
     reuse_snapshot: bool,
+    monitor_pipeline: bool,
 ) -> (f64, u64, FleetReport) {
     // Arrival rate scales with fleet size so the arrival window stays a
     // ~12-hour working day at every scale; throughput then measures the
@@ -45,6 +47,7 @@ fn run_scale(
     for _ in 0..reps {
         let mut config = profile.generate(BENCH_SEED, n, InstanceType::M5Xlarge);
         config.reuse_decision_snapshot = reuse_snapshot;
+        config.monitor_pipeline = monitor_pipeline;
         let allocs_before = CountingAlloc::allocations();
         let t = Instant::now();
         let report = run_fleet_on(Arc::clone(market), config, strategy());
@@ -71,7 +74,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut allocs_per_event_10k = 0.0;
     for &(n, reps) in &[(1_000usize, 5usize), (5_000, 3), (10_000, 2), (25_000, 1)] {
-        let (secs, allocs, report) = run_scale(&market, n, reps, true);
+        let (secs, allocs, report) = run_scale(&market, n, reps, true, true);
         let wps = n as f64 / secs;
         let eps = report.events as f64 / secs;
         let ape = allocs as f64 / report.events as f64;
@@ -95,8 +98,8 @@ fn main() {
     // from the per-collection-epoch cache. Reports must be identical —
     // the cache is an optimization, not a semantic knob.
     section("assessment snapshot reuse (5k fleet, cache off vs on)");
-    let (fresh_secs, _, fresh_report) = run_scale(&market, 5_000, 3, false);
-    let (cached_secs, _, cached_report) = run_scale(&market, 5_000, 3, true);
+    let (fresh_secs, _, fresh_report) = run_scale(&market, 5_000, 3, false, true);
+    let (cached_secs, _, cached_report) = run_scale(&market, 5_000, 3, true, true);
     assert_eq!(
         fresh_report, cached_report,
         "snapshot cache must be observationally identical"
@@ -104,6 +107,46 @@ fn main() {
     let reuse_speedup = fresh_secs / cached_secs;
     println!("  cache off {fresh_secs:>8.3} s");
     println!("  cache on  {cached_secs:>8.3} s   ({reuse_speedup:.2}x)");
+
+    // -- per-phase breakdown -----------------------------------------------
+    // Four separately-timed phases so a regression names its layer:
+    // eager market construction, the event loop with the Monitor→KV
+    // pipeline bypassed (dispatch core), the full pipeline run (the
+    // ablation's cache-on time, re-labelled), and trace export + replay
+    // fold of a traced 1k fleet.
+    section("per-phase breakdown (market build / dispatch / monitor / replay-export)");
+    let mut market_build_secs = f64::INFINITY;
+    for _ in 0..2 {
+        let t = Instant::now();
+        let eager = SpotMarket::new_eager(MarketConfig::with_seed(BENCH_SEED + 1));
+        market_build_secs = market_build_secs.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(&eager);
+    }
+    let (dispatch_secs, _, _) = run_scale(&market, 5_000, 2, true, false);
+    let monitor_secs = cached_secs;
+    let traced_report = {
+        let profile = LoadProfile::poisson(1_000.0 / 12.0);
+        let mut config = profile.generate(BENCH_SEED, 1_000, InstanceType::M5Xlarge);
+        config.trace = TraceConfig::enabled();
+        run_fleet_on(Arc::clone(&market), config, strategy())
+    };
+    let run_trace = traced_report
+        .aggregate
+        .trace
+        .as_ref()
+        .expect("tracing was enabled for the replay-export phase");
+    let mut replay_export_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let jsonl = trace_to_jsonl(run_trace);
+        let state = replay_str(&jsonl, TimeWindow::ALL).expect("bench trace replays cleanly");
+        replay_export_secs = replay_export_secs.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(&state);
+    }
+    println!("  market build   {market_build_secs:>8.3} s   (eager 12-region construction)");
+    println!("  dispatch       {dispatch_secs:>8.3} s   (5k fleet, monitor pipeline off)");
+    println!("  monitor        {monitor_secs:>8.3} s   (5k fleet, full Monitor→KV pipeline)");
+    println!("  replay-export  {replay_export_secs:>8.3} s   (1k traced fleet → JSONL → replay)");
 
     // -- record ------------------------------------------------------------
     let mut json = format!("{{\n  \"cpu_cores\": {cores},\n");
@@ -118,7 +161,11 @@ fn main() {
         "  \"allocs_per_event\": {allocs_per_event_10k:.3},\n  \
          \"assessment_reuse_fresh_secs\": {fresh_secs:.6},\n  \
          \"assessment_reuse_cached_secs\": {cached_secs:.6},\n  \
-         \"assessment_reuse_speedup\": {reuse_speedup:.3}\n}}\n"
+         \"assessment_reuse_speedup\": {reuse_speedup:.3},\n  \
+         \"phase_market_build_secs\": {market_build_secs:.6},\n  \
+         \"phase_dispatch_secs\": {dispatch_secs:.6},\n  \
+         \"phase_monitor_secs\": {monitor_secs:.6},\n  \
+         \"phase_replay_export_secs\": {replay_export_secs:.6}\n}}\n"
     ));
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
     std::fs::write(out, &json).expect("write BENCH_fleet.json");

@@ -30,7 +30,7 @@ pub mod scenario;
 
 pub use engine::ChaosEngine;
 pub use scenario::{
-    by_name, correlated_crunch, flaky_checkpoints, library, notice_loss, region_blackout,
-    region_flap, sweep_shard_chaos, telemetry_blackout, throttle_storm, ChaosScenario,
-    FaultDirective, RegionScope, SCENARIO_NAMES,
+    by_name, correlated_crunch, flaky_checkpoints, for_regime, library, notice_loss,
+    region_blackout, region_flap, sweep_shard_chaos, telemetry_blackout, throttle_storm,
+    ChaosScenario, FaultDirective, RegionScope, SCENARIO_NAMES,
 };

@@ -307,6 +307,63 @@ pub fn by_name(name: &str) -> Option<ChaosScenario> {
     library().into_iter().find(|s| s.name() == name)
 }
 
+/// Composes the chaos accent matched to a market regime — the fault
+/// schedule a tournament layers on top of the regime's own market-level
+/// stress so strategies are graded under the *combination*, not either
+/// alone. `Baseline` gets no accent (`None`): fault-free baseline runs
+/// must stay byte-identical to the pre-regime engine.
+pub fn for_regime(regime: cloud_market::MarketRegime) -> Option<ChaosScenario> {
+    use cloud_market::MarketRegime;
+    match regime {
+        MarketRegime::Baseline => None,
+        // A capacity crunch squeezes supply: the cheap region every
+        // single-region baseline gravitates to blacks out inside a
+        // fleet-wide hazard burst.
+        MarketRegime::CapacityCrunch => Some(
+            ChaosScenario::new("crunch_squeeze")
+                .with(FaultDirective::HazardBurst {
+                    scope: RegionScope::All,
+                    from: SimDuration::from_hours(4),
+                    until: SimDuration::from_hours(18),
+                    multiplier: 3.0,
+                })
+                .with(FaultDirective::SpotBlackout {
+                    scope: RegionScope::Only(vec![Region::CaCentral1]),
+                    from: SimDuration::from_hours(6),
+                    until: SimDuration::from_hours(12),
+                }),
+        ),
+        // Correlated shocks arrive fast and wide: warnings shrink, so
+        // checkpoint cadence (not reaction speed) decides survival.
+        MarketRegime::CorrelatedShock => Some(
+            ChaosScenario::new("shock_notices").with(FaultDirective::NoticeDisruption {
+                scope: RegionScope::All,
+                from: SimDuration::ZERO,
+                until: whole_run(),
+                probability: 0.5,
+                max_notice: SimDuration::from_secs(30),
+            }),
+        ),
+        // Regime flips stress the control plane's picture of the world:
+        // throttled telemetry plus a mid-run hazard spike.
+        MarketRegime::RegimeSwitching => Some(
+            ChaosScenario::new("switching_turbulence")
+                .with(FaultDirective::ControlPlaneDegradation {
+                    from: SimDuration::from_hours(2),
+                    until: SimDuration::from_hours(26),
+                    throttle_probability: 0.2,
+                    added_latency: SimDuration::from_secs(10),
+                })
+                .with(FaultDirective::HazardBurst {
+                    scope: RegionScope::All,
+                    from: SimDuration::from_hours(30),
+                    until: SimDuration::from_hours(40),
+                    multiplier: 4.0,
+                }),
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +410,19 @@ mod tests {
         assert_eq!(s.directives().len(), 2);
         assert_eq!(s.name(), "custom");
         assert_eq!(s.directive_kinds(), vec!["spot_blackout", "checkpoint_corruption"]);
+    }
+
+    #[test]
+    fn regime_accents_cover_every_non_baseline_regime() {
+        assert!(for_regime(cloud_market::MarketRegime::Baseline).is_none());
+        for regime in cloud_market::MarketRegime::ALL {
+            if regime.is_baseline() {
+                continue;
+            }
+            let scenario = for_regime(regime).expect("non-baseline regime has a chaos accent");
+            assert!(!scenario.directives().is_empty());
+            assert!(!scenario.name().is_empty());
+        }
     }
 
     #[test]

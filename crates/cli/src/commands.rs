@@ -8,16 +8,17 @@ use std::sync::Arc;
 use bio_workloads::{paper_fleet, WorkloadKind};
 use chaos::ChaosScenario;
 use cloud_market::history::{archive_to_csv, collect_archive};
-use cloud_market::{InstanceType, Region, SpotMarket};
+use cloud_market::{InstanceType, MarketRegime, Region, SpotMarket};
 use sim_kernel::{SimDuration, SimRng, SimTime};
 use spotverse::{
-    merged_fleet_trace_jsonl, merged_trace_jsonl, resolve_jobs, run_experiment_on,
-    run_fleet_matrix, run_matrix, run_matrix_orchestrated, summary_line, trace_to_jsonl,
-    CellOutcome, ExperimentConfig, ExperimentReport, FleetConfig, FleetReport, FleetSweepCell,
-    LoadProfile, MarketCache, Monitor, NaiveMultiRegionStrategy, OnDemandStrategy,
-    OrchestratorConfig, SingleRegionStrategy, SkyPilotStrategy, SpotVerseConfig,
-    render_analysis, render_analysis_json, ReplayCursor, SpotVerseStrategy, Strategy, SweepCell,
-    TimeWindow, TraceConfig, WorkloadPhase,
+    merged_fleet_trace_jsonl, merged_trace_jsonl, render_tournament, resolve_jobs,
+    run_experiment_on, run_fleet_matrix, run_matrix, run_matrix_orchestrated, run_tournament,
+    summary_line, trace_to_jsonl, BidPriceAwareStrategy, CellOutcome, CheckpointAdaptiveStrategy,
+    ExperimentConfig, ExperimentReport, FleetConfig, FleetReport, FleetSweepCell, LoadProfile,
+    MarketCache, Monitor, NaiveMultiRegionStrategy, OnDemandStrategy, OrchestratorConfig,
+    SingleRegionStrategy, SkyPilotStrategy, SpotVerseConfig, render_analysis,
+    render_analysis_json, ReplayCursor, SpotVerseStrategy, Strategy, SweepCell, TimeWindow,
+    TournamentChaos, TournamentConfig, TraceConfig, WorkloadPhase,
 };
 
 use crate::args::{ArgError, ParsedArgs};
@@ -66,6 +67,10 @@ COMMANDS:
                 re-hosted on the distributed orchestrator
     chaos       fault-injection matrix: strategies × scenarios, with the
                 degradation vs the fault-free run
+    tournament  strategies × market regimes leaderboard: every strategy
+                runs the same fleet under every regime (optionally with
+                regime-matched chaos) and is ranked per regime on
+                completions, then cost, then makespan
     advisor     show per-region scores (Algorithm 1's inputs) at an instant
     trace       run one strategy with the decision recorder on and print
                 the canonical JSONL trace (optionally under a scenario)
@@ -85,9 +90,14 @@ COMMON FLAGS:
 
 SIMULATE / TRACE FLAGS:
     --strategy <name>        spotverse | single-region | on-demand |
-                             skypilot | naive-multi     (default spotverse)
+                             skypilot | naive-multi | bid-price |
+                             checkpoint-adaptive        (default spotverse)
     --threshold <t>          Algorithm 1 threshold      (default 6)
     --region <name>          region for single-region   (default ca-central-1)
+    --regime <name>          market regime for the run: baseline |
+                             capacity_crunch | correlated_shock |
+                             regime_switching (default baseline; also
+                             accepted by fleet, compare, chaos, sweep)
     --scenario <name>        (trace only) fault scenario overlaying the run;
                              omit for a fault-free trace
 
@@ -126,6 +136,22 @@ SWEEP FLAGS:
     --max-attempts <n>       attempts before dead-letter    (default 4)
     --output <form>          table | trace (merged JSONL)   (default table)
     --jobs <n>               as compare (in-process mode only)
+
+TOURNAMENT FLAGS:
+    --regime <name>          baseline | capacity_crunch | correlated_shock |
+                             regime_switching | all     (default all)
+    --strategy <name>        as simulate, or `all` for the full field
+                             including bid-price and checkpoint-adaptive
+                                                        (default all)
+    --seeds <n>              repetition seeds per (strategy, regime)
+                             pairing, at seed..seed+n   (default 1)
+    --chaos <mode>           off | regime (each non-baseline regime runs
+                             its matched scenario) | a fixed scenario
+                             name applied to every cell (default off)
+    --spacing-mins <m>       arrival gap between workloads  (default 60)
+    --deadline-days <d>      per-workload runtime budget    (default 30)
+    --jobs <n>               as compare; cells are
+                             strategies × regimes × seeds
 
 CHAOS FLAGS:
     --scenario <name>        region_blackout | notice_loss | throttle_storm |
@@ -193,6 +219,14 @@ struct CommonConfig {
     instance_type: InstanceType,
 }
 
+/// `--regime` on a single-experiment command: one named regime, default
+/// `baseline` (`tournament` interprets the flag itself to allow `all`).
+fn parse_regime(args: &ParsedArgs) -> Result<MarketRegime, CliError> {
+    args.str_or("regime", "baseline")
+        .parse()
+        .map_err(CliError::BadInput)
+}
+
 fn common_config(args: &ParsedArgs) -> Result<CommonConfig, CliError> {
     let seed = args.u64_or("seed", 2024)?;
     let instances = args.u64_or("instances", 20)? as usize;
@@ -205,6 +239,7 @@ fn common_config(args: &ParsedArgs) -> Result<CommonConfig, CliError> {
     let rng = SimRng::seed_from_u64(seed);
     let mut config = ExperimentConfig::new(seed, instance_type, paper_fleet(kind, instances, &rng));
     config.start = SimTime::from_days(start_day);
+    config.market = config.market.with_regime(parse_regime(args)?);
     Ok(CommonConfig {
         config,
         instance_type,
@@ -227,8 +262,11 @@ fn build_strategy(
         "on-demand" => Ok(Box::new(OnDemandStrategy::new())),
         "skypilot" => Ok(Box::new(SkyPilotStrategy::new())),
         "naive-multi" => Ok(Box::new(NaiveMultiRegionStrategy::paper_motivational())),
+        "bid-price" => Ok(Box::new(BidPriceAwareStrategy::new())),
+        "checkpoint-adaptive" => Ok(Box::new(CheckpointAdaptiveStrategy::new())),
         other => Err(CliError::BadInput(format!(
-            "unknown strategy `{other}` (expected spotverse | single-region | on-demand | skypilot | naive-multi)"
+            "unknown strategy `{other}` (expected spotverse | single-region | on-demand | \
+             skypilot | naive-multi | bid-price | checkpoint-adaptive)"
         ))),
     }
 }
@@ -402,6 +440,7 @@ pub fn fleet(args: &ParsedArgs) -> Result<String, CliError> {
     config.start = SimTime::from_days(start_day);
     config.max_runtime = SimDuration::from_days(deadline_days);
     config.region_capacity = capacity;
+    config.market = config.market.with_regime(parse_regime(args)?);
     if output == "trace" {
         config.trace = TraceConfig::enabled();
     }
@@ -521,6 +560,7 @@ pub fn sweep(args: &ParsedArgs) -> Result<String, CliError> {
             "--scenario faults the orchestration services; it requires --orchestrated true".into(),
         ));
     }
+    let regime = parse_regime(args)?;
     let mut cells: Vec<SweepCell> = Vec::with_capacity(strategies.len() * seeds as usize);
     for name in &strategies {
         for s in 0..seeds {
@@ -529,6 +569,7 @@ pub fn sweep(args: &ParsedArgs) -> Result<String, CliError> {
             let mut config =
                 ExperimentConfig::new(seed, instance_type, paper_fleet(kind, instances, &rng));
             config.start = SimTime::from_days(start_day);
+            config.market = config.market.with_regime(regime);
             if output == "trace" {
                 config.trace = TraceConfig::enabled();
             }
@@ -743,6 +784,100 @@ pub fn chaos_matrix(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `spotverse tournament`: every strategy under every market regime,
+/// ranked per regime on completions, then billed cost, then makespan.
+/// Cells run on the fleet sweep engine with tracing on; the per-regime
+/// win matrices are replayed from the merged traces, so the leaderboard
+/// agrees with `spotverse analyse` by construction.
+pub fn tournament(args: &ParsedArgs) -> Result<String, CliError> {
+    let seed = args.u64_or("seed", 2024)?;
+    let instances = args.u64_or("instances", 20)? as usize;
+    if instances == 0 {
+        return Err(CliError::BadInput("--instances must be positive".into()));
+    }
+    let instance_type = parse_instance_type(args.str_or("instance-type", "m5.xlarge"))?;
+    let kind = parse_workload(args.str_or("workload", "genome"))?;
+    let start_day = args.u64_or("start-day", 1)?;
+    let spacing_mins = args.u64_or("spacing-mins", 60)?;
+    let deadline_days = args.u64_or("deadline-days", 30)?;
+    if deadline_days == 0 {
+        return Err(CliError::BadInput("--deadline-days must be positive".into()));
+    }
+    let reps = args.u64_or("seeds", 1)?;
+    if reps == 0 {
+        return Err(CliError::BadInput("--seeds must be positive".into()));
+    }
+    let threshold = args.u8_or("threshold", 6)?;
+    let region = parse_region(args.str_or("region", "ca-central-1"))?;
+    let strategy_arg = args.str_or("strategy", "all");
+    let strategies: Vec<&str> = if strategy_arg == "all" {
+        vec![
+            "single-region",
+            "naive-multi",
+            "skypilot",
+            "spotverse",
+            "on-demand",
+            "bid-price",
+            "checkpoint-adaptive",
+        ]
+    } else {
+        // Validate a user-supplied name up front so the sweep closure can
+        // rely on it.
+        build_strategy(strategy_arg, instance_type, threshold, region)?;
+        vec![strategy_arg]
+    };
+    let regime_arg = args.str_or("regime", "all");
+    let regimes: Vec<MarketRegime> = if regime_arg == "all" {
+        MarketRegime::ALL.to_vec()
+    } else {
+        vec![regime_arg.parse().map_err(CliError::BadInput)?]
+    };
+    let chaos_mode = match args.str_or("chaos", "off") {
+        "off" => TournamentChaos::Off,
+        "regime" => TournamentChaos::RegimeMatched,
+        name => TournamentChaos::Fixed(chaos::by_name(name).ok_or_else(|| {
+            CliError::BadInput(format!(
+                "--chaos: `{name}` is not off | regime | one of {}",
+                chaos::SCENARIO_NAMES.join(" | ")
+            ))
+        })?),
+    };
+    let jobs_flag = parse_jobs(args)?;
+
+    let rng = SimRng::seed_from_u64(seed);
+    let mut fleet = FleetConfig::staggered(
+        seed,
+        instance_type,
+        paper_fleet(kind, instances, &rng),
+        SimDuration::from_mins(spacing_mins),
+    );
+    fleet.start = SimTime::from_days(start_day);
+    fleet.max_runtime = SimDuration::from_days(deadline_days);
+
+    let mut config = TournamentConfig::new(
+        strategies.iter().map(|s| (*s).to_owned()).collect(),
+        regimes,
+        reps,
+        fleet,
+    );
+    config.chaos = chaos_mode;
+    let cache = MarketCache::new();
+    let jobs = resolve_jobs(jobs_flag, config.cells());
+    let report = run_tournament(&config, jobs, &cache, |name| {
+        build_strategy(name, instance_type, threshold, region)
+            .expect("tournament strategy names validated before the sweep")
+    });
+    let mut out = format!(
+        "tournament: {} strategies × {} regimes × {} seed(s)  ({} cells, fleet {instances})\n",
+        config.strategies.len(),
+        config.regimes.len(),
+        reps,
+        config.cells(),
+    );
+    out.push_str(&render_tournament(&report));
+    Ok(out)
+}
+
 /// `spotverse trace`: one experiment with the decision-trace recorder
 /// enabled, printed as canonical JSONL — one record per line, stable key
 /// order, byte-identical across runs at the same seed.
@@ -808,7 +943,9 @@ pub fn traces(args: &ParsedArgs) -> Result<String, CliError> {
     if days == 0 {
         return Err(CliError::BadInput("--days must be positive".into()));
     }
-    let market = SpotMarket::new(cloud_market::MarketConfig::with_seed(seed));
+    let market = SpotMarket::new(
+        cloud_market::MarketConfig::with_seed(seed).with_regime(parse_regime(args)?),
+    );
     let rows = collect_archive(
         &market,
         instance_type,
@@ -904,6 +1041,7 @@ pub fn schema(command: &str) -> &'static [&'static str] {
             "strategy",
             "threshold",
             "region",
+            "regime",
         ],
         "fleet" => &[
             "seed",
@@ -920,6 +1058,7 @@ pub fn schema(command: &str) -> &'static [&'static str] {
             "strategy",
             "threshold",
             "region",
+            "regime",
             "output",
             "jobs",
         ],
@@ -931,6 +1070,7 @@ pub fn schema(command: &str) -> &'static [&'static str] {
             "start-day",
             "threshold",
             "region",
+            "regime",
             "jobs",
         ],
         "sweep" => &[
@@ -942,6 +1082,7 @@ pub fn schema(command: &str) -> &'static [&'static str] {
             "strategy",
             "threshold",
             "region",
+            "regime",
             "seeds",
             "orchestrated",
             "scenario",
@@ -959,7 +1100,24 @@ pub fn schema(command: &str) -> &'static [&'static str] {
             "strategy",
             "threshold",
             "region",
+            "regime",
             "scenario",
+            "jobs",
+        ],
+        "tournament" => &[
+            "seed",
+            "instances",
+            "instance-type",
+            "workload",
+            "start-day",
+            "spacing-mins",
+            "deadline-days",
+            "strategy",
+            "threshold",
+            "region",
+            "regime",
+            "seeds",
+            "chaos",
             "jobs",
         ],
         "advisor" => &["seed", "instance-type", "day"],
@@ -972,10 +1130,11 @@ pub fn schema(command: &str) -> &'static [&'static str] {
             "strategy",
             "threshold",
             "region",
+            "regime",
             "scenario",
         ],
         "analyse" => &["from", "until", "output"],
-        "traces" => &["seed", "instance-type", "days"],
+        "traces" => &["seed", "instance-type", "days", "regime"],
         "workflow" => &["workload", "duration-hours"],
         _ => &[],
     }
@@ -1003,6 +1162,7 @@ where
         "compare" => compare(&ParsedArgs::parse(rest, schema("compare"))?),
         "sweep" => sweep(&ParsedArgs::parse(rest, schema("sweep"))?),
         "chaos" => chaos_matrix(&ParsedArgs::parse(rest, schema("chaos"))?),
+        "tournament" => tournament(&ParsedArgs::parse(rest, schema("tournament"))?),
         "advisor" => advisor(&ParsedArgs::parse(rest, schema("advisor"))?),
         "trace" => trace(&ParsedArgs::parse(rest, schema("trace"))?),
         "analyse" | "analyze" => analyse(&ParsedArgs::parse(rest, schema("analyse"))?),
@@ -1098,6 +1258,87 @@ mod tests {
         assert!(out.contains("on-demand"));
         assert!(out.contains("3/3"));
         assert!(out.contains("cost breakdown"));
+    }
+
+    #[test]
+    fn tournament_ranks_every_strategy_per_regime() {
+        let argv = [
+            "tournament",
+            "--instances",
+            "2",
+            "--seed",
+            "11",
+            "--workload",
+            "ngs",
+            "--strategy",
+            "all",
+            "--regime",
+            "all",
+            "--jobs",
+            "4",
+        ];
+        let out = run(argv).unwrap();
+        assert!(out.starts_with("tournament: 7 strategies × 4 regimes × 1 seed(s)"));
+        for regime in MarketRegime::ALL {
+            assert!(out.contains(&format!("regime {}", regime.name())), "missing {regime}");
+        }
+        assert!(out.contains("#1 "));
+        assert!(out.contains("#7 "));
+        assert!(!out.contains("FAILED"));
+        // Deterministic regardless of parallelism.
+        let mut serial: Vec<String> = argv.iter().map(|s| (*s).to_owned()).collect();
+        let n = serial.len();
+        serial[n - 1] = "1".into();
+        assert_eq!(out, run(serial).unwrap());
+    }
+
+    #[test]
+    fn tournament_regime_chaos_labels_the_standings() {
+        let out = run([
+            "tournament",
+            "--instances",
+            "2",
+            "--seed",
+            "11",
+            "--workload",
+            "ngs",
+            "--strategy",
+            "on-demand",
+            "--regime",
+            "capacity_crunch",
+            "--chaos",
+            "regime",
+        ])
+        .unwrap();
+        assert!(out.contains("regime capacity_crunch  (chaos: crunch_squeeze)"));
+    }
+
+    #[test]
+    fn single_run_commands_accept_the_regime_flag() {
+        let base = ["simulate", "--instances", "2", "--workload", "ngs", "--strategy", "skypilot"];
+        let baseline = run(base).unwrap();
+        let explicit = run(base.iter().copied().chain(["--regime", "baseline"])).unwrap();
+        assert_eq!(baseline, explicit, "explicit baseline must equal the default");
+        let crunch = run(base.iter().copied().chain(["--regime", "capacity_crunch"])).unwrap();
+        assert_ne!(baseline, crunch, "capacity_crunch must change the report");
+        let err = run(["simulate", "--regime", "bull-market"]).unwrap_err();
+        assert!(err.to_string().contains("bull-market"));
+        // The archive exporter rides the same axis.
+        let calm = run(["traces", "--days", "2"]).unwrap();
+        let shocked = run(["traces", "--days", "2", "--regime", "correlated_shock"]).unwrap();
+        assert_ne!(calm, shocked, "regime must perturb the exported archive");
+    }
+
+    #[test]
+    fn tournament_rejects_bad_inputs() {
+        let err = run(["tournament", "--regime", "bull-market"]).unwrap_err();
+        assert!(err.to_string().contains("bull-market"));
+        let err = run(["tournament", "--chaos", "meteor-strike"]).unwrap_err();
+        assert!(err.to_string().contains("meteor-strike"));
+        let err = run(["tournament", "--seeds", "0"]).unwrap_err();
+        assert!(err.to_string().contains("--seeds"));
+        let err = run(["tournament", "--strategy", "blimp"]).unwrap_err();
+        assert!(err.to_string().contains("blimp"));
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! # spotverse-cli
 //!
 //! The command-line interface to the SpotVerse simulator — the "intuitive
-//! user interface" direction of the paper's §7. Four subcommands:
+//! user interface" direction of the paper's §7. The main subcommands:
 //!
-//! * `simulate` — run one strategy over a workload fleet,
-//! * `compare`  — run every strategy on the identical market,
-//! * `chaos`    — strategy × fault-scenario degradation matrix,
-//! * `advisor`  — print Algorithm 1's per-region score inputs,
-//! * `traces`   — export a SpotLake-style market archive as CSV.
+//! * `simulate`   — run one strategy over a workload fleet,
+//! * `compare`    — run every strategy on the identical market,
+//! * `chaos`      — strategy × fault-scenario degradation matrix,
+//! * `tournament` — strategies × market regimes leaderboard with
+//!   per-regime win matrices,
+//! * `advisor`    — print Algorithm 1's per-region score inputs,
+//! * `traces`     — export a SpotLake-style market archive as CSV.
 //!
 //! ```text
 //! cargo run -p spotverse-cli -- compare --instances 20 --workload genome

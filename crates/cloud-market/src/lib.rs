@@ -37,6 +37,7 @@ mod market;
 mod money;
 pub mod overlay;
 pub mod profiles;
+pub mod regime;
 mod region;
 pub mod traces;
 
@@ -51,4 +52,5 @@ pub use profiles::{
     cheapest_on_demand_region, cheapest_spot_region_at_start, on_demand_price, MarketProfile,
     PriceSurge,
 };
+pub use regime::{MarketRegime, RegimeDay, RegimeSchedule, RegimeSpec};
 pub use region::{AvailabilityZone, Geography, ParseRegionError, Region};

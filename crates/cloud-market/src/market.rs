@@ -32,6 +32,7 @@ use crate::advisor::{InterruptionBand, PlacementScore, StabilityScore};
 use crate::instance::InstanceType;
 use crate::money::UsdPerHour;
 use crate::profiles::{self, MarketProfile};
+use crate::regime::{MarketRegime, RegimeSchedule, RegimeSpec};
 use crate::region::{AvailabilityZone, Region};
 
 /// Demand-episode parameters for an Interruption-Frequency band.
@@ -116,12 +117,11 @@ impl Weekday {
     /// The day-of-week interruption-hazard factor (paper §7 observes
     /// weekly usage patterns): mid-week capacity pressure raises reclaim
     /// rates slightly; weekends relax them.
+    ///
+    /// The constants now live on [`RegimeSpec`]; this is the baseline
+    /// regime's view, kept for callers that predate pluggable regimes.
     pub fn hazard_factor(self) -> f64 {
-        match self {
-            Weekday::Tuesday | Weekday::Wednesday | Weekday::Thursday => 1.12,
-            Weekday::Monday | Weekday::Friday => 1.0,
-            Weekday::Saturday | Weekday::Sunday => 0.82,
-        }
+        RegimeSpec::BASELINE.weekday_factor(self)
     }
 }
 
@@ -143,6 +143,9 @@ pub struct MarketConfig {
     pub seed: u64,
     /// Trace horizon in days (experiments must finish inside it).
     pub horizon_days: u32,
+    /// The market regime. Defaults to [`MarketRegime::Baseline`], under
+    /// which the built market is bit-identical to the pre-regime build.
+    pub regime: MarketRegime,
 }
 
 impl Default for MarketConfig {
@@ -150,6 +153,7 @@ impl Default for MarketConfig {
         MarketConfig {
             seed: 0,
             horizon_days: 210,
+            regime: MarketRegime::Baseline,
         }
     }
 }
@@ -161,6 +165,12 @@ impl MarketConfig {
             seed,
             ..MarketConfig::default()
         }
+    }
+
+    /// This config under a different regime.
+    #[must_use]
+    pub fn with_regime(self, regime: MarketRegime) -> Self {
+        MarketConfig { regime, ..self }
     }
 }
 
@@ -306,7 +316,10 @@ struct PlacementGen {
     rng: SimRng,
     mean: f64,
     sigma: f64,
+    phi: f64,
     deviation: f64,
+    day: usize,
+    schedule: Arc<RegimeSchedule>,
 }
 
 impl SegmentGen for PlacementGen {
@@ -314,8 +327,10 @@ impl SegmentGen for PlacementGen {
 
     fn next_n(&mut self, n: usize, out: &mut Vec<PlacementScore>) {
         for _ in 0..n {
-            self.deviation = 0.7 * self.deviation + self.rng.normal(0.0, self.sigma);
-            out.push(PlacementScore::from_f64_clamped(self.mean + self.deviation));
+            self.deviation = self.phi * self.deviation + self.rng.normal(0.0, self.sigma);
+            let delta = self.schedule.day(self.day).placement_delta;
+            out.push(PlacementScore::from_f64_clamped(self.mean + self.deviation + delta));
+            self.day += 1;
         }
     }
 }
@@ -329,6 +344,9 @@ struct PriceGen {
     episodes: Arc<[(SimTime, SimTime)]>,
     od: f64,
     price_mult: f64,
+    phi: f64,
+    sigma: f64,
+    schedule: Arc<RegimeSchedule>,
     hours_total: usize,
     h: usize,
     x: f64,
@@ -340,7 +358,7 @@ impl SegmentGen for PriceGen {
 
     fn next_n(&mut self, n: usize, out: &mut Vec<f64>) {
         for _ in 0..n {
-            self.x = 0.97 * self.x + self.rng.normal(0.0, 0.022);
+            self.x = self.phi * self.x + self.rng.normal(0.0, self.sigma);
             let frac = self.h as f64 / self.hours_total.max(1) as f64;
             let day = self.h as f64 / 24.0;
             let surge_mult = self.profile.surge_price_factor(day);
@@ -355,7 +373,14 @@ impl SegmentGen for PriceGen {
                 .get(self.episode_idx)
                 .is_some_and(|&(s, e)| s <= mid && mid < e);
             let mult = if in_episode { self.price_mult } else { 1.0 };
-            out.push((base * (1.0 + self.x).max(0.3) * mult).clamp(0.15 * self.od, self.od));
+            // Regime price jumps multiply before the on-demand clamp, so
+            // shocked prices still respect the ceiling. Baseline is the
+            // neutral schedule: multiplying by exactly 1.0 is bit-exact.
+            let regime_mult = self.schedule.day(self.h / 24).price_mult;
+            out.push(
+                (base * (1.0 + self.x).max(0.3) * mult * regime_mult)
+                    .clamp(0.15 * self.od, self.od),
+            );
             self.h += 1;
         }
     }
@@ -378,6 +403,10 @@ struct MarketState {
     episodes: Arc<[(SimTime, SimTime)]>,
     /// Maximum instantaneous hazard over the horizon (thinning bound).
     max_hazard: f64,
+    /// The regime's static generator calibration.
+    spec: RegimeSpec,
+    /// The per-day regime program, shared across every state of a market.
+    schedule: Arc<RegimeSchedule>,
 }
 
 impl PartialEq for MarketState {
@@ -388,11 +417,19 @@ impl PartialEq for MarketState {
             && self.hourly_price == other.hourly_price
             && self.episodes == other.episodes
             && self.max_hazard == other.max_hazard
+            && self.spec == other.spec
+            && self.schedule == other.schedule
     }
 }
 
 impl MarketState {
-    fn build(profile: MarketProfile, horizon_days: u32, rng: &SimRng) -> Self {
+    fn build(
+        profile: MarketProfile,
+        horizon_days: u32,
+        rng: &SimRng,
+        spec: RegimeSpec,
+        schedule: Arc<RegimeSchedule>,
+    ) -> Self {
         let days = horizon_days as usize;
         let hours = days * 24;
         let region = profile.region();
@@ -433,7 +470,10 @@ impl MarketState {
                 rng: rng.fork(&format!("placement:{label}")),
                 mean: profile.placement_mean(),
                 sigma: placement_sigma,
+                phi: spec.placement_phi,
                 deviation: 0.0,
+                day: 0,
+                schedule: Arc::clone(&schedule),
             },
         );
 
@@ -447,7 +487,7 @@ impl MarketState {
             // band walk only modulates hazard, not episode arrivals, which
             // keeps the precomputation single-pass.
             let params = episode_params(base_band);
-            let rate_per_hour = params.per_day / 24.0;
+            let rate_per_hour = params.per_day * spec.episode_rate_mult / 24.0;
             t_hours += ep_rng.exponential(rate_per_hour);
             if !t_hours.is_finite() || t_hours >= horizon_hours {
                 break;
@@ -472,6 +512,9 @@ impl MarketState {
                 rng: rng.fork(&format!("price:{label}")),
                 od: profiles::on_demand_price(region, itype).rate(),
                 price_mult: episode_params(base_band).price_mult,
+                phi: spec.price_phi,
+                sigma: spec.price_sigma,
+                schedule: Arc::clone(&schedule),
                 episodes: Arc::clone(&episodes),
                 profile: profile.clone(),
                 hours_total: hours,
@@ -487,8 +530,14 @@ impl MarketState {
             .map(|b| quiet_hazard(*b) * episode_params(*b).hazard_mult)
             .fold(0.0_f64, f64::max);
         let max_surge = profile.max_surge_hazard_factor();
-        // 1.12 bounds the weekly factor.
-        let max_hazard = max_band_hazard * profile.hazard_scale() * max_surge * 1.12;
+        // The spec's largest weekday factor (baseline: 1.12) and the
+        // schedule's largest per-day multiplier (baseline: 1.0) bound the
+        // weekly and regime terms.
+        let max_hazard = max_band_hazard
+            * profile.hazard_scale()
+            * max_surge
+            * spec.max_weekday_factor()
+            * schedule.max_hazard_mult();
 
         MarketState {
             profile,
@@ -497,6 +546,8 @@ impl MarketState {
             hourly_price,
             episodes,
             max_hazard,
+            spec,
+            schedule,
         }
     }
 
@@ -511,13 +562,28 @@ impl MarketState {
         let surge = self
             .profile
             .surge_hazard_factor(at.as_secs() as f64 / 86_400.0);
-        let weekly = Weekday::of(at).hazard_factor();
-        let quiet = quiet_hazard(band) * self.profile.hazard_scale() * surge * weekly;
+        let weekly = self.spec.weekday_factor(Weekday::of(at));
+        // The regime multiplier is exactly 1.0 on every baseline day, so
+        // the baseline hazard stays bit-identical to the pre-regime form.
+        let regime = self.schedule.day(day).hazard_mult;
+        let quiet = quiet_hazard(band) * self.profile.hazard_scale() * surge * weekly * regime;
         if self.in_episode(at) {
             quiet * episode_params(band).hazard_mult
         } else {
             quiet
         }
+    }
+
+    /// The advisor's view of the band on `day`: the market's band walk
+    /// degraded by the regime's band penalty (capacity crunches shrink
+    /// advertised bands; `worse()` saturates at the worst band).
+    fn advisor_band(&self, day: usize) -> InterruptionBand {
+        let day = day.min(self.daily_band.len() - 1);
+        let mut band = self.daily_band[day];
+        for _ in 0..self.schedule.day(day).band_penalty {
+            band = band.worse();
+        }
+        band
     }
 }
 
@@ -579,13 +645,29 @@ impl SpotMarket {
 
     fn build(config: MarketConfig) -> Self {
         let rng = SimRng::seed_from_u64(config.seed).fork("spot-market");
+        // One schedule per market, built from the same parent RNG through
+        // regime-specific fork labels (fork is a pure function of
+        // `(seed, label)`, so baseline streams are untouched) and shared
+        // by every (region, instance type) state — shared application is
+        // what makes regime shocks cross-region correlated.
+        let spec = config.regime.spec();
+        let schedule = Arc::new(RegimeSchedule::build(config.regime, config.horizon_days, &rng));
         let states: HashMap<(Region, InstanceType), MarketState> = InstanceType::ALL
             .into_iter()
             .flat_map(|itype| {
                 profiles::profiles_for(itype).into_iter().map(move |p| (itype, p))
             })
             .map(|(itype, p)| {
-                ((p.region(), itype), MarketState::build(p, config.horizon_days, &rng))
+                (
+                    (p.region(), itype),
+                    MarketState::build(
+                        p,
+                        config.horizon_days,
+                        &rng,
+                        spec,
+                        Arc::clone(&schedule),
+                    ),
+                )
             })
             .collect();
         let offerings = InstanceType::ALL
@@ -609,6 +691,11 @@ impl SpotMarket {
     /// The configuration the market was built from.
     pub fn config(&self) -> MarketConfig {
         self.config
+    }
+
+    /// The regime the market was built under.
+    pub fn regime(&self) -> MarketRegime {
+        self.config.regime
     }
 
     /// The end of the precomputed horizon.
@@ -724,8 +811,7 @@ impl SpotMarket {
     ) -> Result<InterruptionBand, MarketError> {
         self.check_horizon(at)?;
         let state = self.state(region, instance_type)?;
-        let day = (at.as_days() as usize).min(state.daily_band.len() - 1);
-        Ok(state.daily_band[day])
+        Ok(state.advisor_band(at.as_days() as usize))
     }
 
     /// The Stability Score (derived from the band) at `at`.
@@ -903,7 +989,7 @@ mod tests {
         // boundaries first, so segments fill in an adversarial order
         // before the wholesale comparison.
         for seed in [0, 7, 2024] {
-            let config = MarketConfig { seed, horizon_days: 60 };
+            let config = MarketConfig { seed, horizon_days: 60, ..MarketConfig::default() };
             let eager = SpotMarket::new_eager(config);
             let lazy = SpotMarket::new(config);
             for day in [59, 0, 28, MARKET_SEGMENT_DAYS as u64, 13, 41] {
@@ -946,7 +1032,7 @@ mod tests {
         // Hammer one market's tracks from several threads at once; every
         // observed value must match the eager reference (no torn fills,
         // no order dependence).
-        let config = MarketConfig { seed: 9, horizon_days: 56 };
+        let config = MarketConfig { seed: 9, horizon_days: 56, ..MarketConfig::default() };
         let eager = SpotMarket::new_eager(config);
         let lazy = SpotMarket::new(config);
         std::thread::scope(|scope| {
@@ -1139,6 +1225,116 @@ mod tests {
             let quiet = quiet_hazard(band);
             assert!(inside > 2.0 * quiet, "episode hazard {inside} vs quiet {quiet}");
         }
+    }
+}
+
+#[cfg(test)]
+mod regime_tests {
+    use super::*;
+    use crate::regime::MarketRegime;
+
+    fn config(regime: MarketRegime) -> MarketConfig {
+        MarketConfig { seed: 2024, horizon_days: 70, regime }
+    }
+
+    #[test]
+    fn lazy_matches_eager_for_every_regime() {
+        for regime in MarketRegime::ALL {
+            let c = config(regime);
+            let eager = SpotMarket::new_eager(c);
+            let lazy = SpotMarket::new(c);
+            // Adversarial query order across segment boundaries first.
+            for day in [69, 0, 35, MARKET_SEGMENT_DAYS as u64, 13] {
+                let t = SimTime::from_days(day);
+                assert_eq!(
+                    lazy.spot_price(Region::UsEast1, InstanceType::M5Xlarge, t),
+                    eager.spot_price(Region::UsEast1, InstanceType::M5Xlarge, t),
+                    "{regime} day {day}"
+                );
+            }
+            assert_eq!(lazy, eager, "{regime}");
+        }
+    }
+
+    #[test]
+    fn construction_materializes_nothing_for_every_regime() {
+        for regime in MarketRegime::ALL {
+            let m = SpotMarket::new(config(regime));
+            let (filled, _) = m.materialized_segments();
+            assert_eq!(filled, 0, "{regime} construction must stay lazy");
+        }
+    }
+
+    #[test]
+    fn non_baseline_regimes_shift_the_market() {
+        let baseline = SpotMarket::new_eager(config(MarketRegime::Baseline));
+        for regime in [
+            MarketRegime::CapacityCrunch,
+            MarketRegime::CorrelatedShock,
+            MarketRegime::RegimeSwitching,
+        ] {
+            let shifted = SpotMarket::new_eager(config(regime));
+            let differs = (0..70).any(|day| {
+                let t = SimTime::from_days(day);
+                baseline.spot_price(Region::UsEast1, InstanceType::M5Xlarge, t)
+                    != shifted.spot_price(Region::UsEast1, InstanceType::M5Xlarge, t)
+                    || baseline.hazard_rate(Region::UsEast1, InstanceType::M5Xlarge, t)
+                        != shifted.hazard_rate(Region::UsEast1, InstanceType::M5Xlarge, t)
+            });
+            assert!(differs, "{regime} left the market untouched");
+        }
+    }
+
+    #[test]
+    fn correlated_shock_moves_regions_together() {
+        // On a shock day, every region's price shifts relative to
+        // baseline — the cross-region correlation single-region processes
+        // cannot express.
+        let c = config(MarketRegime::CorrelatedShock);
+        let rng = SimRng::seed_from_u64(c.seed).fork("spot-market");
+        let schedule = RegimeSchedule::build(c.regime, c.horizon_days, &rng);
+        let shock_day = (0..70).find(|&d| schedule.day(d).price_mult > 1.0);
+        let Some(day) = shock_day else {
+            return; // this seed drew no shock inside the window
+        };
+        let baseline = SpotMarket::new(config(MarketRegime::Baseline));
+        let shocked = SpotMarket::new(c);
+        let t = SimTime::from_days(day as u64);
+        for region in [Region::UsEast1, Region::EuWest1, Region::ApNortheast3] {
+            let b = baseline.spot_price(region, InstanceType::M5Xlarge, t).unwrap();
+            let s = shocked.spot_price(region, InstanceType::M5Xlarge, t).unwrap();
+            assert_ne!(b, s, "{region} unshocked on day {day}");
+        }
+    }
+
+    #[test]
+    fn crunch_degrades_the_advisor_view() {
+        // On a crunch day the advisor band reads at least as bad as
+        // baseline everywhere, strictly worse wherever not saturated.
+        let c = config(MarketRegime::CapacityCrunch);
+        let rng = SimRng::seed_from_u64(c.seed).fork("spot-market");
+        let schedule = RegimeSchedule::build(c.regime, c.horizon_days, &rng);
+        let Some(day) = (0..70).find(|&d| schedule.day(d).band_penalty > 0) else {
+            return;
+        };
+        let m = SpotMarket::new(c);
+        let t = SimTime::from_days(day as u64);
+        let band = m.interruption_band(Region::ApNortheast3, InstanceType::M5Xlarge, t).unwrap();
+        let state = m.state(Region::ApNortheast3, InstanceType::M5Xlarge).unwrap();
+        let raw = state.daily_band[day.min(state.daily_band.len() - 1)];
+        assert_eq!(band, raw.worse(), "advisor band must read one step worse");
+    }
+
+    #[test]
+    fn distinct_regimes_are_distinct_cache_keys() {
+        let a = config(MarketRegime::Baseline);
+        let b = config(MarketRegime::CapacityCrunch);
+        assert_ne!(a, b);
+        assert_eq!(a, a.with_regime(MarketRegime::Baseline));
+        assert_eq!(b, a.with_regime(MarketRegime::CapacityCrunch));
+        let m = SpotMarket::new(b);
+        assert_eq!(m.regime(), MarketRegime::CapacityCrunch);
+        assert_eq!(m.config().regime, MarketRegime::CapacityCrunch);
     }
 }
 

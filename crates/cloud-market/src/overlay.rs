@@ -7,6 +7,13 @@
 //! should *observe* faults (the Monitor, assessment builders) apply an
 //! overlay on top of base market reads. An empty overlay is always an
 //! identity.
+//!
+//! Overlays compose with [market regimes](crate::regime): a regime
+//! perturbs the *base generators* at construction (it changes what the
+//! market is), while an overlay rewrites *reads* over a time window (it
+//! changes what a consumer sees). Chaos scenarios layered on a
+//! non-baseline regime therefore fault an already-perturbed market —
+//! the combination the tournament's `--chaos regime` mode exercises.
 
 use sim_kernel::SimTime;
 

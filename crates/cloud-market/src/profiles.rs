@@ -155,6 +155,19 @@ impl MarketProfile {
     }
 }
 
+/// The short, sharp capacity crunch around day 40 — the window the
+/// checkpoint-workload experiments of Figure 7d run in, where the
+/// baseline region's interruption rate roughly doubles. Exposed as a
+/// named calibration constant so the `capacity_crunch` regime reuses the
+/// same crunch intensity for its randomly-selected crunch weeks.
+pub const CRUNCH_SURGE: PriceSurge = PriceSurge {
+    start_day: 39.5,
+    peak_day: 40.5,
+    end_day: 44.0,
+    peak_mult: 1.8,
+    hazard_mult: 2.0,
+};
+
 /// Per-region multiplier on the reference (us-east-1) on-demand price.
 fn on_demand_multiplier(region: Region) -> f64 {
     match region {
@@ -251,16 +264,7 @@ pub fn profile(region: Region, instance_type: InstanceType) -> MarketProfile {
         peak_mult: peak,
         hazard_mult: 1.0,
     };
-    // A short, sharp capacity crunch around day 40 — the window the
-    // checkpoint-workload experiments of Figure 7d run in, where the
-    // baseline region's interruption rate roughly doubles.
-    let crunch = PriceSurge {
-        start_day: 39.5,
-        peak_day: 40.5,
-        end_day: 44.0,
-        peak_mult: 1.8,
-        hazard_mult: 2.0,
-    };
+    let crunch = CRUNCH_SURGE;
     let mut surges: Vec<PriceSurge> = match region {
         Region::CaCentral1 => vec![surge_with(2.1), crunch],
         Region::UsEast1 | Region::UsEast2 | Region::UsWest2 | Region::ApSoutheast2 => {

@@ -260,7 +260,7 @@ pub fn from_ga_json(input: &str) -> Result<Workflow, GaFormatError> {
         }
         let id = builder.add_step_full(
             label,
-            tool.as_str(),
+            tool,
             SimDuration::from_secs(duration_secs),
             &inputs,
             shards,

@@ -7,6 +7,7 @@
 //! workload resets to zero; a checkpoint workload keeps every completed unit
 //! (the paper's NGS preprocessing tracks each file's processing status).
 
+use std::borrow::Cow;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -189,7 +190,7 @@ pub struct RunProgress {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkflowInvocation {
-    workflow_name: String,
+    workflow_name: Cow<'static, str>,
     recovery: RecoveryMode,
     plan: ExecutionPlan,
     units_done: usize,
@@ -200,7 +201,7 @@ impl WorkflowInvocation {
     /// Creates a fresh invocation of a workflow.
     pub fn new(workflow: &Workflow) -> Self {
         WorkflowInvocation {
-            workflow_name: workflow.name().to_owned(),
+            workflow_name: workflow.name_shared(),
             recovery: workflow.recovery(),
             plan: ExecutionPlan::new(workflow),
             units_done: 0,

@@ -180,7 +180,7 @@ mod tests {
     use crate::tool::Tool;
     use crate::workflow::RecoveryMode;
 
-    fn galaxy_with(tools: &[&str]) -> GalaxyInstance {
+    fn galaxy_with(tools: &[&'static str]) -> GalaxyInstance {
         let mut g = GalaxyInstance::new(GalaxyConfig::automated("a@x", "key"));
         for t in tools {
             g.install_tool("a@x", Tool::from(*t)).unwrap();

@@ -6,14 +6,20 @@
 //! uses (§4: "installing and configuring Galaxy … along with necessary
 //! tools").
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a tool within the shed, e.g. `"fastqc"`.
+///
+/// Stored as a `Cow` so the static tool names used by every built-in
+/// workflow never hit the heap — workflow construction sits on the
+/// fleet runtime's per-workload path, where each saved allocation is
+/// multiplied by the fleet size.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct ToolId(String);
+pub struct ToolId(Cow<'static, str>);
 
 impl ToolId {
     /// Creates a tool id.
@@ -21,7 +27,7 @@ impl ToolId {
     /// # Panics
     ///
     /// Panics if `id` is empty.
-    pub fn new(id: impl Into<String>) -> Self {
+    pub fn new(id: impl Into<Cow<'static, str>>) -> Self {
         let id = id.into();
         assert!(!id.is_empty(), "ToolId: empty id");
         ToolId(id)
@@ -39,8 +45,14 @@ impl fmt::Display for ToolId {
     }
 }
 
-impl From<&str> for ToolId {
-    fn from(s: &str) -> Self {
+impl From<&'static str> for ToolId {
+    fn from(s: &'static str) -> Self {
+        ToolId::new(s)
+    }
+}
+
+impl From<String> for ToolId {
+    fn from(s: String) -> Self {
         ToolId::new(s)
     }
 }
@@ -137,9 +149,9 @@ impl Tool {
     }
 }
 
-impl From<&str> for Tool {
+impl From<&'static str> for Tool {
     /// A minimal tool from a bare id (General category, version "1.0").
-    fn from(id: &str) -> Self {
+    fn from(id: &'static str) -> Self {
         Tool::new(id, id, "1.0", ToolCategory::General)
     }
 }

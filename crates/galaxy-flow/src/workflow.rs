@@ -5,6 +5,7 @@
 //! construction and insertion order is a valid topological order — matching
 //! how Galaxy serializes execution on a single instance.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -40,9 +41,13 @@ pub enum RecoveryMode {
 }
 
 /// One step of a workflow.
+///
+/// Labels are `Cow`s: the built-in workflows name their steps with
+/// string literals, and workflow construction runs once per workload in
+/// the fleet runtime, so borrowed labels keep that path off the heap.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkflowStep {
-    label: String,
+    label: Cow<'static, str>,
     tool: ToolId,
     duration: SimDuration,
     shards: u32,
@@ -142,14 +147,14 @@ impl std::error::Error for WorkflowError {}
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Workflow {
-    name: String,
+    name: Cow<'static, str>,
     recovery: RecoveryMode,
     steps: Vec<WorkflowStep>,
 }
 
 impl Workflow {
     /// Starts building a workflow.
-    pub fn builder(name: impl Into<String>, recovery: RecoveryMode) -> WorkflowBuilder {
+    pub fn builder(name: impl Into<Cow<'static, str>>, recovery: RecoveryMode) -> WorkflowBuilder {
         WorkflowBuilder {
             name: name.into(),
             recovery,
@@ -160,6 +165,12 @@ impl Workflow {
     /// The workflow name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The workflow name as a shareable `Cow` — cloning a borrowed name
+    /// is free, which invocations rely on.
+    pub fn name_shared(&self) -> Cow<'static, str> {
+        self.name.clone()
     }
 
     /// The recovery mode.
@@ -216,19 +227,19 @@ impl Workflow {
         }
         let mut labels = std::collections::BTreeSet::new();
         for (i, step) in self.steps.iter().enumerate() {
-            if !labels.insert(step.label.clone()) {
-                return Err(WorkflowError::DuplicateLabel(step.label.clone()));
+            if !labels.insert(step.label.as_ref()) {
+                return Err(WorkflowError::DuplicateLabel(step.label.to_string()));
             }
             if step.shards == 0 {
-                return Err(WorkflowError::ZeroShards(step.label.clone()));
+                return Err(WorkflowError::ZeroShards(step.label.to_string()));
             }
             if step.duration.is_zero() {
-                return Err(WorkflowError::ZeroDuration(step.label.clone()));
+                return Err(WorkflowError::ZeroDuration(step.label.to_string()));
             }
             for dep in &step.inputs {
                 if dep.index() >= i {
                     return Err(WorkflowError::ForwardDependency {
-                        step: step.label.clone(),
+                        step: step.label.to_string(),
                         dependency: *dep,
                     });
                 }
@@ -241,7 +252,7 @@ impl Workflow {
 /// Builder for [`Workflow`].
 #[derive(Debug)]
 pub struct WorkflowBuilder {
-    name: String,
+    name: Cow<'static, str>,
     recovery: RecoveryMode,
     steps: Vec<WorkflowStep>,
 }
@@ -250,7 +261,7 @@ impl WorkflowBuilder {
     /// Adds a monolithic step depending on `inputs`, returning its id.
     pub fn add_step(
         &mut self,
-        label: impl Into<String>,
+        label: impl Into<Cow<'static, str>>,
         tool: impl Into<ToolId>,
         duration: SimDuration,
         inputs: &[StepId],
@@ -262,7 +273,7 @@ impl WorkflowBuilder {
     /// sub-units (the paper's segmented FastQC dataset).
     pub fn add_sharded_step(
         &mut self,
-        label: impl Into<String>,
+        label: impl Into<Cow<'static, str>>,
         tool: impl Into<ToolId>,
         duration: SimDuration,
         inputs: &[StepId],
@@ -275,7 +286,7 @@ impl WorkflowBuilder {
     #[allow(clippy::too_many_arguments)]
     pub fn add_step_full(
         &mut self,
-        label: impl Into<String>,
+        label: impl Into<Cow<'static, str>>,
         tool: impl Into<ToolId>,
         duration: SimDuration,
         inputs: &[StepId],

@@ -239,6 +239,9 @@ pub(crate) enum Event {
     Complete(usize, InstanceId),
     Expire(usize),
     MonitorTick,
+    /// Proactive checkpoint cadence for strategies that opt into one via
+    /// [`Strategy::checkpoint_interval`]; never scheduled otherwise.
+    CheckpointTick(usize, InstanceId),
 }
 
 struct FleetModel {
@@ -265,6 +268,10 @@ struct FleetModel {
     /// Pooled batch-placement buffer, reused across arrival batches so a
     /// Poisson fleet (mostly batches of one) places without allocating.
     placements_scratch: Vec<Placement>,
+    /// The strategy's requested proactive checkpoint cadence, re-judged
+    /// at every placement decision. `None` for every classic strategy —
+    /// no tick is ever scheduled and existing streams are untouched.
+    checkpoint_cadence: Option<SimDuration>,
     capacity_deferrals: u64,
     /// Global abort horizon: the latest per-workload deadline.
     horizon: SimTime,
@@ -356,6 +363,7 @@ impl FleetModel {
             rng: &mut self.strategy_rng,
         };
         let placement = self.strategy.relocate(&mut ctx, previous);
+        self.checkpoint_cadence = self.strategy.checkpoint_interval(&ctx);
         if self.cp.tracer.enabled() {
             let candidates =
                 self.strategy
@@ -406,6 +414,7 @@ impl FleetModel {
                 rng: &mut self.strategy_rng,
             };
             self.strategy.initial_placements_into(&mut ctx, n, &mut placements);
+            self.checkpoint_cadence = self.strategy.checkpoint_interval(&ctx);
         }
         debug_assert_eq!(placements.len(), n);
         if self.cp.tracer.enabled() {
@@ -551,6 +560,7 @@ impl FleetModel {
                         scheduler,
                         cp,
                     );
+                    self.schedule_checkpoint_tick(w, launch.instance, now, scheduler);
                     self.occupy_slot(region);
                 }
                 Ok(SpotRequestOutcome::OpenNoCapacity) => {
@@ -618,9 +628,52 @@ impl FleetModel {
                     scheduler,
                     cp,
                 );
+                // On-demand instances are never reclaimed, so a proactive
+                // cadence buys them nothing: skip the tick entirely.
                 self.occupy_slot(region);
             }
         }
+    }
+
+    /// Arms the first proactive checkpoint tick for a freshly launched
+    /// spot instance, when the strategy asked for a cadence and the
+    /// workload can checkpoint at all. A no-op for every classic
+    /// strategy (`checkpoint_cadence` stays `None`).
+    fn schedule_checkpoint_tick(
+        &mut self,
+        w: usize,
+        instance: InstanceId,
+        now: SimTime,
+        scheduler: &mut Scheduler<'_, Event>,
+    ) {
+        if let Some(interval) = self.checkpoint_cadence {
+            if self.workloads[w].spec.kind.is_checkpointable() {
+                scheduler.schedule_at(now + interval, Event::CheckpointTick(w, instance));
+            }
+        }
+    }
+
+    /// A proactive checkpoint tick fired: save if the instance is still
+    /// the one the tick was armed for, then re-arm the cadence.
+    fn handle_checkpoint_tick(
+        &mut self,
+        w: usize,
+        instance: InstanceId,
+        now: SimTime,
+        scheduler: &mut Scheduler<'_, Event>,
+    ) {
+        let Some(interval) = self.checkpoint_cadence else {
+            return;
+        };
+        let Some(running) = &self.workloads[w].running else {
+            return;
+        };
+        if running.instance != instance || !self.workloads[w].spec.kind.is_checkpointable() {
+            return;
+        }
+        let FleetModel { workloads, cp, .. } = self;
+        workloads[w].proactive_checkpoint(w, now, cp);
+        scheduler.schedule_at(now + interval, Event::CheckpointTick(w, instance));
     }
 
     fn note_launch(&mut self, region: Region) {
@@ -898,6 +951,9 @@ impl Model for FleetModel {
             Event::Complete(w, instance) => self.handle_complete(w, instance, now),
             Event::Expire(w) => self.handle_expire(w, now),
             Event::MonitorTick => self.handle_monitor_tick(now, scheduler),
+            Event::CheckpointTick(w, instance) => {
+                self.handle_checkpoint_tick(w, instance, now, scheduler)
+            }
         }
     }
 }
@@ -1021,6 +1077,7 @@ pub fn run_fleet_on(
         launches_by_region: [0; Region::ALL.len()],
         running_by_region: [0; Region::ALL.len()],
         placements_scratch: Vec::new(),
+        checkpoint_cadence: None,
         capacity_deferrals: 0,
         horizon,
         aborted: false,
@@ -1033,6 +1090,8 @@ pub fn run_fleet_on(
             seed: model.config.seed,
             workloads: model.workloads.len(),
             chaos: model.config.chaos.as_ref().map(|s| s.name().to_owned()),
+            regime: (!model.config.market.regime.is_baseline())
+                .then(|| model.config.market.regime.name().to_owned()),
         };
         model.cp.tracer.record(start, event);
     }

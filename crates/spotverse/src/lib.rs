@@ -64,6 +64,7 @@ mod repetitions;
 pub mod resilience;
 mod strategy;
 pub mod sweep;
+pub mod tournament;
 pub mod trace;
 pub mod workload;
 
@@ -110,11 +111,16 @@ pub use sweep::{
     merged_fleet_trace_jsonl, merged_trace_jsonl, resolve_jobs, run_fleet_matrix, run_matrix,
     CellOutcome, FleetCellOutcome, FleetSweepCell, MarketCache, SweepCell, SweepOutcome, JOBS_ENV,
 };
+pub use tournament::{
+    render_tournament, run_tournament, RegimeStanding, TournamentChaos, TournamentConfig,
+    TournamentReport, TournamentRow,
+};
 pub use trace::{
     append_record_json, append_trace_jsonl, trace_to_jsonl, DecisionKind, RunTrace, TraceConfig,
     TraceEvent, TraceRecord, TraceStats, Tracer,
 };
 pub use strategy::{
-    AblatedSpotVerseStrategy, NaiveMultiRegionStrategy, OnDemandStrategy, SingleRegionStrategy,
-    SkyPilotStrategy, SpotVerseStrategy, Strategy, StrategyContext,
+    AblatedSpotVerseStrategy, BidPriceAwareStrategy, CheckpointAdaptiveStrategy,
+    NaiveMultiRegionStrategy, OnDemandStrategy, SingleRegionStrategy, SkyPilotStrategy,
+    SpotVerseStrategy, Strategy, StrategyContext,
 };

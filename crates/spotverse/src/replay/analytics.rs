@@ -181,9 +181,16 @@ fn render_cell(out: &mut String, key: &str, cell: &CellState) {
     let strategy = s.strategy.as_deref().unwrap_or("-");
     let seed = s.seed.map_or_else(|| "-".to_owned(), |v| v.to_string());
     let chaos = s.chaos.as_deref().unwrap_or("-");
+    // Regime is rendered only when the run declared one, so every
+    // pre-regime golden analytics snapshot stays byte-identical.
+    let regime = s
+        .regime
+        .as_deref()
+        .map(|r| format!(" regime={r}"))
+        .unwrap_or_default();
     let _ = writeln!(
         out,
-        "  run: strategy={strategy} seed={seed} chaos={chaos} workloads={} completed={} aborted={}",
+        "  run: strategy={strategy} seed={seed} chaos={chaos}{regime} workloads={} completed={} aborted={}",
         s.workloads.map_or_else(|| "-".to_owned(), |v| v.to_string()),
         s.completed,
         s.aborted,

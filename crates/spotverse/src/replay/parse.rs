@@ -243,6 +243,7 @@ fn decode_event(label: &str, fields: &mut Fields) -> Result<TraceEvent, String> 
             seed: fields.require("seed")?.as_u64()?,
             workloads: fields.require("workloads")?.as_usize()?,
             chaos: fields.take("chaos").map(JsonVal::into_str).transpose()?,
+            regime: fields.take("regime").map(JsonVal::into_str).transpose()?,
         }),
         "collection_failed" => Ok(TraceEvent::CollectionFailed {
             retryable: fields.require("retryable")?.as_bool()?,

@@ -66,6 +66,8 @@ pub struct RunSummary {
     pub workloads: Option<usize>,
     /// Chaos scenario from `run_started`.
     pub chaos: Option<String>,
+    /// Market regime from `run_started` (`None` for baseline runs).
+    pub regime: Option<String>,
     /// `run_started` timestamp.
     pub started_at: Option<SimTime>,
     /// `run_ended` timestamp.
@@ -330,11 +332,12 @@ impl CellState {
         self.events += 1;
         let at = record.at;
         match &record.event {
-            TraceEvent::RunStarted { strategy, seed, workloads, chaos } => {
+            TraceEvent::RunStarted { strategy, seed, workloads, chaos, regime } => {
                 self.summary.strategy = Some(strategy.clone());
                 self.summary.seed = Some(*seed);
                 self.summary.workloads = Some(*workloads);
                 self.summary.chaos = chaos.clone();
+                self.summary.regime = regime.clone();
                 self.summary.started_at = Some(at);
                 self.occupancy.arrived += *workloads as u64;
             }
@@ -580,6 +583,7 @@ impl RunSummary {
         push_opt(&mut obj, "seed", self.seed.map(num_u64));
         push_opt(&mut obj, "workloads", self.workloads.map(|w| num_u64(w as u64)));
         push_opt(&mut obj, "chaos", self.chaos.clone().map(JsonVal::Str));
+        push_opt(&mut obj, "regime", self.regime.clone().map(JsonVal::Str));
         push_opt(&mut obj, "started_at", opt_time(self.started_at));
         push_opt(&mut obj, "ended_at", opt_time(self.ended_at));
         push_opt(&mut obj, "last_completion", opt_time(self.last_completion));
@@ -597,6 +601,7 @@ impl RunSummary {
             seed: f.take("seed").map(|v| v.as_u64()).transpose()?,
             workloads: f.take("workloads").map(|v| v.as_usize()).transpose()?,
             chaos: f.take("chaos").map(JsonVal::into_str).transpose()?,
+            regime: f.take("regime").map(JsonVal::into_str).transpose()?,
             started_at: take_time(&mut f, "started_at")?,
             ended_at: take_time(&mut f, "ended_at")?,
             last_completion: take_time(&mut f, "last_completion")?,
@@ -955,6 +960,7 @@ mod tests {
                 seed: 7,
                 workloads: 3,
                 chaos: Some("region_flap".to_owned()),
+                regime: Some("capacity_crunch".to_owned()),
             },
         ));
         cell.fold(&record(

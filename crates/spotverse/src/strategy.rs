@@ -15,7 +15,7 @@
 use std::fmt;
 
 use cloud_market::{InstanceType, Region};
-use sim_kernel::{SimRng, SimTime};
+use sim_kernel::{SimDuration, SimRng, SimTime};
 
 use crate::config::{InitialPlacement, SpotVerseConfig};
 use crate::optimizer::{
@@ -118,6 +118,15 @@ pub trait Strategy: fmt::Debug {
         _quarantined: &[Region],
         _previous: Option<Region>,
     ) -> Option<Vec<CandidateVerdict>> {
+        None
+    }
+
+    /// The proactive checkpoint cadence this strategy wants for
+    /// checkpointable workloads, judged from the same decision context as
+    /// the placement. `None` (the default) disables proactive ticks
+    /// entirely — the classic notice-only checkpoint engine and every
+    /// committed golden trace are untouched.
+    fn checkpoint_interval(&self, _ctx: &StrategyContext<'_>) -> Option<SimDuration> {
         None
     }
 }
@@ -272,6 +281,212 @@ impl Strategy for SkyPilotStrategy {
         // Automatic relaunch, still cheapest-first — possibly the very
         // region that just reclaimed the instance.
         Placement::Spot(ctx.cheapest_spot_region())
+    }
+}
+
+/// Bid-price-aware provisioning: spot capacity is only worth holding
+/// while the market clears below a fixed fraction of the on-demand rate.
+///
+/// Each decision picks the cheapest non-quarantined region whose spot
+/// price is at or under `bid_fraction × on_demand_price`; when no region
+/// qualifies — a capacity crunch or a correlated price shock pushing the
+/// whole market toward on-demand parity — the strategy takes guaranteed
+/// capacity at the cheapest on-demand rate instead of overpaying for
+/// interruptible instances. This makes it *regime-sensitive*: in a calm
+/// baseline market it behaves like a slightly pickier SkyPilot, while
+/// under price-spiking regimes it sidesteps the interruption storm
+/// entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BidPriceAwareStrategy {
+    bid_fraction: f64,
+}
+
+impl BidPriceAwareStrategy {
+    /// The default bid: 60 % of the regional on-demand rate.
+    pub fn new() -> Self {
+        BidPriceAwareStrategy::with_bid_fraction(0.6)
+    }
+
+    /// Creates the strategy with an explicit bid fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < bid_fraction <= 1`.
+    pub fn with_bid_fraction(bid_fraction: f64) -> Self {
+        assert!(
+            bid_fraction > 0.0 && bid_fraction <= 1.0,
+            "bid_fraction must be in (0, 1]"
+        );
+        BidPriceAwareStrategy { bid_fraction }
+    }
+
+    /// The bid as a fraction of the on-demand rate.
+    pub fn bid_fraction(&self) -> f64 {
+        self.bid_fraction
+    }
+
+    fn pick(&self, ctx: &StrategyContext<'_>) -> Placement {
+        let mut best: Option<&RegionAssessment> = None;
+        for a in ctx.assessments {
+            if ctx.quarantined.contains(&a.region) {
+                continue;
+            }
+            if a.spot_price.rate() > self.bid_fraction * a.on_demand_price.rate() {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => a
+                    .spot_price
+                    .rate()
+                    .total_cmp(&b.spot_price.rate())
+                    .then_with(|| a.region.name().cmp(b.region.name()))
+                    .is_lt(),
+            };
+            if better {
+                best = Some(a);
+            }
+        }
+        match best {
+            Some(a) => Placement::Spot(a.region),
+            None => Placement::OnDemand(ctx.cheapest_on_demand_region()),
+        }
+    }
+}
+
+impl Default for BidPriceAwareStrategy {
+    fn default() -> Self {
+        BidPriceAwareStrategy::new()
+    }
+}
+
+impl Strategy for BidPriceAwareStrategy {
+    fn name(&self) -> &str {
+        "bid-price"
+    }
+
+    fn initial_placements_into(
+        &mut self,
+        ctx: &mut StrategyContext<'_>,
+        n: usize,
+        out: &mut Vec<Placement>,
+    ) {
+        out.extend(std::iter::repeat_n(self.pick(ctx), n));
+    }
+
+    fn relocate(&mut self, ctx: &mut StrategyContext<'_>, _previous: Region) -> Placement {
+        self.pick(ctx)
+    }
+}
+
+/// A checkpoint-interval-adaptive policy: placement chases stability, and
+/// the proactive checkpoint cadence widens or narrows with the observed
+/// hazard level.
+///
+/// The mean Stability Score across the current assessments (1 = worst
+/// band, 3 = calmest) is mapped linearly onto
+/// `[min_interval, max_interval]`: a calm market earns a wide cadence
+/// (few checkpoint uploads wasted), a hazardous one — a capacity-crunch
+/// week, a correlated shock — tightens it so an interruption loses
+/// minutes of work instead of hours. The cadence is re-judged at every
+/// placement decision, so the policy tracks regime swings mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointAdaptiveStrategy {
+    min_interval: SimDuration,
+    max_interval: SimDuration,
+}
+
+impl CheckpointAdaptiveStrategy {
+    /// The default cadence band: 1 h under peak hazard, 6 h when calm.
+    pub fn new() -> Self {
+        CheckpointAdaptiveStrategy::with_band(
+            SimDuration::from_hours(1),
+            SimDuration::from_hours(6),
+        )
+    }
+
+    /// Creates the policy with an explicit cadence band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band is empty or inverted.
+    pub fn with_band(min_interval: SimDuration, max_interval: SimDuration) -> Self {
+        assert!(
+            SimDuration::ZERO < min_interval && min_interval <= max_interval,
+            "cadence band must satisfy 0 < min <= max"
+        );
+        CheckpointAdaptiveStrategy { min_interval, max_interval }
+    }
+
+    /// The most stable non-quarantined region; ties break on the cheaper
+    /// spot price, then the region name.
+    fn most_stable(&self, ctx: &StrategyContext<'_>) -> Placement {
+        let mut best: Option<&RegionAssessment> = None;
+        for a in ctx.assessments {
+            if ctx.quarantined.contains(&a.region) {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => b
+                    .stability
+                    .cmp(&a.stability)
+                    .then_with(|| a.spot_price.rate().total_cmp(&b.spot_price.rate()))
+                    .then_with(|| a.region.name().cmp(b.region.name()))
+                    .is_lt(),
+            };
+            if better {
+                best = Some(a);
+            }
+        }
+        match best {
+            Some(a) => Placement::Spot(a.region),
+            // Everything quarantined: guaranteed capacity is the only
+            // sensible fallback.
+            None => Placement::OnDemand(ctx.cheapest_on_demand_region()),
+        }
+    }
+}
+
+impl Default for CheckpointAdaptiveStrategy {
+    fn default() -> Self {
+        CheckpointAdaptiveStrategy::new()
+    }
+}
+
+impl Strategy for CheckpointAdaptiveStrategy {
+    fn name(&self) -> &str {
+        "checkpoint-adaptive"
+    }
+
+    fn initial_placements_into(
+        &mut self,
+        ctx: &mut StrategyContext<'_>,
+        n: usize,
+        out: &mut Vec<Placement>,
+    ) {
+        out.extend(std::iter::repeat_n(self.most_stable(ctx), n));
+    }
+
+    fn relocate(&mut self, ctx: &mut StrategyContext<'_>, _previous: Region) -> Placement {
+        self.most_stable(ctx)
+    }
+
+    fn checkpoint_interval(&self, ctx: &StrategyContext<'_>) -> Option<SimDuration> {
+        if ctx.assessments.is_empty() {
+            return Some(self.max_interval);
+        }
+        let sum: u64 = ctx
+            .assessments
+            .iter()
+            .map(|a| u64::from(a.stability.value()))
+            .sum();
+        let mean = sum as f64 / ctx.assessments.len() as f64;
+        // Stability 1 (hazardous) → min_interval, 3 (calm) → max_interval.
+        let t = ((mean - 1.0) / 2.0).clamp(0.0, 1.0);
+        let span = (self.max_interval - self.min_interval).as_secs() as f64;
+        let secs = self.min_interval.as_secs() + (t * span).round() as u64;
+        Some(SimDuration::from_secs(secs))
     }
 }
 
@@ -565,6 +780,100 @@ mod tests {
     #[should_panic(expected = "no regions")]
     fn naive_strategy_rejects_empty_region_list() {
         NaiveMultiRegionStrategy::new(vec![]);
+    }
+
+    #[test]
+    fn bid_price_takes_cheapest_qualifying_spot() {
+        let a = assessments(SimTime::ZERO);
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut ctx = ctx_with(&a, &mut rng);
+        let mut s = BidPriceAwareStrategy::new();
+        let placements = s.initial_placements(&mut ctx, 3);
+        let chosen = placements[0];
+        assert!(placements.iter().all(|p| *p == chosen));
+        if chosen.is_spot() {
+            let picked = a.iter().find(|x| x.region == chosen.region()).unwrap();
+            assert!(picked.spot_price.rate() <= 0.6 * picked.on_demand_price.rate());
+        }
+        assert_eq!(s.name(), "bid-price");
+        assert!((s.bid_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bid_price_falls_back_to_on_demand_when_nothing_qualifies() {
+        let a = assessments(SimTime::ZERO);
+        let mut rng = SimRng::seed_from_u64(12);
+        let mut ctx = ctx_with(&a, &mut rng);
+        // An absurdly tight bid: no spot market clears at 0.1 % of
+        // on-demand, so every placement must be guaranteed capacity.
+        let mut s = BidPriceAwareStrategy::with_bid_fraction(0.001);
+        let placements = s.initial_placements(&mut ctx, 2);
+        assert!(placements.iter().all(|p| !p.is_spot()));
+        assert!(!s.relocate(&mut ctx, Region::UsEast1).is_spot());
+    }
+
+    #[test]
+    #[should_panic(expected = "bid_fraction")]
+    fn bid_price_rejects_out_of_range_fraction() {
+        BidPriceAwareStrategy::with_bid_fraction(1.5);
+    }
+
+    #[test]
+    fn checkpoint_adaptive_chases_stability_and_adapts_cadence() {
+        let a = assessments(SimTime::ZERO);
+        let mut rng = SimRng::seed_from_u64(13);
+        let mut ctx = ctx_with(&a, &mut rng);
+        let mut s = CheckpointAdaptiveStrategy::new();
+        let placements = s.initial_placements(&mut ctx, 2);
+        let chosen = placements[0];
+        assert!(chosen.is_spot());
+        let best = a.iter().map(|x| x.stability).max().unwrap();
+        let picked = a.iter().find(|x| x.region == chosen.region()).unwrap();
+        assert_eq!(picked.stability, best, "placement chases the stability band");
+        let interval = s.checkpoint_interval(&ctx).expect("adaptive cadence is always on");
+        assert!(interval >= SimDuration::from_hours(1));
+        assert!(interval <= SimDuration::from_hours(6));
+        assert_eq!(s.name(), "checkpoint-adaptive");
+    }
+
+    #[test]
+    fn checkpoint_cadence_tightens_with_hazard() {
+        let a = assessments(SimTime::ZERO);
+        let s = CheckpointAdaptiveStrategy::new();
+        // Clamp every region to the worst stability band: the cadence
+        // must collapse to the minimum interval.
+        let hazardous: Vec<RegionAssessment> = a
+            .iter()
+            .map(|x| RegionAssessment { stability: cloud_market::StabilityScore::MIN, ..*x })
+            .collect();
+        let mut rng = SimRng::seed_from_u64(14);
+        let calm_interval = {
+            let ctx = ctx_with(&a, &mut rng);
+            s.checkpoint_interval(&ctx).unwrap()
+        };
+        let mut rng2 = SimRng::seed_from_u64(14);
+        let tight_interval = {
+            let ctx = ctx_with(&hazardous, &mut rng2);
+            s.checkpoint_interval(&ctx).unwrap()
+        };
+        assert_eq!(tight_interval, SimDuration::from_hours(1));
+        assert!(tight_interval <= calm_interval);
+    }
+
+    #[test]
+    fn default_strategies_want_no_proactive_cadence() {
+        let a = assessments(SimTime::ZERO);
+        let mut rng = SimRng::seed_from_u64(15);
+        let ctx = ctx_with(&a, &mut rng);
+        assert!(SkyPilotStrategy::new().checkpoint_interval(&ctx).is_none());
+        assert!(SingleRegionStrategy::new(Region::UsEast1)
+            .checkpoint_interval(&ctx)
+            .is_none());
+        assert!(
+            SpotVerseStrategy::new(SpotVerseConfig::paper_default(InstanceType::M5Xlarge))
+                .checkpoint_interval(&ctx)
+                .is_none()
+        );
     }
 
     #[test]

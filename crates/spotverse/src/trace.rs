@@ -83,6 +83,9 @@ pub enum TraceEvent {
         workloads: usize,
         /// Active chaos scenario name, if any.
         chaos: Option<String>,
+        /// Market regime name, `None` under the default baseline regime —
+        /// omitted from the JSONL so pre-regime goldens stay byte-identical.
+        regime: Option<String>,
     },
     /// A telemetry collection attempt failed.
     CollectionFailed {
@@ -587,13 +590,17 @@ pub fn append_record_json(out: &mut String, cell: Option<&str>, record: &TraceRe
     let _ = write!(out, "\"seq\":{},\"t\":{},\"event\":", record.seq, record.at.as_secs());
     push_json_str(out, record.event.label());
     match &record.event {
-        TraceEvent::RunStarted { strategy, seed, workloads, chaos } => {
+        TraceEvent::RunStarted { strategy, seed, workloads, chaos, regime } => {
             out.push_str(",\"strategy\":");
             push_json_str(out, strategy);
             let _ = write!(out, ",\"seed\":{seed},\"workloads\":{workloads}");
             if let Some(chaos) = chaos {
                 out.push_str(",\"chaos\":");
                 push_json_str(out, chaos);
+            }
+            if let Some(regime) = regime {
+                out.push_str(",\"regime\":");
+                push_json_str(out, regime);
             }
         }
         TraceEvent::CollectionFailed { retryable } => {
@@ -818,6 +825,7 @@ mod tests {
                     seed: 7,
                     workloads: 2,
                     chaos: None,
+                    regime: None,
                 },
             },
             TraceRecord {

@@ -97,12 +97,18 @@ pub(crate) struct WorkloadRuntime {
     pub(crate) billed: Usd,
     pub(crate) expired: bool,
     pub(crate) phase: WorkloadPhase,
+    /// The object-store/EFS key this workload's working set lives under,
+    /// interned at construction: the hot paths (notice uploads, resume
+    /// downloads, proactive ticks) borrow or clone it instead of
+    /// re-formatting the same string on every event.
+    checkpoint_key: String,
 }
 
 impl WorkloadRuntime {
     pub(crate) fn new(spec: &WorkloadSpec, arrival: SimTime, deadline: SimTime) -> Self {
         let workflow = spec.build_workflow();
         WorkloadRuntime {
+            checkpoint_key: format!("checkpoints/{}/dataset", spec.id),
             spec: spec.clone(),
             invocation: WorkflowInvocation::new(&workflow),
             placement: Placement::Spot(Region::UsEast1), // overwritten at arrival
@@ -145,11 +151,11 @@ impl WorkloadRuntime {
         // working set from the log bucket.
         let mut exec_start = ready_at;
         if self.spec.kind.is_checkpointable() && self.invocation.units_done() > 0 {
-            let key = format!("checkpoints/{}/dataset", self.spec.id);
+            let key = &self.checkpoint_key;
             match cp.checkpoint_backend {
                 CheckpointBackend::ObjectStore => {
                     if let Ok((_, outcome)) =
-                        cp.s3.get_object(LOG_BUCKET, &key, region, now, cp.ec2.ledger_mut())
+                        cp.s3.get_object(LOG_BUCKET, key, region, now, cp.ec2.ledger_mut())
                     {
                         exec_start = exec_start.max(outcome.completes_at);
                     }
@@ -157,7 +163,7 @@ impl WorkloadRuntime {
                 CheckpointBackend::SharedFileSystem => {
                     let fs = cp.efs_id.expect("efs provisioned for this backend");
                     if let Ok((_, outcome)) =
-                        cp.efs.read(fs, &key, region, now, cp.ec2.ledger_mut())
+                        cp.efs.read(fs, key, region, now, cp.ec2.ledger_mut())
                     {
                         exec_start = exec_start.max(outcome.completes_at);
                     }
@@ -213,8 +219,65 @@ impl WorkloadRuntime {
         if running.instance != instance || !self.spec.kind.is_checkpointable() {
             return;
         }
+        self.save_checkpoint(w, now, cp);
+    }
+
+    /// A proactive checkpoint tick: persist progress mid-run without
+    /// waiting for a two-minute notice. Skipped while a previous upload
+    /// is still in flight — piling a second upload onto an unfinished one
+    /// would tear the older generation for nothing.
+    pub(crate) fn proactive_checkpoint(&mut self, w: usize, now: SimTime, cp: &mut ControlPlane) {
+        self.promote_settled_pending(w, now, cp);
+        if self.checkpoints.pending.is_some() {
+            return;
+        }
+        self.save_checkpoint(w, now, cp);
+    }
+
+    /// Promotes a finished in-flight checkpoint to the durable log.
+    /// Durability needs both the completed upload and the KV record;
+    /// anything else is torn. In the classic notice-only engine the
+    /// pending slot is always consumed at the reclaim before another save
+    /// can start, so this is a structural no-op on existing runs.
+    fn promote_settled_pending(&mut self, w: usize, now: SimTime, cp: &mut ControlPlane) {
+        let Some(p) = self.checkpoints.pending else {
+            return;
+        };
+        if p.completes_at > now {
+            return;
+        }
+        self.checkpoints.pending = None;
+        if p.recorded {
+            self.checkpoints.durable.push(DurableCheckpoint {
+                generation: p.generation,
+                units: p.units,
+                written_at: p.completes_at,
+            });
+        } else {
+            cp.telemetry.torn_writes += 1;
+            cp.tracer
+                .record(now, TraceEvent::CheckpointTorn { workload: w, generation: p.generation });
+        }
+    }
+
+    /// Starts a checkpoint save at `now`: a KV progress record followed
+    /// by the working-set upload. Shared between the notice handler and
+    /// the proactive cadence path.
+    fn save_checkpoint(&mut self, w: usize, now: SimTime, cp: &mut ControlPlane) {
+        let Some(running) = &self.running else {
+            return;
+        };
         let region = running.region;
         let ready_at = running.ready_at;
+        // Judge whatever save was still in flight: a finished upload is
+        // promoted, an unfinished one is superseded (torn) by this save.
+        // Both branches are unreachable on notice-only runs.
+        self.promote_settled_pending(w, now, cp);
+        if let Some(p) = self.checkpoints.pending.take() {
+            cp.telemetry.torn_writes += 1;
+            cp.tracer
+                .record(now, TraceEvent::CheckpointTorn { workload: w, generation: p.generation });
+        }
         // Units completed through the notice instant are what survives.
         let elapsed = now.saturating_duration_since(ready_at);
         let units_done = self.invocation.units_done()
@@ -247,7 +310,7 @@ impl WorkloadRuntime {
         let recorded = record.result.is_ok();
 
         // The working-set upload starts once the record attempt settled.
-        let key = format!("checkpoints/{spec_id}/dataset");
+        let key = &self.checkpoint_key;
         let completes_at = match cp.checkpoint_backend {
             CheckpointBackend::ObjectStore => {
                 let (s3, ec2, rng) = (&mut cp.s3, &mut cp.ec2, &mut cp.backoff_rng);
@@ -277,7 +340,7 @@ impl WorkloadRuntime {
                 cp.efs
                     .write(
                         fs,
-                        key,
+                        key.clone(),
                         bio_workloads::ngs_preprocessing::DATASET_GIB,
                         region,
                         record.finished_at,

@@ -13,9 +13,13 @@ echo "==> regenerating golden analytics snapshots (UPDATE_GOLDEN=1)"
 # After the traces, so snapshots of committed traces see the fresh bytes.
 UPDATE_GOLDEN=1 cargo test -q -p spotverse-integration --test golden_analytics
 
+echo "==> regenerating golden tournament leaderboard (UPDATE_GOLDEN=1)"
+UPDATE_GOLDEN=1 cargo test -q -p spotverse-integration --test golden_tournament
+
 echo "==> re-running the suites against the fresh goldens"
 cargo test -q -p spotverse-integration --test golden_traces
 cargo test -q -p spotverse-integration --test golden_analytics
+cargo test -q -p spotverse-integration --test golden_tournament
 
 echo "==> golden diff summary"
 git --no-pager diff --stat -- tests/golden

@@ -20,6 +20,9 @@ cargo test -q -p spotverse-integration --test golden_traces
 echo "==> golden analytics: analyse views of committed traces"
 cargo test -q -p spotverse-integration --test golden_analytics
 
+echo "==> golden tournament: committed leaderboard snapshot"
+cargo test -q -p spotverse-integration --test golden_tournament
+
 echo "==> lint: cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -41,6 +44,22 @@ if grep -q "FAILED" <<<"$fleet_out"; then
     echo "==> fleet smoke FAILED: at least one cell did not produce an Ok report" >&2
     exit 1
 fi
+
+echo "==> tournament smoke: strategies x regimes leaderboard vs committed snapshot"
+# The same argv the golden_tournament suite pins; the CLI output must
+# match the committed leaderboard byte-for-byte and show real work.
+tournament_out=$(cargo run --release --quiet --bin spotverse -- \
+    tournament --instances 2 --workload ngs --seeds 1 --chaos regime)
+if ! diff -u tests/golden/tournament/leaderboard.txt - <<<"$tournament_out" >/dev/null; then
+    echo "==> tournament smoke FAILED: leaderboard drifted from committed snapshot" >&2
+    echo "    bless intentional changes with scripts/regen-golden.sh" >&2
+    exit 1
+fi
+if ! grep -qE "completed [1-9]" <<<"$tournament_out"; then
+    echo "==> tournament smoke FAILED: no tournament cell completed any workload" >&2
+    exit 1
+fi
+echo "    leaderboard matches snapshot ($(grep -c '^regime ' <<<"$tournament_out") regimes, nonzero completions)"
 
 echo "==> loadgen smoke: 200-workload Poisson fleet, merged trace"
 loadgen_out=$(cargo run --release --quiet --bin spotverse -- \

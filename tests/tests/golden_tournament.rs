@@ -1,0 +1,86 @@
+//! Golden tournament leaderboard: the committed snapshot under
+//! `tests/golden/tournament/` pins `spotverse tournament` output
+//! byte-for-byte. The snapshot is produced through the CLI's own entry
+//! point, so `scripts/verify.sh` can diff live CLI output against the
+//! same file — the leaderboard, per-regime win matrices, and chaos
+//! labels are all golden-gated together.
+//!
+//! Bless intentional changes with `scripts/regen-golden.sh` (or
+//! `UPDATE_GOLDEN=1 cargo test -p spotverse-integration --test
+//! golden_tournament`).
+
+use std::fs;
+use std::path::PathBuf;
+
+/// The exact argv `scripts/verify.sh` replays against the snapshot.
+const GOLDEN_ARGS: [&str; 9] = [
+    "tournament",
+    "--instances",
+    "2",
+    "--workload",
+    "ngs",
+    "--seeds",
+    "1",
+    "--chaos",
+    "regime",
+];
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join("tournament")
+        .join("leaderboard.txt")
+}
+
+#[test]
+fn tournament_leaderboard_matches_snapshot() {
+    let actual = spotverse_cli::run(GOLDEN_ARGS).expect("golden tournament runs");
+    let path = snapshot_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden/tournament");
+        fs::write(&path, &actual).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing tournament snapshot {} ({e}); generate it with scripts/regen-golden.sh",
+            path.display()
+        )
+    });
+    if actual != expected {
+        let line = actual
+            .lines()
+            .zip(expected.lines())
+            .position(|(a, b)| a != b)
+            .map_or_else(
+                || actual.lines().count().min(expected.lines().count()) + 1,
+                |i| i + 1,
+            );
+        panic!(
+            "tournament leaderboard drift at line {line};\n  actual: {}\n  golden: {}\n\
+             if the change is intentional, re-bless with scripts/regen-golden.sh",
+            actual.lines().nth(line - 1).unwrap_or("<end>"),
+            expected.lines().nth(line - 1).unwrap_or("<end>"),
+        );
+    }
+}
+
+/// The snapshot itself must describe a tournament that did real work:
+/// every regime present, at least one completion per regime block, and
+/// no failed cells.
+#[test]
+fn golden_tournament_completes_work_in_every_regime() {
+    let out = spotverse_cli::run(GOLDEN_ARGS).expect("golden tournament runs");
+    assert!(!out.contains("failed cells"), "golden tournament has failed cells:\n{out}");
+    for regime in cloud_market::MarketRegime::ALL {
+        let block_start = out
+            .find(&format!("regime {}", regime.name()))
+            .unwrap_or_else(|| panic!("regime {regime} missing from leaderboard:\n{out}"));
+        let block = &out[block_start..];
+        let block = &block[..block[7..].find("regime ").map_or(block.len(), |i| i + 7)];
+        assert!(
+            block.lines().any(|l| l.contains("completed") && !l.contains("completed 0/")),
+            "regime {regime} completed nothing:\n{block}"
+        );
+    }
+}

@@ -5,7 +5,8 @@
 //! `BeyondHorizon` error edges at and around segment boundaries.
 
 use cloud_market::{
-    InstanceType, MarketConfig, MarketError, Region, SpotMarket, MARKET_SEGMENT_DAYS,
+    InstanceType, MarketConfig, MarketError, MarketRegime, Region, SpotMarket,
+    MARKET_SEGMENT_DAYS,
 };
 use proptest::prelude::*;
 use sim_kernel::{SimDuration, SimTime};
@@ -47,7 +48,7 @@ proptest! {
             1..60,
         ),
     ) {
-        let config = MarketConfig { seed, horizon_days };
+        let config = MarketConfig { seed, horizon_days, regime: MarketRegime::Baseline };
         let eager = SpotMarket::new_eager(config);
         let lazy = SpotMarket::new(config);
         for (r, i, hour) in queries {
@@ -69,7 +70,7 @@ proptest! {
     #[test]
     fn segment_and_horizon_edges_match(seed in 0u64..10_000, segments in 1u32..5) {
         let horizon_days = segments * MARKET_SEGMENT_DAYS as u32;
-        let config = MarketConfig { seed, horizon_days };
+        let config = MarketConfig { seed, horizon_days, regime: MarketRegime::Baseline };
         let eager = SpotMarket::new_eager(config);
         let lazy = SpotMarket::new(config);
         let horizon = SimTime::from_days(u64::from(horizon_days));

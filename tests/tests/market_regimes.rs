@@ -1,0 +1,207 @@
+//! Market regimes: the pluggable-calibration invariants.
+//!
+//! Every regime must be a pure function of its [`MarketConfig`] — lazy
+//! and eager builds byte-identical per regime, merged fleet traces
+//! invariant under `--jobs`, and the `Baseline` default reproducing the
+//! pre-regime market exactly (the golden-trace suite pins the same
+//! guarantee end-to-end). On top sits the acceptance property of the
+//! tournament: at least one strategy's rank differs between two regimes,
+//! i.e. the regime axis is strategically meaningful, not cosmetic.
+
+use bio_workloads::{paper_fleet, WorkloadKind};
+use cloud_market::{InstanceType, MarketConfig, MarketRegime, Region, SpotMarket};
+use proptest::prelude::*;
+use sim_kernel::{SimDuration, SimRng, SimTime};
+use spotverse::{
+    merged_fleet_trace_jsonl, run_tournament, run_fleet_matrix, BidPriceAwareStrategy,
+    CheckpointAdaptiveStrategy, FleetConfig, FleetSweepCell, MarketCache, OnDemandStrategy,
+    SingleRegionStrategy, SkyPilotStrategy, Strategy, TournamentConfig, TraceConfig,
+};
+
+fn traced_fleet(seed: u64, n: usize, regime: MarketRegime) -> FleetConfig {
+    let rng = SimRng::seed_from_u64(seed);
+    let mut config = FleetConfig::staggered(
+        seed,
+        InstanceType::M5Xlarge,
+        paper_fleet(WorkloadKind::NgsPreprocessing, n, &rng),
+        SimDuration::from_mins(45),
+    );
+    config.market = config.market.with_regime(regime);
+    config.trace = TraceConfig::enabled();
+    config
+}
+
+fn strategy_for(name: &str) -> Box<dyn Strategy> {
+    match name {
+        "single-region" => Box::new(SingleRegionStrategy::new(Region::CaCentral1)),
+        "skypilot" => Box::new(SkyPilotStrategy::new()),
+        "on-demand" => Box::new(OnDemandStrategy::new()),
+        "spotverse" => spotverse_integration::spotverse_strategy(),
+        "bid-price" => Box::new(BidPriceAwareStrategy::new()),
+        "checkpoint-adaptive" => Box::new(CheckpointAdaptiveStrategy::new()),
+        other => panic!("unknown strategy {other}"),
+    }
+}
+
+/// `MarketConfig::with_seed` and an explicit `Baseline` regime are the
+/// same market — the compatibility guarantee every pre-regime golden
+/// rides on.
+#[test]
+fn baseline_regime_is_the_default_market() {
+    for seed in [1, 2024, 0xFEED] {
+        let default = MarketConfig::with_seed(seed);
+        assert_eq!(default.regime, MarketRegime::Baseline);
+        assert_eq!(
+            SpotMarket::new(default),
+            SpotMarket::new(default.with_regime(MarketRegime::Baseline)),
+        );
+    }
+}
+
+/// Each non-baseline regime must actually perturb the market: a regime
+/// that observes identically to baseline is dead configuration.
+#[test]
+fn non_baseline_regimes_change_the_market() {
+    let base = MarketConfig::with_seed(77);
+    let baseline = SpotMarket::new(base);
+    for regime in MarketRegime::ALL {
+        if regime.is_baseline() {
+            continue;
+        }
+        assert_ne!(
+            SpotMarket::new(base.with_regime(regime)),
+            baseline,
+            "{regime} must not observe like baseline"
+        );
+    }
+}
+
+/// Baseline traces never carry the regime label; non-baseline run
+/// headers always do.
+#[test]
+fn trace_regime_label_tracks_the_config() {
+    let cells: Vec<FleetSweepCell> = MarketRegime::ALL
+        .iter()
+        .map(|&regime| {
+            FleetSweepCell::new(regime.name(), "skypilot", traced_fleet(31, 2, regime))
+        })
+        .collect();
+    let outcomes = run_fleet_matrix(&cells, 2, &MarketCache::new(), |_| strategy_for("skypilot"));
+    let merged = merged_fleet_trace_jsonl(&outcomes);
+    for regime in MarketRegime::ALL {
+        let header = merged
+            .lines()
+            .find(|l| {
+                l.starts_with(&format!("{{\"cell\":\"{}\"", regime.name()))
+                    && l.contains("\"event\":\"run_started\"")
+            })
+            .expect("run_started per cell");
+        let labelled = header.contains(&format!("\"regime\":\"{}\"", regime.name()));
+        assert_eq!(
+            labelled,
+            !regime.is_baseline(),
+            "regime label presence must track non-default regimes: {header}"
+        );
+    }
+}
+
+/// The merged trace of a regime matrix is byte-identical for any worker
+/// count — the regime layer introduces no shared mutable state.
+#[test]
+fn regime_matrix_traces_are_jobs_invariant() {
+    let cells: Vec<FleetSweepCell> = MarketRegime::ALL
+        .iter()
+        .map(|&regime| {
+            FleetSweepCell::new(regime.name(), "spotverse", traced_fleet(55, 2, regime))
+        })
+        .collect();
+    let serial = run_fleet_matrix(&cells, 1, &MarketCache::new(), |_| strategy_for("spotverse"));
+    let parallel = run_fleet_matrix(&cells, 4, &MarketCache::new(), |_| strategy_for("spotverse"));
+    assert!(serial.iter().all(spotverse::FleetCellOutcome::is_ok));
+    assert_eq!(
+        merged_fleet_trace_jsonl(&serial),
+        merged_fleet_trace_jsonl(&parallel),
+        "merged regime traces must not depend on --jobs"
+    );
+}
+
+/// The tournament's reason to exist: the regime axis reorders the
+/// leaderboard. At least one strategy must rank differently between two
+/// regimes of the same tournament.
+#[test]
+fn tournament_rank_flips_between_regimes() {
+    let strategies = ["single-region", "skypilot", "spotverse", "bid-price", "on-demand"];
+    let rng = SimRng::seed_from_u64(2024);
+    let fleet = FleetConfig::staggered(
+        2024,
+        InstanceType::M5Xlarge,
+        paper_fleet(WorkloadKind::GenomeReconstruction, 2, &rng),
+        SimDuration::from_mins(60),
+    );
+    let config = TournamentConfig::new(
+        strategies.iter().map(|s| (*s).to_owned()).collect(),
+        vec![MarketRegime::Baseline, MarketRegime::CapacityCrunch],
+        1,
+        fleet,
+    );
+    let report = run_tournament(&config, 2, &MarketCache::new(), strategy_for);
+    assert!(report.failed.is_empty(), "failed cells: {:?}", report.failed);
+    let flipped: Vec<&str> = strategies
+        .iter()
+        .filter(|s| {
+            report.rank_of(MarketRegime::Baseline, s)
+                != report.rank_of(MarketRegime::CapacityCrunch, s)
+        })
+        .copied()
+        .collect();
+    assert!(
+        !flipped.is_empty(),
+        "some strategy must rank differently across regimes; standings: {:?}",
+        report
+            .standings
+            .iter()
+            .map(|st| (st.regime, st.rows.iter().map(|r| r.strategy.clone()).collect::<Vec<_>>()))
+            .collect::<Vec<_>>()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every regime is byte-replayable from its `MarketConfig` alone:
+    /// the lazy segment-on-demand build and the eager reference build
+    /// materialize field-for-field identical markets, whatever the
+    /// regime's schedule perturbs.
+    #[test]
+    fn every_regime_lazy_build_matches_eager(
+        seed in 0u64..5_000,
+        r in 0usize..MarketRegime::ALL.len(),
+        horizon_days in 15u32..60,
+    ) {
+        let config = MarketConfig { seed, horizon_days, regime: MarketRegime::ALL[r] };
+        prop_assert_eq!(SpotMarket::new(config), SpotMarket::new_eager(config));
+    }
+
+    /// Two builds of the same regime config observe identically at
+    /// arbitrary instants — no hidden global state feeds the schedule.
+    #[test]
+    fn regime_observations_are_reproducible(
+        seed in 0u64..5_000,
+        r in 0usize..MarketRegime::ALL.len(),
+        hour in 0u64..14 * 24,
+    ) {
+        let config = MarketConfig { seed, horizon_days: 14, regime: MarketRegime::ALL[r] };
+        let (a, b) = (SpotMarket::new(config), SpotMarket::new(config));
+        let at = SimTime::from_secs(hour * 3600 + 11);
+        for region in Region::ALL {
+            prop_assert_eq!(
+                a.spot_price(region, InstanceType::M5Xlarge, at).ok(),
+                b.spot_price(region, InstanceType::M5Xlarge, at).ok()
+            );
+            prop_assert_eq!(
+                a.interruption_band(region, InstanceType::M5Xlarge, at).ok(),
+                b.interruption_band(region, InstanceType::M5Xlarge, at).ok()
+            );
+        }
+    }
+}

@@ -5,7 +5,7 @@
 
 use bio_workloads::WorkloadKind;
 use chaos::ChaosScenario;
-use cloud_market::{MarketConfig, SpotMarket};
+use cloud_market::{MarketConfig, MarketRegime, SpotMarket};
 use spotverse::{run_matrix, CellOutcome, MarketCache, SweepCell};
 use spotverse_integration::spotverse_strategy;
 
@@ -19,6 +19,7 @@ fn lazy_market_construction_matches_eager() {
         let config = MarketConfig {
             seed,
             horizon_days: 45,
+            regime: MarketRegime::Baseline,
         };
         assert_eq!(
             SpotMarket::new(config),
